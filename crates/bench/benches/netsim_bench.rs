@@ -1,0 +1,102 @@
+//! Criterion benches of the discrete-event engine itself: event
+//! throughput for messaging workloads and the full Table 2 cell
+//! measurement (one complete calibrated sim per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::prelude::*;
+use wacs_core::{pingpong, Mode, Pair};
+
+/// Two actors flooding messages back and forth for a fixed number of
+/// rounds — a raw engine-throughput workload.
+struct Flood {
+    peer_port: u16,
+    rounds: u32,
+    left: u32,
+    flow: Option<FlowId>,
+}
+
+impl Actor for Flood {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.rounds > 0 {
+            ctx.connect((NodeId(1), self.peer_port), 0);
+        } else {
+            ctx.listen(self.peer_port).unwrap();
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        if let FlowEvent::Connected { flow, .. } = ev {
+            self.flow = Some(flow);
+            ctx.send(flow, 64, ()).unwrap();
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        if self.rounds > 0 {
+            // driver side
+            self.left -= 1;
+            if self.left == 0 {
+                ctx.stop_simulation();
+                return;
+            }
+            let _ = ctx.send(self.flow.unwrap(), 64, ());
+        } else {
+            let _ = ctx.send_boxed(msg.flow, 64, msg.payload);
+        }
+    }
+}
+
+fn flood_once(rounds: u32) -> u64 {
+    let mut topo = Topology::new();
+    let site = topo.add_site("lab", None);
+    let a = topo.add_host("a", site);
+    let b = topo.add_host("b", site);
+    topo.add_link(a, b, SimDuration::from_micros(50), 10e6);
+    let mut sim = Simulator::new(topo, NetConfig::default(), 1);
+    sim.spawn(
+        a,
+        Box::new(Flood {
+            peer_port: 9,
+            rounds,
+            left: rounds,
+            flow: None,
+        }),
+    );
+    sim.spawn(
+        b,
+        Box::new(Flood {
+            peer_port: 9,
+            rounds: 0,
+            left: 0,
+            flow: None,
+        }),
+    );
+    sim.run();
+    sim.stats().events_processed
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let events = flood_once(1000);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("pingpong-1000-rounds", |b| {
+        b.iter(|| flood_once(1000));
+    });
+    g.finish();
+}
+
+fn bench_table2_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2-cell");
+    g.sample_size(10);
+    g.bench_function("lan-direct-4k", |b| {
+        b.iter(|| pingpong(Pair::RwcpSunCompas, Mode::Direct, 4096))
+    });
+    g.bench_function("lan-indirect-4k", |b| {
+        b.iter(|| pingpong(Pair::RwcpSunCompas, Mode::Indirect, 4096))
+    });
+    g.bench_function("wan-indirect-1m", |b| {
+        b.iter(|| pingpong(Pair::RwcpSunEtlSun, Mode::Indirect, 1 << 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_table2_cells);
+criterion_main!(benches);

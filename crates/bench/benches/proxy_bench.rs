@@ -1,0 +1,143 @@
+//! Criterion benches of the *real-socket* Nexus Proxy on the guarded
+//! loopback network: connection setup and relay round trips, direct vs
+//! active-open relay vs passive rendezvous relay — the real-hardware
+//! analogue of Table 2 (absolute numbers reflect this machine, the
+//! *ordering* reflects the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use firewall::vnet::VNet;
+use firewall::{Policy, NXPORT, OUTER_PORT};
+use nexus_proxy::{
+    nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+struct World {
+    net: VNet,
+    _outer: OuterServer,
+    _inner: InnerServer,
+}
+
+fn world() -> World {
+    let net = VNet::new();
+    let rwcp = net.add_site("rwcp", None);
+    let dmz = net.add_site("dmz", None);
+    let etl = net.add_site("etl", None);
+    net.add_host("rwcp-sun", rwcp);
+    let inner_ref = net.add_host("rwcp-inner", rwcp);
+    net.add_host("rwcp-outer", dmz);
+    net.add_host("etl-sun", etl);
+    net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
+    let inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = OuterServer::start(
+        net.clone(),
+        OuterConfig::new("rwcp-outer").with_inner("rwcp-inner", NXPORT),
+    )
+    .unwrap();
+    World {
+        net,
+        _outer: outer,
+        _inner: inner,
+    }
+}
+
+/// Echo server on a plain listener; returns its logical port.
+fn spawn_echo(net: &VNet, host: &str) -> u16 {
+    let l = net.bind(host, 0).unwrap();
+    let port = l.logical_port();
+    std::thread::spawn(move || loop {
+        let Ok((mut s, _)) = l.accept() else { break };
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 65536];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+    });
+    port
+}
+
+fn roundtrip(s: &mut TcpStream, payload: &[u8], scratch: &mut [u8]) {
+    s.write_all(payload).unwrap();
+    s.read_exact(&mut scratch[..payload.len()]).unwrap();
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let w = world();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let echo_port = spawn_echo(&w.net, "etl-sun");
+
+    // Direct path (outbound through the firewall is allowed).
+    let mut direct = w.net.dial("rwcp-sun", "etl-sun", echo_port).unwrap();
+    direct.set_nodelay(true).unwrap();
+    // Active-open relay: one pump (outer).
+    let mut active = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", echo_port)).unwrap();
+    active.set_nodelay(true).unwrap();
+    // Passive rendezvous relay: two pumps (outer + inner). The echo
+    // lives inside; the peer dials the rendezvous.
+    let listener = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+    let adv = listener.advertised.clone();
+    std::thread::spawn(move || {
+        let Ok(mut s) = listener.accept() else { return };
+        let mut buf = [0u8; 65536];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if s.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    let mut passive = w.net.dial("etl-sun", &adv.0, adv.1).unwrap();
+    passive.set_nodelay(true).unwrap();
+
+    let mut scratch = vec![0u8; 1 << 20];
+    for size in [64usize, 4096, 65536] {
+        let payload = vec![0xA5u8; size];
+        let mut g = c.benchmark_group(format!("roundtrip/{size}B"));
+        g.throughput(Throughput::Bytes(2 * size as u64));
+        g.bench_function(BenchmarkId::new("direct", size), |b| {
+            b.iter(|| roundtrip(&mut direct, &payload, &mut scratch))
+        });
+        g.bench_function(BenchmarkId::new("proxy-active", size), |b| {
+            b.iter(|| roundtrip(&mut active, &payload, &mut scratch))
+        });
+        g.bench_function(BenchmarkId::new("proxy-passive", size), |b| {
+            b.iter(|| roundtrip(&mut passive, &payload, &mut scratch))
+        });
+        g.finish();
+    }
+}
+
+fn bench_connect_setup(c: &mut Criterion) {
+    let w = world();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let echo_port = spawn_echo(&w.net, "etl-sun");
+    let mut g = c.benchmark_group("connect-setup");
+    g.sample_size(30);
+    g.bench_function("direct", |b| {
+        b.iter(|| w.net.dial("rwcp-sun", "etl-sun", echo_port).unwrap())
+    });
+    g.bench_function("via-outer", |b| {
+        b.iter(|| nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", echo_port)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_roundtrips, bench_connect_setup
+}
+criterion_main!(benches);

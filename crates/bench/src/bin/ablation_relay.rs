@@ -1,0 +1,52 @@
+//! Ablation: sensitivity of the Table 2 reproduction to the relay cost
+//! model.
+//!
+//! The two calibrated knobs are the per-message service cost (the
+//! select-loop + kernel-crossing overhead that dominates small
+//! messages) and the copy bandwidth (dominant for bulk). This harness
+//! sweeps both and prints the four indirect cells, showing which paper
+//! observation each knob controls:
+//!
+//! * `per_message` drives the ×60 / ×6 latency blowups;
+//! * `bandwidth` drives the LAN bulk drop and the small-message
+//!   LAN-below-WAN crossover;
+//! * neither touches the WAN 1 MB parity as long as the relay outruns
+//!   the 1.5 Mbps line.
+
+use netsim::prelude::SimDuration;
+use nexus_proxy::sim::RelayModel;
+use wacs_bench::{fmt_bw, fmt_ms};
+use wacs_core::{pingpong_with_model, Mode, Pair};
+
+fn main() {
+    println!("Ablation: relay cost model sensitivity (indirect cells only)\n");
+    println!(
+        "{:>8} {:>10} | {:>10} {:>10} | {:>12} {:>12} {:>12}",
+        "per-msg", "copy bw", "LAN lat", "WAN lat", "LAN bw(4K)", "WAN bw(4K)", "WAN bw(1M)"
+    );
+    for per_ms in [2u64, 6, 12, 24] {
+        for bw in [130e3f64, 260e3, 520e3, 2e6] {
+            let model = RelayModel {
+                per_message: SimDuration::from_millis(per_ms),
+                bandwidth: bw,
+            };
+            let lan_lat = pingpong_with_model(Pair::RwcpSunCompas, Mode::Indirect, 1, model);
+            let wan_lat = pingpong_with_model(Pair::RwcpSunEtlSun, Mode::Indirect, 1, model);
+            let lan4k = pingpong_with_model(Pair::RwcpSunCompas, Mode::Indirect, 4096, model);
+            let wan4k = pingpong_with_model(Pair::RwcpSunEtlSun, Mode::Indirect, 4096, model);
+            let wan1m = pingpong_with_model(Pair::RwcpSunEtlSun, Mode::Indirect, 1 << 20, model);
+            println!(
+                "{:>6}ms {:>7}K/s | {:>10} {:>10} | {:>12} {:>12} {:>12}",
+                per_ms,
+                (bw / 1e3) as u64,
+                fmt_ms(lan_lat.one_way.as_millis_f64()),
+                fmt_ms(wan_lat.one_way.as_millis_f64()),
+                fmt_bw(lan4k.bandwidth),
+                fmt_bw(wan4k.bandwidth),
+                fmt_bw(wan1m.bandwidth),
+            );
+        }
+    }
+    println!("\ncalibrated model: 12 ms / 260 KB/s (see wacs_core::calibration).");
+    println!("paper anchors: 25.0 / 25.1 ms latency; 70.5 KB/s LAN 4K; WAN 1M ≈ 160 KB/s.");
+}

@@ -1,0 +1,62 @@
+//! Regenerate the paper's parameter tuning: "We varied a stealunit,
+//! interval, and backunit and took the best combination."
+//!
+//! For each (interval, steal_unit) pair, run the wide-area cluster
+//! with and without the proxy; report speedups and the proxy
+//! overhead. The sweep exposes the grain trade-off: finer scheduling
+//! improves direct-mode balance but multiplies relay traffic.
+//!
+//! Usage: `ablation_sweep [--items N]` (default 24 to keep the sweep
+//! affordable; the calibrated winner at the Table-4 size is
+//! `wacs_core::calibration::best_params`).
+
+use knapsack::ParParams;
+use wacs_bench::arg_usize;
+use wacs_core::{run_knapsack, sequential_baseline, KnapsackRun, System};
+
+fn main() {
+    let items = arg_usize("--items", 24);
+    let seq = sequential_baseline(items).elapsed_secs;
+    println!("Ablation: interval × stealunit sweep (wide-area, n = {items})\n");
+    println!(
+        "{:>8} {:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>9} {:>7}",
+        "interval", "steal", "proxy t(s)", "speedup", "direct(s)", "speedup", "overhead", "steals"
+    );
+    let mut best: Option<(f64, u32, u32)> = None;
+    for interval in [512u32, 1024, 2048, 4096, 8192, 16384] {
+        for steal_unit in [4u32, 8, 32] {
+            let params = ParParams {
+                interval,
+                steal_unit,
+                ..ParParams::default()
+            };
+            let mut cfg = KnapsackRun::paper_default(System::WideArea, items);
+            cfg.params = params;
+            let with = run_knapsack(&cfg);
+            let mut no = cfg.clone();
+            no.use_proxy = false;
+            let without = run_knapsack(&no);
+            let overhead =
+                100.0 * (with.elapsed_secs - without.elapsed_secs) / without.elapsed_secs;
+            println!(
+                "{:>8} {:>6} | {:>10.1} {:>8.2} | {:>10.1} {:>8.2} | {:>8.1}% {:>7}",
+                interval,
+                steal_unit,
+                with.elapsed_secs,
+                seq / with.elapsed_secs,
+                without.elapsed_secs,
+                seq / without.elapsed_secs,
+                overhead,
+                with.master().map(|m| m.steals).unwrap_or(0)
+            );
+            if best.map(|(t, _, _)| with.elapsed_secs < t).unwrap_or(true) {
+                best = Some((with.elapsed_secs, interval, steal_unit));
+            }
+        }
+    }
+    if let Some((t, interval, steal)) = best {
+        println!(
+            "\nbest combination (proxied): interval = {interval}, stealunit = {steal} ({t:.1} s)"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerate Table 2: communication latency and bandwidth, direct vs
+//! indirect (through the Nexus Proxy), on the calibrated testbed.
+//!
+//! Paper values for reference:
+//!
+//! ```text
+//!                                latency   bw(4096B)   bw(1MB)
+//! RWCP-Sun <-> COMPaS (direct)   0.41 ms   3.29 MB/s   6.32 MB/s
+//! RWCP-Sun <-> COMPaS (indirect) 25.0 ms   70.5 KB/s   (≈10x drop)
+//! RWCP-Sun <-> ETL-Sun (direct)   3.9 ms   (lost)      (lost)
+//! RWCP-Sun <-> ETL-Sun (indirect) 25.1 ms  (lost)      ≈ direct
+//! ```
+
+use wacs_bench::{fmt_bw, fmt_ms};
+use wacs_core::{pingpong, Mode, Pair};
+
+fn main() {
+    println!("Table 2: Communication latency and bandwidth (simulated testbed)\n");
+    println!(
+        "{:<34} {:>12} {:>16} {:>16}",
+        "", "latency", "bw (4096B)", "bw (1MB)"
+    );
+    for pair in [Pair::RwcpSunCompas, Pair::RwcpSunEtlSun] {
+        for mode in [Mode::Direct, Mode::Indirect] {
+            let lat = pingpong(pair, mode, 1).one_way;
+            let bw4k = pingpong(pair, mode, 4096).bandwidth;
+            let bw1m = pingpong(pair, mode, 1 << 20).bandwidth;
+            println!(
+                "{:<34} {:>12} {:>16} {:>16}",
+                format!("{} ({})", pair.name(), mode.name()),
+                fmt_ms(lat.as_millis_f64()),
+                fmt_bw(bw4k),
+                fmt_bw(bw1m)
+            );
+        }
+    }
+    println!("\npaper anchors: direct 0.41/3.9 ms; indirect 25.0/25.1 ms;");
+    println!("LAN indirect ~order-of-magnitude bandwidth drop; WAN 1MB ≈ direct.");
+}

@@ -1,0 +1,41 @@
+//! Regenerate Table 3: the four experimental systems, their processor
+//! layouts and communication devices — printed from the same testbed
+//! data structures the experiments execute on.
+
+use wacs_core::{FirewallMode, PaperTestbed, System};
+
+fn main() {
+    let tb = PaperTestbed::build(FirewallMode::DenyInWithNxport);
+    println!("Table 3: Experimental testbed\n");
+    println!("{:<22} {:>6}  Description", "Nickname", "procs");
+    for system in System::ALL {
+        let ranks = system.ranks(&tb);
+        // Count ranks per distinct group, preserving order.
+        let mut per_group: Vec<(String, usize)> = Vec::new();
+        for r in &ranks {
+            match per_group.iter_mut().find(|(g, _)| *g == r.group) {
+                Some((_, n)) => *n += 1,
+                None => per_group.push((r.group.clone(), 1)),
+            }
+        }
+        let layout = per_group
+            .iter()
+            .map(|(g, n)| format!("{n} on {g}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let device = match system {
+            System::Compas => "mpich ch_p4 device",
+            System::EtlO2k => "vendor-provided MPI",
+            System::LocalArea | System::WideArea => {
+                "mpich Globus device utilizing the Nexus Proxy"
+            }
+        };
+        println!(
+            "{:<22} {:>6}  {} — {}",
+            system.name(),
+            ranks.len(),
+            layout,
+            device
+        );
+    }
+}

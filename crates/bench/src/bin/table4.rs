@@ -1,0 +1,58 @@
+//! Regenerate Table 4: execution time and speedup of the 0-1 knapsack
+//! problem on the four systems, plus the wide-area cluster with and
+//! without the Nexus Proxy (the paper's ≈3.5 % overhead result).
+//!
+//! Usage: `table4 [--items N]` (default: the calibrated Table-4 size).
+
+use wacs_bench::arg_usize;
+use wacs_core::calibration::TABLE4_ITEMS;
+use wacs_core::{run_knapsack, sequential_baseline, KnapsackRun, System};
+
+fn main() {
+    let items = arg_usize("--items", TABLE4_ITEMS);
+    println!("Table 4: Execution time for the 0-1 knapsack problem");
+    println!("(no-pruning instance, n = {items}, 2^{} nodes; virtual seconds)\n", items + 1);
+
+    let seq = sequential_baseline(items);
+    println!(
+        "{:<38} {:>6} {:>14} {:>9}",
+        "System", "procs", "time (s)", "speedup"
+    );
+    println!(
+        "{:<38} {:>6} {:>14.1} {:>9.2}",
+        "RWCP-Sun (sequential)", 1, seq.elapsed_secs, 1.0
+    );
+
+    for system in System::ALL {
+        let cfg = KnapsackRun::paper_default(system, items);
+        let rr = run_knapsack(&cfg);
+        let label = if system == System::WideArea {
+            format!("{} (use Nexus Proxy)", system.name())
+        } else {
+            system.name().to_string()
+        };
+        println!(
+            "{:<38} {:>6} {:>14.1} {:>9.2}",
+            label,
+            rr.ranks.len(),
+            rr.elapsed_secs,
+            seq.elapsed_secs / rr.elapsed_secs
+        );
+        if system == System::WideArea {
+            let mut no_proxy = cfg.clone();
+            no_proxy.use_proxy = false;
+            let rr2 = run_knapsack(&no_proxy);
+            println!(
+                "{:<38} {:>6} {:>14.1} {:>9.2}",
+                "Wide-area Cluster (Not use Proxy)",
+                rr2.ranks.len(),
+                rr2.elapsed_secs,
+                seq.elapsed_secs / rr2.elapsed_secs
+            );
+            println!(
+                "\nNexus Proxy overhead on the wide-area run: {:.1}% (paper: ~3.5%)",
+                100.0 * (rr.elapsed_secs - rr2.elapsed_secs) / rr2.elapsed_secs
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerate Table 5: number of steals — total handled by the
+//! master, plus max/min/average per cluster — on the local- and
+//! wide-area systems.
+//!
+//! Usage: `table5 [--items N]`
+
+use wacs_bench::{arg_usize, group_row};
+use wacs_core::calibration::TABLE4_ITEMS;
+use wacs_core::{run_knapsack, KnapsackRun, System};
+
+fn main() {
+    let items = arg_usize("--items", TABLE4_ITEMS);
+    println!("Table 5: Number of steals (n = {items})\n");
+    let groups = ["RWCP-Sun", "COMPaS", "ETL-O2K"];
+    let mut header = format!("{:<22} {:>10} ", "System", "Master");
+    for g in &groups {
+        header.push_str(&format!(
+            "{:>10} {:>10} {:>10} ",
+            format!("{g}:max"),
+            "min",
+            "avg"
+        ));
+    }
+    println!("{header}");
+    for system in [System::LocalArea, System::WideArea] {
+        let rr = run_knapsack(&KnapsackRun::paper_default(system, items));
+        println!(
+            "{:<22} {}",
+            system.name(),
+            group_row(&rr, &groups, |r| r.steals)
+        );
+    }
+    println!("\n(the paper: \"slaves frequently send a steal request to the master\")");
+}

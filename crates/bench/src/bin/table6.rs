@@ -1,0 +1,48 @@
+//! Regenerate Table 6: number of traversed nodes — master, plus
+//! max/min/average per cluster — on the local- and wide-area systems.
+//! (The paper reports these in billions at n = 50; our scaled runs
+//! report raw counts plus the scale factor.)
+//!
+//! Usage: `table6 [--items N]`
+
+use wacs_bench::{arg_usize, group_row};
+use wacs_core::calibration::TABLE4_ITEMS;
+use wacs_core::{run_knapsack, KnapsackRun, System};
+
+fn main() {
+    let items = arg_usize("--items", TABLE4_ITEMS);
+    println!("Table 6: Number of traversed nodes (n = {items})");
+    println!(
+        "(paper ran n = 50, i.e. 2^{} / 2^{} = {:.1e}x our node count)\n",
+        51,
+        items + 1,
+        (2f64).powi(51 - (items as i32 + 1))
+    );
+    let groups = ["RWCP-Sun", "COMPaS", "ETL-O2K"];
+    let mut header = format!("{:<22} {:>10} ", "System", "Master");
+    for g in &groups {
+        header.push_str(&format!(
+            "{:>10} {:>10} {:>10} ",
+            format!("{g}:max"),
+            "min",
+            "avg"
+        ));
+    }
+    println!("{header}");
+    for system in [System::LocalArea, System::WideArea] {
+        let rr = run_knapsack(&KnapsackRun::paper_default(system, items));
+        println!(
+            "{:<22} {}",
+            system.name(),
+            group_row(&rr, &groups, |r| r.traversed)
+        );
+        // Sanity line: totals must cover the tree exactly.
+        println!(
+            "{:<22} total traversed = {} (tree = {})",
+            "",
+            rr.total_traversed(),
+            knapsack::Instance::full_tree_nodes(items)
+        );
+    }
+    println!("\n(the paper: \"we obtained good load balance and reasonable performance\")");
+}

@@ -1,0 +1,94 @@
+//! `wacs-bench` — shared helpers for the table-regeneration binaries.
+//!
+//! Each binary regenerates one table or figure of the paper:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table2` | latency/bandwidth, direct vs indirect |
+//! | `table3` | the four experimental systems |
+//! | `table4` | knapsack execution time + speedup (and proxy overhead) |
+//! | `table5` | steal counts (master + per-cluster max/min/avg) |
+//! | `table6` | traversed nodes (master + per-cluster max/min/avg) |
+//! | `figures` | Figs. 1-5 as validated textual renderings |
+//! | `ablation_sweep` | the paper's interval/stealunit/backunit tuning |
+//! | `ablation_portrange` | proxy vs `TCP_MIN/MAX_PORT` exposure trade |
+//! | `ablation_relay` | Table 2 sensitivity to the relay cost model |
+
+use knapsack::RunResult;
+
+/// Pretty-print a bytes/second figure the way the paper does
+/// (KB/sec or MB/sec).
+pub fn fmt_bw(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= 1.0e6 {
+        format!("{:.2} MB/sec", bytes_per_sec / 1.0e6)
+    } else {
+        format!("{:.1} KB/sec", bytes_per_sec / 1.0e3)
+    }
+}
+
+/// Pretty-print milliseconds.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{ms:.2} msec")
+    } else {
+        format!("{ms:.1} msec")
+    }
+}
+
+/// Render one Table 5/6-style row: master value + per-group
+/// max/min/avg.
+pub fn group_row(
+    rr: &RunResult,
+    groups: &[&str],
+    metric: impl Fn(&knapsack::RankStats) -> u64 + Copy,
+) -> String {
+    let mut row = String::new();
+    let master = rr.master().map(metric).unwrap_or(0);
+    row.push_str(&format!("{master:>10} "));
+    for g in groups {
+        match rr.group_summary(g, metric) {
+            Some(s) => row.push_str(&format!(
+                "{:>10} {:>10} {:>10.1} ",
+                s.max, s.min, s.avg
+            )),
+            None => row.push_str(&format!("{:>10} {:>10} {:>10} ", "-", "-", "-")),
+        }
+    }
+    row
+}
+
+/// Parse `--items N` style overrides from argv (shared by the
+/// knapsack binaries so CI can run them small).
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_formatting_matches_paper_units() {
+        assert_eq!(fmt_bw(6.32e6), "6.32 MB/sec");
+        assert_eq!(fmt_bw(70.5e3), "70.5 KB/sec");
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(0.41), "0.41 msec");
+        assert_eq!(fmt_ms(25.0), "25.0 msec");
+    }
+
+    #[test]
+    fn arg_default_when_absent() {
+        assert_eq!(arg_usize("--definitely-not-passed", 22), 22);
+    }
+}

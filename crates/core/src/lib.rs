@@ -1,0 +1,15 @@
+//! `wacs-core` — the reproduction's experimental core: the paper's
+//! testbed as data ([`testbed`], Fig. 5 + Table 3), the calibration
+//! constants tying the simulator to the paper's measurements
+//! ([`calibration`]), and the harness functions that regenerate every
+//! table ([`experiments`]).
+
+pub mod calibration;
+pub mod experiments;
+pub mod testbed;
+
+pub use experiments::{
+    pingpong, pingpong_with_model, run_knapsack, run_knapsack_with_mode, sequential_baseline,
+    KnapsackRun, Mode, Pair, PingPongResult,
+};
+pub use testbed::{FirewallMode, PaperTestbed, RankPlace, System};

@@ -1,0 +1,125 @@
+//! Stateful connection tracking.
+//!
+//! A deny-based inbound policy would also drop the *reply* packets of
+//! connections that inside hosts opened toward the outside, making all
+//! outbound TCP useless. Real packet filters solve this with a state
+//! table; so do we. A flow is inserted when its first packet passes the
+//! rule set, and subsequent packets of the same 5-tuple (in either
+//! direction) are passed as `ESTABLISHED` traffic.
+
+use crate::rule::{Endpoint, Proto};
+use std::collections::HashSet;
+
+/// Canonical key for a tracked flow.
+///
+/// The two endpoints are stored in a canonical (sorted) order so that a
+/// packet and its reply map to the same key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    a: Endpoint,
+    b: Endpoint,
+    proto: Proto,
+}
+
+impl FlowKey {
+    pub fn new(src: Endpoint, dst: Endpoint, proto: Proto) -> Self {
+        let (a, b) = if (src.host, src.port) <= (dst.host, dst.port) {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        FlowKey { a, b, proto }
+    }
+}
+
+/// The state table.
+#[derive(Debug, Default)]
+pub struct ConnTracker {
+    established: HashSet<FlowKey>,
+}
+
+impl ConnTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a flow as established (called after its opening packet
+    /// passed the rule set).
+    pub fn establish(&mut self, src: Endpoint, dst: Endpoint, proto: Proto) {
+        self.established.insert(FlowKey::new(src, dst, proto));
+    }
+
+    /// Is this packet part of an established flow (either direction)?
+    pub fn is_established(&self, src: Endpoint, dst: Endpoint, proto: Proto) -> bool {
+        self.established.contains(&FlowKey::new(src, dst, proto))
+    }
+
+    /// Drop state for a closed flow.
+    pub fn teardown(&mut self, src: Endpoint, dst: Endpoint, proto: Proto) -> bool {
+        self.established.remove(&FlowKey::new(src, dst, proto))
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.established.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.established.is_empty()
+    }
+
+    /// Flush the whole table (e.g. on a simulated firewall reload).
+    pub fn flush(&mut self) {
+        self.established.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(h, p)
+    }
+
+    #[test]
+    fn reply_maps_to_same_flow() {
+        let k1 = FlowKey::new(ep(1, 40000), ep(9, 80), Proto::Tcp);
+        let k2 = FlowKey::new(ep(9, 80), ep(1, 40000), Proto::Tcp);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn different_proto_is_different_flow() {
+        let k1 = FlowKey::new(ep(1, 40000), ep(9, 80), Proto::Tcp);
+        let k2 = FlowKey::new(ep(1, 40000), ep(9, 80), Proto::Udp);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn establish_then_reply_then_teardown() {
+        let mut ct = ConnTracker::new();
+        assert!(ct.is_empty());
+        ct.establish(ep(1, 40000), ep(9, 80), Proto::Tcp);
+        assert_eq!(ct.len(), 1);
+        // Reply direction is established too.
+        assert!(ct.is_established(ep(9, 80), ep(1, 40000), Proto::Tcp));
+        // A different flow is not.
+        assert!(!ct.is_established(ep(9, 81), ep(1, 40000), Proto::Tcp));
+        assert!(ct.teardown(ep(1, 40000), ep(9, 80), Proto::Tcp));
+        assert!(!ct.is_established(ep(9, 80), ep(1, 40000), Proto::Tcp));
+        // Second teardown is a no-op.
+        assert!(!ct.teardown(ep(1, 40000), ep(9, 80), Proto::Tcp));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut ct = ConnTracker::new();
+        for i in 0..10 {
+            ct.establish(ep(1, 40000 + i), ep(9, 80), Proto::Tcp);
+        }
+        assert_eq!(ct.len(), 10);
+        ct.flush();
+        assert!(ct.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! The communicator: point-to-point messaging with source/tag matching.
+
+use crate::packet::Packet;
+use nexus::{Endpoint, NexusContext, Startpoint};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tags below this are reserved for collectives; user tags must be
+/// non-negative.
+pub const USER_TAG_MIN: i32 = 0;
+
+/// Receive from any rank.
+pub const ANY_SOURCE: Option<u32> = None;
+
+/// Receive any tag.
+pub const ANY_TAG: Option<i32> = None;
+
+/// Per-rank communicator handle (the `MPI_COMM_WORLD` analogue).
+///
+/// One `Comm` lives on each rank's thread. Sends lazily attach a
+/// startpoint to the destination's advertised endpoint — through the
+/// Nexus Proxy whenever the rank's [`NexusContext`] says so — exactly
+/// how the paper's MPICH-G ranks communicate across the firewall.
+pub struct Comm {
+    rank: u32,
+    size: u32,
+    ctx: NexusContext,
+    ep: Endpoint,
+    /// Advertised endpoint addresses of all ranks (index = rank).
+    addrs: Arc<Vec<(String, u16)>>,
+    /// Lazily attached startpoints to peers.
+    peers: Vec<Mutex<Option<Startpoint>>>,
+    /// Messages received but not yet matched (MPI's unexpected-message
+    /// queue).
+    stash: Mutex<VecDeque<Packet>>,
+    epoch: Instant,
+    /// Diagnostics.
+    sent: Mutex<u64>,
+    received: Mutex<u64>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: u32,
+        size: u32,
+        ctx: NexusContext,
+        ep: Endpoint,
+        addrs: Arc<Vec<(String, u16)>>,
+    ) -> Comm {
+        let peers = (0..size).map(|_| Mutex::new(None)).collect();
+        Comm {
+            rank,
+            size,
+            ctx,
+            ep,
+            addrs,
+            peers,
+            stash: Mutex::new(VecDeque::new()),
+            epoch: Instant::now(),
+            sent: Mutex::new(0),
+            received: Mutex::new(0),
+        }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The logical host this rank runs on.
+    pub fn host(&self) -> &str {
+        self.ctx.host()
+    }
+
+    /// `MPI_Wtime` analogue: seconds since communicator creation.
+    pub fn wtime(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        *self.sent.lock()
+    }
+
+    pub fn messages_received(&self) -> u64 {
+        *self.received.lock()
+    }
+
+    /// Send `payload` to `dest` with `tag` (tags < 0 are reserved).
+    pub fn send(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
+        assert!(tag >= USER_TAG_MIN, "negative tags are reserved");
+        self.send_internal(dest, tag, payload)
+    }
+
+    pub(crate) fn send_internal(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
+        assert!(dest < self.size, "rank {dest} out of range");
+        assert_ne!(dest, self.rank, "self-sends are not supported");
+        let frame = Packet::encode(self.rank, tag, payload);
+        let mut slot = self.peers[dest as usize].lock();
+        if slot.is_none() {
+            let (host, port) = &self.addrs[dest as usize];
+            let sp = self
+                .ctx
+                .attach_retry((host, *port), 200, Duration::from_millis(5))?;
+            *slot = Some(sp);
+        }
+        slot.as_ref().unwrap().send(&frame)?;
+        *self.sent.lock() += 1;
+        Ok(())
+    }
+
+    /// Blocking receive with matching. Returns `(src, tag, payload)`.
+    pub fn recv(&self, src: Option<u32>, tag: Option<i32>) -> io::Result<(u32, i32, Vec<u8>)> {
+        // 1. Unexpected-message queue first (MPI ordering semantics).
+        if let Some(p) = self.take_from_stash(src, tag) {
+            return Ok((p.src, p.tag, p.payload));
+        }
+        // 2. Drain the endpoint until a match arrives.
+        loop {
+            let frame = self.ep.recv()?;
+            let p = Packet::decode(frame)?;
+            *self.received.lock() += 1;
+            if p.matches(src, tag) {
+                return Ok((p.src, p.tag, p.payload));
+            }
+            self.stash.lock().push_back(p);
+        }
+    }
+
+    /// Receive with a deadline; `Ok(None)` on timeout.
+    pub fn recv_timeout(
+        &self,
+        src: Option<u32>,
+        tag: Option<i32>,
+        timeout: Duration,
+    ) -> io::Result<Option<(u32, i32, Vec<u8>)>> {
+        let deadline = Instant::now() + timeout;
+        if let Some(p) = self.take_from_stash(src, tag) {
+            return Ok(Some((p.src, p.tag, p.payload)));
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.ep.recv_timeout(deadline - now)? {
+                Some(frame) => {
+                    let p = Packet::decode(frame)?;
+                    *self.received.lock() += 1;
+                    if p.matches(src, tag) {
+                        return Ok(Some((p.src, p.tag, p.payload)));
+                    }
+                    self.stash.lock().push_back(p);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message available? Drains any
+    /// already-arrived traffic into the unexpected queue first — this
+    /// is the primitive the knapsack master uses to poll for steal
+    /// requests between branch operations.
+    pub fn iprobe(&self, src: Option<u32>, tag: Option<i32>) -> io::Result<bool> {
+        while let Some(frame) = self.ep.try_recv()? {
+            let p = Packet::decode(frame)?;
+            *self.received.lock() += 1;
+            self.stash.lock().push_back(p);
+        }
+        Ok(self
+            .stash
+            .lock()
+            .iter()
+            .any(|p| p.matches(src, tag)))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(
+        &self,
+        src: Option<u32>,
+        tag: Option<i32>,
+    ) -> io::Result<Option<(u32, i32, Vec<u8>)>> {
+        if self.iprobe(src, tag)? {
+            Ok(self
+                .take_from_stash(src, tag)
+                .map(|p| (p.src, p.tag, p.payload)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Combined send + receive (deadlock-safe: the outbound message is
+    /// written to the socket before blocking on the inbound one, and
+    /// endpoints buffer, so a symmetric exchange cannot wedge).
+    pub fn sendrecv(
+        &self,
+        dest: u32,
+        send_tag: i32,
+        payload: &[u8],
+        src: Option<u32>,
+        recv_tag: Option<i32>,
+    ) -> io::Result<(u32, i32, Vec<u8>)> {
+        self.send(dest, send_tag, payload)?;
+        self.recv(src, recv_tag)
+    }
+
+    fn take_from_stash(&self, src: Option<u32>, tag: Option<i32>) -> Option<Packet> {
+        let mut stash = self.stash.lock();
+        let idx = stash.iter().position(|p| p.matches(src, tag))?;
+        stash.remove(idx)
+    }
+
+    /// The advertised address of this rank's endpoint (diagnostics).
+    pub fn advertised(&self) -> (&str, u16) {
+        self.ep.advertised()
+    }
+}

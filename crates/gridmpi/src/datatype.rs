@@ -1,0 +1,141 @@
+//! Typed pack/unpack helpers with an explicit big-endian wire format.
+//!
+//! The paper's wide-area cluster mixes UltraSPARC (big-endian), MIPS
+//! (big-endian) and x86 (little-endian) machines; MPICH-G converts at
+//! the wire. We fix network byte order for all cross-rank payloads so
+//! the same property holds regardless of the build host.
+
+use std::io;
+
+fn short(err: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+pub fn pack_u64s(values: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    buf
+}
+
+pub fn unpack_u64s(bytes: &[u8]) -> io::Result<Vec<u64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(short("u64 array length not a multiple of 8"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+pub fn pack_i64s(values: &[i64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    buf
+}
+
+pub fn unpack_i64s(bytes: &[u8]) -> io::Result<Vec<i64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(short("i64 array length not a multiple of 8"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+pub fn pack_f64s(values: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    buf
+}
+
+pub fn unpack_f64s(bytes: &[u8]) -> io::Result<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(short("f64 array length not a multiple of 8"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+pub fn pack_u32s(values: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    buf
+}
+
+pub fn unpack_u32s(bytes: &[u8]) -> io::Result<Vec<u32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(short("u32 array length not a multiple of 4"));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// One u64 scalar.
+pub fn pack_u64(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+pub fn unpack_u64(bytes: &[u8]) -> io::Result<u64> {
+    let arr: [u8; 8] = bytes.try_into().map_err(|_| short("expected 8 bytes"))?;
+    Ok(u64::from_be_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(unpack_u64(&pack_u64(0xDEAD_BEEF_CAFE_F00D)).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert!(unpack_u64(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn misaligned_arrays_rejected() {
+        assert!(unpack_u64s(&[0; 9]).is_err());
+        assert!(unpack_f64s(&[0; 7]).is_err());
+        assert!(unpack_u32s(&[0; 6]).is_err());
+        assert!(unpack_i64s(&[0; 12]).is_err());
+    }
+
+    #[test]
+    fn wire_format_is_big_endian() {
+        assert_eq!(pack_u32s(&[1]), vec![0, 0, 0, 1]);
+        assert_eq!(pack_u64s(&[256]), vec![0, 0, 0, 0, 0, 0, 1, 0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_u64s(v in proptest::collection::vec(proptest::num::u64::ANY, 0..64)) {
+            proptest::prop_assert_eq!(unpack_u64s(&pack_u64s(&v)).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_i64s(v in proptest::collection::vec(proptest::num::i64::ANY, 0..64)) {
+            proptest::prop_assert_eq!(unpack_i64s(&pack_i64s(&v)).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_f64s(v in proptest::collection::vec(proptest::num::f64::NORMAL, 0..64)) {
+            proptest::prop_assert_eq!(unpack_f64s(&pack_f64s(&v)).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_u32s(v in proptest::collection::vec(proptest::num::u32::ANY, 0..64)) {
+            proptest::prop_assert_eq!(unpack_u32s(&pack_u32s(&v)).unwrap(), v);
+        }
+    }
+}

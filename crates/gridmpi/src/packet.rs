@@ -1,0 +1,94 @@
+//! The point-to-point packet format: a fixed header (source rank +
+//! tag) in front of the payload, all big-endian on the wire so
+//! heterogeneous hosts agree (MPICH-G's commitment for cross-machine
+//! messages).
+
+use std::io;
+
+/// Header: `u32 src`, `i32 tag`.
+pub const HEADER_LEN: usize = 8;
+
+/// A decoded point-to-point message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src: u32,
+    pub tag: i32,
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    pub fn encode(src: u32, tag: i32, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(&src.to_be_bytes());
+        buf.extend_from_slice(&tag.to_be_bytes());
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    pub fn decode(frame: Vec<u8>) -> io::Result<Packet> {
+        if frame.len() < HEADER_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "short MPI packet",
+            ));
+        }
+        let src = u32::from_be_bytes(frame[0..4].try_into().unwrap());
+        let tag = i32::from_be_bytes(frame[4..8].try_into().unwrap());
+        let payload = frame[HEADER_LEN..].to_vec();
+        Ok(Packet { src, tag, payload })
+    }
+
+    /// Does this packet satisfy a receive with the given selectors?
+    pub fn matches(&self, src: Option<u32>, tag: Option<i32>) -> bool {
+        src.is_none_or(|s| s == self.src) && tag.is_none_or(|t| t == self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Packet::decode(Packet::encode(3, -7, b"hello")).unwrap();
+        assert_eq!(
+            p,
+            Packet {
+                src: 3,
+                tag: -7,
+                payload: b"hello".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_payload_ok_short_header_err() {
+        assert_eq!(Packet::decode(Packet::encode(0, 0, b"")).unwrap().payload, b"");
+        assert!(Packet::decode(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn matching() {
+        let p = Packet {
+            src: 2,
+            tag: 9,
+            payload: vec![],
+        };
+        assert!(p.matches(None, None));
+        assert!(p.matches(Some(2), None));
+        assert!(p.matches(None, Some(9)));
+        assert!(p.matches(Some(2), Some(9)));
+        assert!(!p.matches(Some(3), Some(9)));
+        assert!(!p.matches(Some(2), Some(8)));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(src: u32, tag: i32, payload in proptest::collection::vec(0u8..=255, 0..256)) {
+            let p = Packet::decode(Packet::encode(src, tag, &payload)).unwrap();
+            proptest::prop_assert_eq!(p.src, src);
+            proptest::prop_assert_eq!(p.tag, tag);
+            proptest::prop_assert_eq!(p.payload, payload);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! World bootstrap: bring up N ranks as threads, exchange endpoint
+//! addresses, and run a closure per rank.
+//!
+//! In the paper this rendezvous is done by MPICH-G/DUROC through the
+//! GRAM job managers; here the launcher plays that role in-process.
+//! Each rank gets its own [`NexusContext`], so ranks on firewalled
+//! hosts route through the Nexus Proxy while ranks on open hosts talk
+//! directly — mixed configurations are exactly the paper's wide-area
+//! cluster.
+
+use crate::comm::Comm;
+use nexus::NexusContext;
+use std::io;
+use std::sync::Arc;
+use std::thread;
+
+/// Description of one rank: where it runs and how it communicates.
+pub struct RankSpec {
+    pub ctx: NexusContext,
+}
+
+impl RankSpec {
+    pub fn new(ctx: NexusContext) -> Self {
+        RankSpec { ctx }
+    }
+}
+
+/// Launch `specs.len()` ranks, run `body` on each (in its own thread),
+/// and return the per-rank results in rank order.
+///
+/// Panics in a rank propagate as an error carrying the rank number.
+pub fn run_world<R, F>(specs: Vec<RankSpec>, body: F) -> io::Result<Vec<R>>
+where
+    R: Send + 'static,
+    F: Fn(&Comm) -> R + Send + Sync + 'static,
+{
+    let size = u32::try_from(specs.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many ranks"))?;
+    if size == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Phase 1: create every endpoint and collect advertised addresses
+    // (the DUROC-style address exchange).
+    let mut endpoints = Vec::with_capacity(specs.len());
+    let mut addrs = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let ep = spec.ctx.endpoint()?;
+        let (h, p) = ep.advertised();
+        addrs.push((h.to_string(), p));
+        endpoints.push(ep);
+    }
+    let addrs = Arc::new(addrs);
+
+    // Phase 2: one thread per rank.
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(specs.len());
+    for (rank, (spec, ep)) in specs.into_iter().zip(endpoints).enumerate() {
+        let addrs = addrs.clone();
+        let body = body.clone();
+        let handle = thread::Builder::new()
+            .name(format!("mpi-rank-{rank}"))
+            .spawn(move || {
+                let comm = Comm::new(rank as u32, size, spec.ctx, ep, addrs);
+                body(&comm)
+            })
+            .expect("failed to spawn rank thread");
+        handles.push(handle);
+    }
+
+    let mut results = Vec::with_capacity(handles.len());
+    let mut failed = Vec::new();
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(_) => failed.push(rank),
+        }
+    }
+    if !failed.is_empty() {
+        return Err(io::Error::other(format!("ranks {failed:?} panicked")));
+    }
+    Ok(results)
+}

@@ -1,0 +1,138 @@
+//! Instance file format.
+//!
+//! "A master reads a data file and pushes a root node onto the stack"
+//! (§4.3) — and in the Globus deployment that data file arrives via
+//! GASS staging. The format is the classic knapsack text layout:
+//!
+//! ```text
+//! # comments and blank lines ignored
+//! <n> <capacity>
+//! <weight> <profit>     # n lines, one item each
+//! ```
+
+use crate::instance::{Instance, Item};
+use std::fmt::Write as _;
+use std::io;
+
+fn bad(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("instance file line {line_no}: {msg}"),
+    )
+}
+
+/// Serialize an instance to the text format.
+pub fn write_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", inst.name);
+    let _ = writeln!(out, "{} {}", inst.n(), inst.capacity);
+    for it in &inst.items {
+        let _ = writeln!(out, "{} {}", it.weight, it.profit);
+    }
+    out
+}
+
+/// Parse the text format. The instance name is taken from a leading
+/// `# name` comment if present.
+pub fn read_instance(text: &str) -> io::Result<Instance> {
+    let mut name = String::from("unnamed");
+    let mut header: Option<(usize, u64)> = None;
+    let mut items: Vec<Item> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(c) = line.strip_prefix('#') {
+            if header.is_none() && name == "unnamed" && !c.trim().is_empty() {
+                name = c.trim().to_string();
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(bad(line_no, "expected exactly two numbers"));
+        };
+        match header {
+            None => {
+                let n: usize = a.parse().map_err(|_| bad(line_no, "bad item count"))?;
+                let cap: u64 = b.parse().map_err(|_| bad(line_no, "bad capacity"))?;
+                if n > 1_000_000 {
+                    return Err(bad(line_no, "absurd item count"));
+                }
+                header = Some((n, cap));
+            }
+            Some((n, _)) => {
+                if items.len() == n {
+                    return Err(bad(line_no, "more items than declared"));
+                }
+                let weight: u64 = a.parse().map_err(|_| bad(line_no, "bad weight"))?;
+                let profit: u64 = b.parse().map_err(|_| bad(line_no, "bad profit"))?;
+                if weight == 0 {
+                    return Err(bad(line_no, "zero-weight item"));
+                }
+                items.push(Item { weight, profit });
+            }
+        }
+    }
+    let (n, capacity) = header.ok_or_else(|| bad(0, "empty file"))?;
+    if items.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared {n} items, found {}", items.len()),
+        ));
+    }
+    Ok(Instance {
+        items,
+        capacity,
+        name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let inst = Instance::uncorrelated(20, 50, 9);
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# my instance\n\n2 10\n# an item\n3 4\n\n5 6\n";
+        let inst = read_instance(text).unwrap();
+        assert_eq!(inst.name, "my instance");
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.capacity, 10);
+        assert_eq!(inst.items[1], Item { weight: 5, profit: 6 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(read_instance("").is_err());
+        assert!(read_instance("2 10\n1 1\n").is_err()); // too few items
+        assert!(read_instance("1 10\n1 1\n2 2\n").is_err()); // too many
+        assert!(read_instance("x 10\n").is_err());
+        assert!(read_instance("1 10\n0 5\n").is_err()); // zero weight
+        assert!(read_instance("1 10\n1 2 3\n").is_err()); // three columns
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(n in 0usize..40, r in 1u64..100, seed: u64) {
+            let inst = Instance::weakly_correlated(n.max(1), r, seed);
+            let back = read_instance(&write_instance(&inst)).unwrap();
+            proptest::prop_assert_eq!(back, inst);
+        }
+
+        #[test]
+        fn prop_parser_total(text in "[ -~\\n]{0,256}") {
+            let _ = read_instance(&text);
+        }
+    }
+}

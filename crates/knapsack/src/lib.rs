@@ -1,0 +1,32 @@
+//! `knapsack` — the paper's workload: 0-1 knapsack by branch-and-bound
+//! with master-slave self-scheduling (§4.3-4.4).
+//!
+//! Layers:
+//!
+//! * [`instance`] — problem generators, including the paper's
+//!   normalized no-pruning instance;
+//! * [`node`] / [`seq`] — the branch operation and the sequential
+//!   solver (the speedup baseline);
+//! * [`dp`] — dynamic-programming ground truth for validation;
+//! * [`par`] — the parallel algorithm over `gridmpi` (real threads and
+//!   sockets, through the Nexus Proxy where configured);
+//! * [`sim`] — the same algorithm as `netsim` actors in virtual time,
+//!   which regenerates Tables 4-6;
+//! * [`stats`] — per-rank statistics and the Tables 5/6 summaries;
+//! * [`fileformat`] — the instance data file the master reads (staged
+//!   via GASS in the RMF deployment).
+
+pub mod dp;
+pub mod fileformat;
+pub mod instance;
+pub mod node;
+pub mod par;
+pub mod seq;
+pub mod sim;
+pub mod stats;
+
+pub use instance::{Instance, Item};
+pub use node::{branch_once, BranchCounters, Node};
+pub use par::{run as par_run, ParParams};
+pub use seq::{solve as seq_solve, SolveMode};
+pub use stats::{GroupSummary, RankStats, RunResult};

@@ -1,0 +1,202 @@
+//! Search-tree nodes and the branch operation.
+//!
+//! The paper (§4.3): "Each node of a search tree is represented by a
+//! set of *index*, *value*, and *capacity*. Here, index is the index of
+//! the first item which is not fixed yet, value is the sum of the
+//! profits of items which are already fixed to 1 … The search tree is
+//! represented by a stack onto which nodes are pushed."
+
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A search-tree node. `capacity` is the *remaining* capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub index: u32,
+    pub value: u64,
+    pub capacity: u64,
+}
+
+impl Node {
+    pub fn root(inst: &Instance) -> Node {
+        Node {
+            index: 0,
+            value: 0,
+            capacity: inst.capacity,
+        }
+    }
+
+    /// Wire size of one node in the parallel protocol (3×u64 fields,
+    /// big-endian — index widened for alignment).
+    pub const WIRE_BYTES: u64 = 24;
+
+    /// Greedy fractional upper bound on the best completion of this
+    /// node. Requires items sorted by profit/weight ratio descending
+    /// to be admissible *and* tight; on unsorted items it falls back
+    /// to the (weaker, still admissible) remaining-profit sum.
+    pub fn upper_bound(&self, inst: &Instance, sorted: bool) -> u64 {
+        let mut bound = self.value;
+        if !sorted {
+            for it in &inst.items[self.index as usize..] {
+                bound += it.profit;
+            }
+            return bound;
+        }
+        let mut cap = self.capacity;
+        for it in &inst.items[self.index as usize..] {
+            if it.weight <= cap {
+                cap -= it.weight;
+                bound += it.profit;
+            } else {
+                // Fractional fill of the critical item.
+                bound += it.profit * cap / it.weight;
+                break;
+            }
+        }
+        bound
+    }
+}
+
+/// Statistics of a branch run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchCounters {
+    /// Nodes popped (the paper's "traversed nodes").
+    pub traversed: u64,
+    /// Nodes discarded by the bound test.
+    pub pruned: u64,
+    /// Complete assignments evaluated.
+    pub leaves: u64,
+}
+
+/// The branch operation (§4.3): pop a node, check it, push its
+/// children. `best` is updated in place. Returns `false` if the stack
+/// was empty.
+///
+/// With `prune == false` the bound test is skipped — the paper's
+/// normalized configuration where the entire space is traced.
+#[inline]
+pub fn branch_once(
+    inst: &Instance,
+    stack: &mut Vec<Node>,
+    best: &mut u64,
+    prune: bool,
+    sorted: bool,
+    counters: &mut BranchCounters,
+) -> bool {
+    let Some(node) = stack.pop() else {
+        return false;
+    };
+    counters.traversed += 1;
+
+    let n = inst.n() as u32;
+    if node.index == n {
+        counters.leaves += 1;
+        if node.value > *best {
+            *best = node.value;
+        }
+        return true;
+    }
+    if prune {
+        if node.value > *best {
+            // A partial assignment is itself a feasible solution
+            // (remaining items set to 0).
+            *best = node.value;
+        }
+        if node.upper_bound(inst, sorted) <= *best {
+            counters.pruned += 1;
+            return true;
+        }
+    }
+    let item = inst.items[node.index as usize];
+    // Exclude-child first so the include-child is explored first
+    // (LIFO), which finds good solutions early.
+    stack.push(Node {
+        index: node.index + 1,
+        value: node.value,
+        capacity: node.capacity,
+    });
+    if item.weight <= node.capacity {
+        stack.push(Node {
+            index: node.index + 1,
+            value: node.value + item.profit,
+            capacity: node.capacity - item.weight,
+        });
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_node() {
+        let inst = Instance::no_pruning(5);
+        let r = Node::root(&inst);
+        assert_eq!(r.index, 0);
+        assert_eq!(r.value, 0);
+        assert_eq!(r.capacity, inst.capacity);
+    }
+
+    #[test]
+    fn branch_generates_children() {
+        let inst = Instance::no_pruning(3);
+        let mut stack = vec![Node::root(&inst)];
+        let mut best = 0;
+        let mut c = BranchCounters::default();
+        assert!(branch_once(&inst, &mut stack, &mut best, false, false, &mut c));
+        // Everything fits: two children.
+        assert_eq!(stack.len(), 2);
+        assert_eq!(c.traversed, 1);
+        // Include-child on top.
+        assert_eq!(stack.last().unwrap().value, inst.items[0].profit);
+    }
+
+    #[test]
+    fn infeasible_include_is_not_pushed() {
+        let inst = Instance {
+            items: vec![crate::instance::Item { weight: 10, profit: 5 }],
+            capacity: 3,
+            name: "tight".into(),
+        };
+        let mut stack = vec![Node::root(&inst)];
+        let mut best = 0;
+        let mut c = BranchCounters::default();
+        branch_once(&inst, &mut stack, &mut best, false, false, &mut c);
+        assert_eq!(stack.len(), 1); // only the exclude child
+    }
+
+    #[test]
+    fn empty_stack_returns_false() {
+        let inst = Instance::no_pruning(2);
+        let mut stack = Vec::new();
+        let mut best = 0;
+        let mut c = BranchCounters::default();
+        assert!(!branch_once(&inst, &mut stack, &mut best, false, false, &mut c));
+        assert_eq!(c.traversed, 0);
+    }
+
+    #[test]
+    fn bound_is_admissible_on_sorted_items() {
+        // Upper bound at the root must be >= the optimum.
+        let inst = Instance::uncorrelated(12, 30, 5).sorted_by_ratio();
+        let root_bound = Node::root(&inst).upper_bound(&inst, true);
+        let (opt, _) = crate::seq::solve(&inst, crate::seq::SolveMode::Prune { sorted: true });
+        assert!(root_bound >= opt, "bound {root_bound} < opt {opt}");
+    }
+
+    #[test]
+    fn leaf_updates_best() {
+        let inst = Instance::no_pruning(1);
+        let mut stack = vec![Node {
+            index: 1,
+            value: 42,
+            capacity: 0,
+        }];
+        let mut best = 0;
+        let mut c = BranchCounters::default();
+        branch_once(&inst, &mut stack, &mut best, false, false, &mut c);
+        assert_eq!(best, 42);
+        assert_eq!(c.leaves, 1);
+    }
+}

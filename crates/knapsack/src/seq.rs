@@ -1,0 +1,104 @@
+//! Sequential stack-based branch-and-bound — the baseline the paper
+//! runs on RWCP-Sun to compute speedups.
+
+use crate::instance::Instance;
+use crate::node::{branch_once, BranchCounters, Node};
+
+/// Whether and how to prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// No bound test: the entire space is traced (the paper's
+    /// normalized configuration).
+    Exhaustive,
+    /// Bound test on. `sorted` asserts items are ratio-sorted so the
+    /// greedy fractional bound applies.
+    Prune { sorted: bool },
+}
+
+/// Solve sequentially; returns `(optimal value, counters)`.
+pub fn solve(inst: &Instance, mode: SolveMode) -> (u64, BranchCounters) {
+    let (prune, sorted) = match mode {
+        SolveMode::Exhaustive => (false, false),
+        SolveMode::Prune { sorted } => (true, sorted),
+    };
+    let mut stack = Vec::with_capacity(inst.n() + 1);
+    stack.push(Node::root(inst));
+    let mut best = 0u64;
+    let mut counters = BranchCounters::default();
+    while branch_once(inst, &mut stack, &mut best, prune, sorted, &mut counters) {}
+    (best, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+
+    #[test]
+    fn exhaustive_traverses_full_tree_on_normalized_instance() {
+        for n in [1usize, 4, 10, 14] {
+            let inst = Instance::no_pruning(n);
+            let (best, c) = solve(&inst, SolveMode::Exhaustive);
+            assert_eq!(c.traversed, Instance::full_tree_nodes(n), "n={n}");
+            assert_eq!(best, inst.total_profit(), "n={n}");
+            assert_eq!(c.pruned, 0);
+            assert_eq!(c.leaves, 1u64 << n);
+        }
+    }
+
+    #[test]
+    fn pruning_agrees_with_exhaustive() {
+        for seed in 0..5 {
+            let inst = Instance::uncorrelated(16, 40, seed).sorted_by_ratio();
+            let (a, ca) = solve(&inst, SolveMode::Exhaustive);
+            let (b, cb) = solve(&inst, SolveMode::Prune { sorted: true });
+            assert_eq!(a, b, "seed {seed}");
+            assert!(cb.traversed <= ca.traversed, "pruning should not add work");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dp_ground_truth() {
+        for seed in 0..8 {
+            let inst = Instance::weakly_correlated(14, 25, seed).sorted_by_ratio();
+            let dp_opt = dp::solve(&inst);
+            let (bb_opt, _) = solve(&inst, SolveMode::Prune { sorted: true });
+            assert_eq!(bb_opt, dp_opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trivial_instances() {
+        let empty = Instance {
+            items: vec![],
+            capacity: 10,
+            name: "empty".into(),
+        };
+        assert_eq!(solve(&empty, SolveMode::Exhaustive).0, 0);
+
+        let nothing_fits = Instance {
+            items: vec![crate::instance::Item { weight: 99, profit: 5 }; 4],
+            capacity: 1,
+            name: "tight".into(),
+        };
+        assert_eq!(solve(&nothing_fits, SolveMode::Exhaustive).0, 0);
+    }
+
+    proptest::proptest! {
+        /// B&B (both modes) equals DP on random instances — the core
+        /// correctness property.
+        #[test]
+        fn prop_bb_equals_dp(
+            n in 1usize..12,
+            r in 1u64..40,
+            seed in proptest::num::u64::ANY,
+        ) {
+            let inst = Instance::uncorrelated(n, r, seed).sorted_by_ratio();
+            let truth = dp::solve(&inst);
+            let (a, _) = solve(&inst, SolveMode::Exhaustive);
+            let (b, _) = solve(&inst, SolveMode::Prune { sorted: true });
+            proptest::prop_assert_eq!(a, truth);
+            proptest::prop_assert_eq!(b, truth);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Virtual-time master-slave knapsack: the same self-scheduling
+//! algorithm as [`crate::par`], run as `netsim` actors so wide-area
+//! timing (WAN latency, the Nexus Proxy relays, heterogeneous CPU
+//! rates) shapes the execution — this is the driver behind the
+//! paper's Tables 4-6.
+//!
+//! Compute is modelled by charging `ops / cpu_rate` virtual seconds
+//! per branch batch; the search itself is executed for real, so node
+//! counts, steal dynamics and the final optimum are exact, not
+//! approximated.
+
+use crate::instance::Instance;
+use crate::node::{branch_once, BranchCounters, Node};
+use crate::stats::{RankStats, RunResult};
+use netsim::prelude::*;
+use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, SimProxyEnv};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Scheduling parameters (mirrors [`crate::par::ParParams`]).
+pub type SimParams = crate::par::ParParams;
+
+/// Typed messages of the simulated protocol.
+#[derive(Debug, Clone)]
+enum KMsg {
+    Steal { best: u64 },
+    Nodes { best: u64, nodes: Vec<Node> },
+    Back { best: u64, nodes: Vec<Node> },
+    Done,
+    Stats(Box<RankStats>),
+}
+
+impl KMsg {
+    /// Declared wire size (drives timing).
+    fn wire_size(&self) -> u64 {
+        match self {
+            KMsg::Steal { .. } => 16,
+            KMsg::Nodes { nodes, .. } | KMsg::Back { nodes, .. } => {
+                16 + nodes.len() as u64 * Node::WIRE_BYTES
+            }
+            KMsg::Done => 8,
+            KMsg::Stats(_) => 64,
+        }
+    }
+}
+
+/// Cross-actor coordination and result channel.
+#[derive(Default)]
+pub struct SimShared {
+    master_addr: Option<(NodeId, u16)>,
+    pub result: Option<RunResult>,
+}
+
+pub type Shared = Arc<Mutex<SimShared>>;
+
+const WORK: u64 = 1;
+const POLL: u64 = 2;
+
+/// The master actor (rank 0).
+pub struct MasterActor {
+    inst: Arc<Instance>,
+    params: SimParams,
+    nx: NxClient,
+    shared: Shared,
+    group: String,
+    nslaves: usize,
+    stack: Vec<Node>,
+    best: u64,
+    counters: BranchCounters,
+    steals_served: u64,
+    pending: Vec<FlowId>,
+    slave_flows: Vec<FlowId>,
+    working: bool,
+    finished: bool,
+    reports: Vec<RankStats>,
+    started_at: SimTime,
+}
+
+impl MasterActor {
+    pub fn new(
+        inst: Arc<Instance>,
+        params: SimParams,
+        env: SimProxyEnv,
+        shared: Shared,
+        group: impl Into<String>,
+        nslaves: usize,
+    ) -> Self {
+        let stack = vec![Node::root(&inst)];
+        MasterActor {
+            inst,
+            params,
+            nx: NxClient::new(env),
+            shared,
+            group: group.into(),
+            nslaves,
+            stack,
+            best: 0,
+            counters: BranchCounters::default(),
+            steals_served: 0,
+            pending: Vec::new(),
+            slave_flows: Vec::new(),
+            working: false,
+            finished: false,
+            reports: Vec::new(),
+            started_at: SimTime::ZERO,
+        }
+    }
+
+    fn schedule_work(&mut self, ctx: &mut Ctx<'_>, after: SimDuration) {
+        if !self.working {
+            self.working = true;
+            ctx.set_timer(after, WORK);
+        }
+    }
+
+    fn serve_pending(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.pending.is_empty() && !self.stack.is_empty() {
+            let flow = self.pending.remove(0);
+            let take = (self.params.steal_unit as usize).min(self.stack.len());
+            let at = self.stack.len() - take;
+            let shipped: Vec<Node> = self.stack.split_off(at);
+            let msg = KMsg::Nodes {
+                best: self.best,
+                nodes: shipped,
+            };
+            let size = msg.wire_size();
+            let _ = ctx.send(flow, size, msg);
+            self.steals_served += 1;
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.finished
+            || self.working
+            || !self.stack.is_empty()
+            || self.slave_flows.len() != self.nslaves
+            || self.pending.len() != self.nslaves
+        {
+            return;
+        }
+        self.finished = true;
+        for &f in &self.slave_flows.clone() {
+            let msg = KMsg::Done;
+            let size = msg.wire_size();
+            let _ = ctx.send(f, size, msg);
+        }
+        if self.nslaves == 0 {
+            self.publish(ctx);
+        }
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_>) {
+        let mut ranks = vec![RankStats {
+            rank: 0,
+            host: ctx.host_name().to_string(),
+            group: self.group.clone(),
+            traversed: self.counters.traversed,
+            steals: self.steals_served,
+            back_sends: 0,
+            local_best: self.best,
+        }];
+        ranks.append(&mut self.reports);
+        ranks.sort_by_key(|r| r.rank);
+        let best = ranks.iter().map(|r| r.local_best).max().unwrap_or(0);
+        self.shared.lock().result = Some(RunResult {
+            best,
+            elapsed_secs: ctx.now().since(self.started_at).as_secs_f64(),
+            ranks,
+        });
+        ctx.stop_simulation();
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, d: Delivery) {
+        let flow = d.flow;
+        match d.expect::<KMsg>() {
+            KMsg::Steal { best } => {
+                self.best = self.best.max(best);
+                self.pending.push(flow);
+                self.serve_pending(ctx);
+                self.maybe_finish(ctx);
+            }
+            KMsg::Back { best, nodes } => {
+                self.best = self.best.max(best);
+                self.stack.extend(nodes);
+                self.serve_pending(ctx);
+                if !self.stack.is_empty() {
+                    self.schedule_work(ctx, SimDuration::ZERO);
+                }
+            }
+            KMsg::Stats(rs) => {
+                self.reports.push(*rs);
+                if self.reports.len() == self.nslaves {
+                    self.publish(ctx);
+                }
+            }
+            other => panic!("master got unexpected {other:?}"),
+        }
+    }
+
+    /// Proxy-layer events can surface from either raw callback (a
+    /// `Bound`/`ConnectRep` is itself a message), so both funnel here.
+    fn handle_nx(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Bound { advertised }) => {
+                self.shared.lock().master_addr = Some(advertised);
+            }
+            NxHandled::Event(NxEvent::Accepted { flow }) => {
+                self.slave_flows.push(flow);
+            }
+            NxHandled::Event(NxEvent::BindFailed) => panic!("master bind failed"),
+            NxHandled::Data(d) => self.handle_data(ctx, d),
+            _ => {}
+        }
+    }
+}
+
+impl Actor for MasterActor {
+    fn name(&self) -> &str {
+        "knapsack-master"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started_at = ctx.now();
+        if let Some(adv) = self.nx.bind(ctx) {
+            self.shared.lock().master_addr = Some(adv);
+        }
+        self.schedule_work(ctx, SimDuration::ZERO);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != WORK {
+            return;
+        }
+        self.working = false;
+        let rate = ctx.cpu_rate().max(1.0);
+        let mut ops: u32 = 0;
+        while ops < self.params.interval
+            && branch_once(
+                &self.inst,
+                &mut self.stack,
+                &mut self.best,
+                self.params.prune,
+                self.params.sorted,
+                &mut self.counters,
+            )
+        {
+            ops += 1;
+        }
+        self.serve_pending(ctx);
+        if ops > 0 {
+            let cost = SimDuration::from_secs_f64(f64::from(ops) / rate);
+            self.schedule_work(ctx, cost);
+        } else {
+            self.maybe_finish(ctx);
+        }
+    }
+
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle_nx(ctx, h);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle_nx(ctx, h);
+    }
+}
+
+/// A slave actor.
+pub struct SlaveActor {
+    inst: Arc<Instance>,
+    params: SimParams,
+    nx: NxClient,
+    shared: Shared,
+    rank: u32,
+    group: String,
+    stack: Vec<Node>,
+    best: u64,
+    counters: BranchCounters,
+    steal_requests: u64,
+    back_sends: u64,
+    master: Option<FlowId>,
+    working: bool,
+}
+
+impl SlaveActor {
+    pub fn new(
+        inst: Arc<Instance>,
+        params: SimParams,
+        env: SimProxyEnv,
+        shared: Shared,
+        rank: u32,
+        group: impl Into<String>,
+    ) -> Self {
+        SlaveActor {
+            inst,
+            params,
+            nx: NxClient::new(env),
+            shared,
+            rank,
+            group: group.into(),
+            stack: Vec::new(),
+            best: 0,
+            counters: BranchCounters::default(),
+            steal_requests: 0,
+            back_sends: 0,
+            master: None,
+            working: false,
+        }
+    }
+
+    fn send_steal(&mut self, ctx: &mut Ctx<'_>) {
+        let flow = self.master.expect("steal before connect");
+        let msg = KMsg::Steal { best: self.best };
+        let size = msg.wire_size();
+        let _ = ctx.send(flow, size, msg);
+        self.steal_requests += 1;
+    }
+}
+
+impl Actor for SlaveActor {
+    fn name(&self) -> &str {
+        "knapsack-slave"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), POLL);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            POLL => {
+                let addr = self.shared.lock().master_addr;
+                match addr {
+                    Some(dst) => self.nx.connect(ctx, dst, 0),
+                    None => ctx.set_timer(SimDuration::from_millis(1), POLL),
+                }
+            }
+            WORK => {
+                self.working = false;
+                let rate = ctx.cpu_rate().max(1.0);
+                let mut ops: u32 = 0;
+                while ops < self.params.interval
+                    && branch_once(
+                        &self.inst,
+                        &mut self.stack,
+                        &mut self.best,
+                        self.params.prune,
+                        self.params.sorted,
+                        &mut self.counters,
+                    )
+                {
+                    ops += 1;
+                }
+                let threshold = crate::par::effective_back_threshold(&self.params);
+                // Return bottom (largest-subtree) nodes when holding
+                // too much estimated work; see `par::slave`.
+                let take = crate::par::back_send_count(
+                    &self.stack,
+                    self.inst.n(),
+                    threshold,
+                    self.params.back_unit,
+                );
+                if take > 0 {
+                    let surplus: Vec<Node> = self.stack.drain(..take).collect();
+                    let msg = KMsg::Back {
+                        best: self.best,
+                        nodes: surplus,
+                    };
+                    let size = msg.wire_size();
+                    let _ = ctx.send(self.master.unwrap(), size, msg);
+                    self.back_sends += 1;
+                }
+                let cost = SimDuration::from_secs_f64(f64::from(ops.max(1)) / rate);
+                if self.stack.is_empty() {
+                    // Charge the last partial batch, then steal.
+                    self.send_steal(ctx);
+                } else {
+                    self.working = true;
+                    ctx.set_timer(cost, WORK);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle_nx(ctx, h);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle_nx(ctx, h);
+    }
+}
+
+impl SlaveActor {
+    /// See `MasterActor::handle_nx` for why both callbacks funnel here.
+    fn handle_nx(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        let d = match h {
+            NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                self.master = Some(flow);
+                self.send_steal(ctx);
+                return;
+            }
+            NxHandled::Event(NxEvent::Refused { .. }) => {
+                panic!("slave {} could not reach the master", self.rank)
+            }
+            NxHandled::Data(d) => d,
+            _ => return,
+        };
+        match d.expect::<KMsg>() {
+            KMsg::Nodes { best, nodes } => {
+                self.best = self.best.max(best);
+                self.stack.extend(nodes);
+                if !self.working {
+                    self.working = true;
+                    ctx.set_timer(SimDuration::ZERO, WORK);
+                }
+            }
+            KMsg::Done => {
+                let rs = RankStats {
+                    rank: self.rank,
+                    host: ctx.host_name().to_string(),
+                    group: self.group.clone(),
+                    traversed: self.counters.traversed,
+                    steals: self.steal_requests,
+                    back_sends: self.back_sends,
+                    local_best: self.best,
+                };
+                let msg = KMsg::Stats(Box::new(rs));
+                let size = msg.wire_size();
+                let _ = ctx.send(self.master.unwrap(), size, msg);
+            }
+            other => panic!("slave got unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::{NetConfig, Simulator};
+
+    /// One open site, a master host and `k` slave hosts with the given
+    /// relative CPU rates.
+    fn run_sim(n_items: usize, slave_rates: &[f64], params: SimParams) -> RunResult {
+        let mut topo = Topology::new();
+        let site = topo.add_site("lab", None);
+        let sw = topo.add_switch("sw", site);
+        let master_host = topo.add_host_with_cpu("master", site, 2e5, 1);
+        topo.add_link(master_host, sw, SimDuration::from_micros(100), 6.5e6);
+        let mut slave_hosts = Vec::new();
+        for (i, &rate) in slave_rates.iter().enumerate() {
+            let h = topo.add_host_with_cpu(format!("slave{i}"), site, rate, 1);
+            topo.add_link(h, sw, SimDuration::from_micros(100), 6.5e6);
+            slave_hosts.push(h);
+        }
+        let inst = Arc::new(Instance::no_pruning(n_items));
+        let shared: Shared = Arc::default();
+        let mut sim = Simulator::new(topo, NetConfig::default(), 42);
+        sim.spawn(
+            master_host,
+            Box::new(MasterActor::new(
+                inst.clone(),
+                params,
+                SimProxyEnv::direct(),
+                shared.clone(),
+                "Master",
+                slave_rates.len(),
+            )),
+        );
+        for (i, &h) in slave_hosts.iter().enumerate() {
+            sim.spawn(
+                h,
+                Box::new(SlaveActor::new(
+                    inst.clone(),
+                    params,
+                    SimProxyEnv::direct(),
+                    shared.clone(),
+                    (i + 1) as u32,
+                    "Slaves",
+                )),
+            );
+        }
+        sim.run();
+        let result = shared.lock().result.clone();
+        result.expect("simulation did not produce a result")
+    }
+
+    fn fast_params() -> SimParams {
+        SimParams {
+            interval: 256,
+            steal_unit: 8,
+            ..SimParams::default()
+        }
+    }
+
+    /// The paper's regime: work-per-steal must dwarf communication
+    /// latency, which held on 2000-era CPUs. 2e5 nodes/s approximates
+    /// that balance at our scaled-down tree sizes.
+    const ERA_RATE: f64 = 2e5;
+
+    #[test]
+    fn sim_covers_entire_tree_and_finds_optimum() {
+        let n = 12;
+        let rr = run_sim(n, &[ERA_RATE, ERA_RATE], fast_params());
+        let inst = Instance::no_pruning(n);
+        assert_eq!(rr.best, inst.total_profit());
+        assert_eq!(rr.total_traversed(), Instance::full_tree_nodes(n));
+        assert!(rr.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn more_slaves_run_faster() {
+        let n = 20;
+        let t1 = run_sim(n, &[ERA_RATE], fast_params()).elapsed_secs;
+        let t4 = run_sim(n, &[ERA_RATE; 4], fast_params()).elapsed_secs;
+        assert!(
+            t4 < t1 * 0.65,
+            "4 slaves ({t4:.3}s) should beat 1 slave ({t1:.3}s)"
+        );
+    }
+
+    #[test]
+    fn equal_slaves_get_balanced_work() {
+        let rr = run_sim(20, &[ERA_RATE; 4], fast_params());
+        let counts: Vec<u64> = rr
+            .ranks
+            .iter()
+            .filter(|r| r.rank != 0)
+            .map(|r| r.traversed)
+            .collect();
+        let (mx, mn) = (
+            *counts.iter().max().unwrap(),
+            *counts.iter().min().unwrap(),
+        );
+        assert!(
+            mx as f64 / (mn.max(1) as f64) < 5.0,
+            "imbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_rates_balance_dynamically() {
+        // A 4x faster slave should both traverse more nodes and steal
+        // more often — self-scheduling adapts without static
+        // partitioning.
+        let rr = run_sim(20, &[4.0 * ERA_RATE, ERA_RATE], fast_params());
+        let fast = rr.ranks.iter().find(|r| r.host == "slave0").unwrap();
+        let slow = rr.ranks.iter().find(|r| r.host == "slave1").unwrap();
+        assert!(
+            fast.traversed > slow.traversed,
+            "faster slave should do more work: {} vs {}",
+            fast.traversed,
+            slow.traversed
+        );
+        assert!(fast.steals >= slow.steals);
+        // And the heterogeneous pair beats the homogeneous-slow pair.
+        let slow_pair = run_sim(20, &[ERA_RATE, ERA_RATE], fast_params());
+        assert!(rr.elapsed_secs < slow_pair.elapsed_secs);
+    }
+
+    #[test]
+    fn master_with_no_slaves_solves_alone() {
+        let rr = run_sim(10, &[], fast_params());
+        assert_eq!(rr.best, Instance::no_pruning(10).total_profit());
+        assert_eq!(rr.total_traversed(), Instance::full_tree_nodes(10));
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let a = run_sim(12, &[1e6, 2e6], fast_params());
+        let b = run_sim(12, &[1e6, 2e6], fast_params());
+        assert_eq!(a.elapsed_secs, b.elapsed_secs);
+        assert_eq!(a.ranks, b.ranks);
+    }
+}

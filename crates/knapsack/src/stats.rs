@@ -1,0 +1,124 @@
+//! Per-rank run statistics and the cluster-level summaries of the
+//! paper's Tables 5 (steal counts) and 6 (traversed nodes).
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics one rank reports at the end of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    pub rank: u32,
+    /// Logical host the rank ran on (keys the per-cluster grouping).
+    pub host: String,
+    /// Cluster/system label, e.g. "RWCP-Sun", "COMPaS", "ETL-O2K".
+    pub group: String,
+    /// Nodes popped from the stack (Table 6).
+    pub traversed: u64,
+    /// Steal requests issued (slaves) or served (master) — Table 5.
+    pub steals: u64,
+    /// Surplus node shipments sent back to the master.
+    pub back_sends: u64,
+    /// Best value this rank had seen when it finished.
+    pub local_best: u64,
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    pub best: u64,
+    /// Wall (real runs) or virtual (simulated runs) seconds.
+    pub elapsed_secs: f64,
+    pub ranks: Vec<RankStats>,
+}
+
+/// Max/min/average triple for one group of ranks — one cell block of
+/// Tables 5/6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    pub max: u64,
+    pub min: u64,
+    pub avg: f64,
+    pub count: usize,
+}
+
+impl RunResult {
+    pub fn total_traversed(&self) -> u64 {
+        self.ranks.iter().map(|r| r.traversed).sum()
+    }
+
+    pub fn master(&self) -> Option<&RankStats> {
+        self.ranks.iter().find(|r| r.rank == 0)
+    }
+
+    /// Summarize a metric over the *slave* ranks of one group.
+    pub fn group_summary(&self, group: &str, metric: impl Fn(&RankStats) -> u64) -> Option<GroupSummary> {
+        let vals: Vec<u64> = self
+            .ranks
+            .iter()
+            .filter(|r| r.rank != 0 && r.group == group)
+            .map(metric)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let max = *vals.iter().max().unwrap();
+        let min = *vals.iter().min().unwrap();
+        let avg = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
+        Some(GroupSummary {
+            max,
+            min,
+            avg,
+            count: vals.len(),
+        })
+    }
+
+    /// Distinct slave groups in rank order.
+    pub fn groups(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in &self.ranks {
+            if r.rank != 0 && !out.contains(&r.group) {
+                out.push(r.group.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rank: u32, group: &str, traversed: u64, steals: u64) -> RankStats {
+        RankStats {
+            rank,
+            host: format!("h{rank}"),
+            group: group.into(),
+            traversed,
+            steals,
+            back_sends: 0,
+            local_best: 0,
+        }
+    }
+
+    #[test]
+    fn group_summaries() {
+        let rr = RunResult {
+            best: 10,
+            elapsed_secs: 1.0,
+            ranks: vec![
+                rs(0, "RWCP-Sun", 100, 50), // master: excluded from groups
+                rs(1, "RWCP-Sun", 10, 5),
+                rs(2, "COMPaS", 30, 9),
+                rs(3, "COMPaS", 20, 3),
+            ],
+        };
+        assert_eq!(rr.total_traversed(), 160);
+        assert_eq!(rr.master().unwrap().steals, 50);
+        let g = rr.group_summary("COMPaS", |r| r.traversed).unwrap();
+        assert_eq!((g.max, g.min, g.count), (30, 20, 2));
+        assert!((g.avg - 25.0).abs() < 1e-9);
+        let s = rr.group_summary("COMPaS", |r| r.steals).unwrap();
+        assert_eq!((s.max, s.min), (9, 3));
+        assert!(rr.group_summary("ETL-O2K", |r| r.traversed).is_none());
+        assert_eq!(rr.groups(), vec!["RWCP-Sun".to_string(), "COMPaS".to_string()]);
+    }
+}

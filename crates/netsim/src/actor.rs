@@ -1,0 +1,124 @@
+//! Actors: the processes of a simulation.
+//!
+//! Every daemon and application process from the paper (outer/inner
+//! proxy servers, gatekeeper, Q servers, knapsack master and slaves…)
+//! is an [`Actor`] installed on a host. Actors are single-threaded
+//! state machines driven by the engine: they react to timers, flow
+//! events and message deliveries, and act on the world exclusively
+//! through the [`Ctx`] handed to each callback.
+
+use crate::flow::{CloseReason, FlowId, RefuseReason};
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::any::Any;
+
+/// Index of an actor in the simulator's registry.
+pub type ActorId = usize;
+
+/// Message payload: timing is driven by the declared byte size; the
+/// typed content rides along for the receiving actor to downcast. This
+/// is the standard DES trick — we account for serialization cost
+/// without actually serializing.
+pub type Payload = Box<dyn Any + Send>;
+
+/// A delivered message.
+pub struct Delivery {
+    pub flow: FlowId,
+    /// Payload size in bytes as declared by the sender (drives timing).
+    pub size: u64,
+    pub payload: Payload,
+    pub sent_at: SimTime,
+}
+
+impl Delivery {
+    /// Downcast the payload, panicking with a useful message on type
+    /// confusion (a bug in the protocol wiring, not a runtime input).
+    pub fn expect<T: 'static>(self) -> T {
+        *self
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("unexpected payload type on flow {:?}", self.flow))
+    }
+
+    /// Non-consuming typed view.
+    pub fn peek<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+/// Connection lifecycle notifications.
+#[derive(Debug)]
+pub enum FlowEvent {
+    /// A connect you initiated completed. `token` is the value you
+    /// passed to [`Ctx::connect`].
+    Connected {
+        flow: FlowId,
+        token: u64,
+        peer: (NodeId, u16),
+    },
+    /// A connect you initiated failed.
+    Refused {
+        token: u64,
+        peer: (NodeId, u16),
+        reason: RefuseReason,
+    },
+    /// A peer connected to one of your listening ports.
+    Accepted {
+        flow: FlowId,
+        listen_port: u16,
+        peer: (NodeId, u16),
+    },
+    /// A flow you were party to ended.
+    Closed { flow: FlowId, reason: CloseReason },
+}
+
+/// A simulated process.
+///
+/// All callbacks default to no-ops so simple actors implement only what
+/// they need.
+pub trait Actor: Send {
+    /// Called once at simulation start (or on spawn for actors created
+    /// mid-run).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A timer set with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// A connection lifecycle event occurred.
+    fn on_flow(&mut self, _ctx: &mut Ctx<'_>, _ev: FlowEvent) {}
+
+    /// A message arrived on one of your flows.
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Delivery) {}
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+/// Error returned by [`Ctx::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    UnknownFlow,
+    NotEstablished,
+    NotYourFlow,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SendError::UnknownFlow => "unknown flow",
+            SendError::NotEstablished => "flow not established",
+            SendError::NotYourFlow => "actor is not a party to this flow",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// The world handle passed to actor callbacks.
+///
+/// Implemented in `engine.rs`; re-exported here so actor code reads
+/// naturally (`use netsim::actor::{Actor, Ctx}`).
+pub use crate::engine::Ctx;

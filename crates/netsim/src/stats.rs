@@ -1,0 +1,114 @@
+//! Run statistics: per-link, per-flow and global counters, collected by
+//! the engine as a side effect of event processing.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkId;
+
+/// Per-link, per-direction accounting. Direction 0 is a→b.
+#[derive(Debug, Default, Clone)]
+pub struct LinkStats {
+    pub wire_bytes: [u64; 2],
+    pub chunks: [u64; 2],
+    /// Cumulative serialization (busy) time.
+    pub busy: [SimDuration; 2],
+}
+
+impl LinkStats {
+    /// Utilization of one direction over a horizon (0..=1, can exceed 1
+    /// only through accounting error — asserted against in tests).
+    pub fn utilization(&self, dir: usize, horizon: SimDuration) -> f64 {
+        if horizon.nanos() == 0 {
+            return 0.0;
+        }
+        self.busy[dir].nanos() as f64 / horizon.nanos() as f64
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.wire_bytes[0] + self.wire_bytes[1]
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    links: Vec<LinkStats>,
+    pub events_processed: u64,
+    pub messages_sent: u64,
+    pub messages_delivered: u64,
+    pub messages_filtered: u64,
+    pub payload_bytes_delivered: u64,
+    pub flows_opened: u64,
+    pub flows_refused: u64,
+    pub flows_closed: u64,
+    /// Sum of message delivery latencies, for a quick mean.
+    pub latency_sum: SimDuration,
+}
+
+impl Stats {
+    pub fn ensure_links(&mut self, n: usize) {
+        if self.links.len() < n {
+            self.links.resize(n, LinkStats::default());
+        }
+    }
+
+    pub fn link(&self, id: LinkId) -> &LinkStats {
+        &self.links[id.0 as usize]
+    }
+
+    pub fn link_mut(&mut self, id: LinkId) -> &mut LinkStats {
+        &mut self.links[id.0 as usize]
+    }
+
+    pub fn record_chunk(&mut self, id: LinkId, dir: usize, wire_bytes: u64, ser: SimDuration) {
+        let l = self.link_mut(id);
+        l.wire_bytes[dir] += wire_bytes;
+        l.chunks[dir] += 1;
+        l.busy[dir] = l.busy[dir] + ser;
+    }
+
+    pub fn record_delivery(&mut self, payload_bytes: u64, sent_at: SimTime, now: SimTime) {
+        self.messages_delivered += 1;
+        self.payload_bytes_delivered += payload_bytes;
+        self.latency_sum = self.latency_sum + now.since(sent_at);
+    }
+
+    /// Mean end-to-end message latency.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        self.latency_sum
+            .nanos()
+            .checked_div(self.messages_delivered)
+            .map(SimDuration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_accounting() {
+        let mut s = Stats::default();
+        s.ensure_links(2);
+        s.record_chunk(LinkId(1), 0, 1500, SimDuration::from_micros(120));
+        s.record_chunk(LinkId(1), 0, 1500, SimDuration::from_micros(120));
+        s.record_chunk(LinkId(1), 1, 60, SimDuration::from_micros(5));
+        let l = s.link(LinkId(1));
+        assert_eq!(l.wire_bytes[0], 3000);
+        assert_eq!(l.chunks[0], 2);
+        assert_eq!(l.wire_bytes[1], 60);
+        assert_eq!(l.total_bytes(), 3060);
+        let u = l.utilization(0, SimDuration::from_millis(1));
+        assert!((u - 0.24).abs() < 1e-9, "{u}");
+        assert_eq!(l.utilization(0, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let mut s = Stats::default();
+        assert!(s.mean_latency().is_none());
+        s.record_delivery(10, SimTime(0), SimTime(1000));
+        s.record_delivery(10, SimTime(0), SimTime(3000));
+        assert_eq!(s.mean_latency().unwrap().nanos(), 2000);
+        assert_eq!(s.payload_bytes_delivered, 20);
+    }
+}

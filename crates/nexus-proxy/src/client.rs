@@ -1,0 +1,154 @@
+//! The client library of Table 1: `NXProxyConnect`, `NXProxyBind`,
+//! `NXProxyAccept` — drop-in replacements for `connect(2)`, `bind(2)`
+//! and `accept(2)` that route through the Nexus Proxy when one is
+//! configured, and fall back to plain (guarded) sockets otherwise —
+//! exactly the behaviour the paper describes for the patched Globus:
+//! "a communication utilizes the Nexus Proxy system when environment
+//! variables `NEXUS_PROXY_OUTER_SERVER` and `NEXUS_PROXY_INNER_SERVER`
+//! are defined; otherwise, the original communication is done."
+
+use crate::protocol::Msg;
+use firewall::vnet::{VListener, VNet};
+use std::io;
+use std::net::TcpStream;
+
+/// Proxy configuration for a client process — the stand-in for the two
+/// environment variables.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyEnv {
+    /// `NEXUS_PROXY_OUTER_SERVER`: logical `(host, ctrl_port)`.
+    pub outer: Option<(String, u16)>,
+}
+
+impl ProxyEnv {
+    pub fn direct() -> Self {
+        ProxyEnv { outer: None }
+    }
+
+    pub fn via(outer_host: impl Into<String>, ctrl_port: u16) -> Self {
+        ProxyEnv {
+            outer: Some((outer_host.into(), ctrl_port)),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.outer.is_some()
+    }
+}
+
+/// `NXProxyConnect`: "sends a connect request to the outer server and
+/// returns a file descriptor on which the client can communicate with
+/// the destination process."
+///
+/// When the destination address already *names the outer server* (a
+/// rendezvous address produced by [`nx_proxy_bind`] on the remote
+/// side), we connect straight to it — the rendezvous port is reachable
+/// by construction, and wrapping it in another `ConnectReq` would pump
+/// the bytes through the outer server twice.
+pub fn nx_proxy_connect(
+    net: &VNet,
+    env: &ProxyEnv,
+    from_host: &str,
+    dst: (&str, u16),
+) -> io::Result<TcpStream> {
+    let Some((outer_host, ctrl_port)) = &env.outer else {
+        return net.dial(from_host, dst.0, dst.1);
+    };
+    if dst.0 == outer_host {
+        return net.dial(from_host, dst.0, dst.1);
+    }
+    let mut stream = net.dial(from_host, outer_host, *ctrl_port)?;
+    Msg::ConnectReq {
+        host: dst.0.to_string(),
+        port: dst.1,
+    }
+    .write_to(&mut stream)?;
+    match Msg::read_from(&mut stream)? {
+        Msg::ConnectRep { ok: true, .. } => Ok(stream),
+        Msg::ConnectRep { ok: false, detail } => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("outer server could not reach {}:{}: {detail}", dst.0, dst.1),
+        )),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected reply to ConnectReq",
+        )),
+    }
+}
+
+/// The result of `NXProxyBind`: a listening endpoint plus the address
+/// remote peers must use to reach it.
+pub struct NxListener {
+    /// Where peers should connect: the rendezvous address on the outer
+    /// server (proxied) or the private address itself (direct).
+    pub advertised: (String, u16),
+    private: VListener,
+    /// Keeps the rendezvous registration alive; closing it withdraws
+    /// the rendezvous port on the outer server.
+    _ctrl: Option<TcpStream>,
+}
+
+impl NxListener {
+    /// Wrap an already-bound listener without any proxy registration:
+    /// the advertised address is the private address itself. Used for
+    /// direct and port-range (Globus 1.1) modes.
+    pub fn direct(private: VListener) -> NxListener {
+        let advertised = private.logical_addr();
+        NxListener {
+            advertised,
+            private,
+            _ctrl: None,
+        }
+    }
+
+    /// `NXProxyAccept`: "tries to accept a connection request" on the
+    /// endpoint returned by `NXProxyBind`. Relayed peers arrive here
+    /// via the inner server.
+    pub fn accept(&self) -> io::Result<TcpStream> {
+        self.private.accept().map(|(s, _)| s)
+    }
+
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        self.private.set_nonblocking(nb)
+    }
+
+    /// The private (intra-site) address the inner server dials.
+    pub fn private_addr(&self) -> (String, u16) {
+        self.private.logical_addr()
+    }
+}
+
+/// `NXProxyBind`: "sends a bind request to the outer server and returns
+/// a file descriptor on which the client can listen for requests."
+pub fn nx_proxy_bind(net: &VNet, env: &ProxyEnv, host: &str) -> io::Result<NxListener> {
+    let private = net.bind(host, 0)?;
+    let Some((outer_host, ctrl_port)) = &env.outer else {
+        let advertised = private.logical_addr();
+        return Ok(NxListener {
+            advertised,
+            private,
+            _ctrl: None,
+        });
+    };
+    let mut ctrl = net.dial(host, outer_host, *ctrl_port)?;
+    Msg::BindReq {
+        host: host.to_string(),
+        port: private.logical_port(),
+    }
+    .write_to(&mut ctrl)?;
+    match Msg::read_from(&mut ctrl)? {
+        Msg::BindRep { rdv_port } if rdv_port != 0 => Ok(NxListener {
+            advertised: (outer_host.clone(), rdv_port),
+            private,
+            _ctrl: Some(ctrl),
+        }),
+        Msg::BindRep { .. } => Err(io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "outer server could not allocate a rendezvous port",
+        )),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected reply to BindReq",
+        )),
+    }
+}

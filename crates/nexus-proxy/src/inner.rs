@@ -1,0 +1,122 @@
+//! The inner server: runs *inside* the firewall and completes passive
+//! relays. It listens on `nxport` — the one inbound port the paper's
+//! deny-based policy opens, bound privileged so only root can
+//! impersonate it — and, for each `RelayReq` from the outer server,
+//! dials the registered client on the LAN and bridges the streams
+//! (Fig. 4 steps 4-5).
+
+use crate::protocol::Msg;
+use crate::pump::{pump_detached, DEFAULT_CHUNK};
+use crate::stats::{ProxyStats, ProxySnapshot};
+use firewall::vnet::VNet;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Inner server configuration.
+#[derive(Debug, Clone)]
+pub struct InnerConfig {
+    /// Logical host the server runs on (inside the firewall).
+    pub host: String,
+    /// The relay port (the firewall hole). Defaults to
+    /// [`firewall::NXPORT`].
+    pub nxport: u16,
+    pub chunk: usize,
+}
+
+impl InnerConfig {
+    pub fn new(host: impl Into<String>) -> Self {
+        InnerConfig {
+            host: host.into(),
+            nxport: firewall::NXPORT,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+}
+
+/// A running inner server. Dropping the handle shuts it down.
+pub struct InnerServer {
+    cfg: InnerConfig,
+    stats: Arc<ProxyStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl InnerServer {
+    pub fn start(net: VNet, cfg: InnerConfig) -> io::Result<InnerServer> {
+        let listener = net.bind(&cfg.host, cfg.nxport)?;
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(ProxyStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let t_stats = stats.clone();
+        let t_shutdown = shutdown.clone();
+        let t_cfg = cfg.clone();
+        let accept_thread = thread::spawn(move || {
+            let listener = listener;
+            while !t_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let net = net.clone();
+                        let cfg = t_cfg.clone();
+                        let stats = t_stats.clone();
+                        thread::spawn(move || handle_relay(net, cfg, stats, stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(InnerServer {
+            cfg,
+            stats,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn stats(&self) -> ProxySnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Logical address of the relay port (what the outer server dials).
+    pub fn nxport_addr(&self) -> (String, u16) {
+        (self.cfg.host.clone(), self.cfg.nxport)
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for InnerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_relay(net: VNet, cfg: InnerConfig, stats: Arc<ProxyStats>, mut from_outer: TcpStream) {
+    match Msg::read_from(&mut from_outer) {
+        Ok(Msg::RelayReq { host, port }) => match net.dial(&cfg.host, &host, port) {
+            Ok(client) => {
+                if (Msg::RelayRep { ok: true }).write_to(&mut from_outer).is_ok() {
+                    ProxyStats::bump(&stats.relays_ok);
+                    pump_detached(from_outer, client, cfg.chunk, stats);
+                }
+            }
+            Err(_) => {
+                ProxyStats::bump(&stats.relays_failed);
+                let _ = Msg::RelayRep { ok: false }.write_to(&mut from_outer);
+            }
+        },
+        _ => { /* protocol error: drop */ }
+    }
+}

@@ -1,0 +1,38 @@
+//! `nexus-proxy` — the Nexus Proxy: TCP relaying beyond a deny-based
+//! firewall (the paper's §3).
+//!
+//! The proxy consists of two daemons:
+//!
+//! * the **outer server**, outside the firewall, which accepts relay
+//!   requests from inside clients (outbound connections are allowed)
+//!   and from remote peers (it is publicly reachable);
+//! * the **inner server**, inside the firewall, listening on the single
+//!   opened inbound port (`nxport`, privileged), which completes
+//!   *passive* relays by dialing the registered client on the LAN.
+//!
+//! Unlike SOCKS, the scheme supports **passive opens**: `NXProxyBind`
+//! publishes a rendezvous port on the outer server, and arriving peers
+//! are bridged peer → outer → inner → client. That is the property the
+//! paper needed and SOCKS lacks.
+//!
+//! Two interchangeable implementations live here:
+//!
+//! * **real sockets** ([`outer`], [`inner`], [`client`]) — daemons as
+//!   threads over the firewall-guarded loopback [`firewall::vnet`];
+//! * **virtual time** ([`sim`]) — the same protocol as `netsim` actors
+//!   with an explicit relay cost model, used for the wide-area
+//!   experiments.
+
+pub mod client;
+pub mod inner;
+pub mod outer;
+pub mod protocol;
+pub mod pump;
+pub mod sim;
+pub mod stats;
+
+pub use client::{nx_proxy_bind, nx_proxy_connect, NxListener, ProxyEnv};
+pub use inner::{InnerConfig, InnerServer};
+pub use outer::{OuterConfig, OuterServer};
+pub use protocol::Msg;
+pub use stats::{ProxySnapshot, ProxyStats};

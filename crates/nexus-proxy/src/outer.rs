@@ -1,0 +1,293 @@
+//! The outer server: runs *outside* the firewall (in the paper, on a
+//! Sun Ultra 80 in RWCP's DMZ) and relays TCP on behalf of inside
+//! clients.
+//!
+//! * Active opens (Fig. 3): a client sends `ConnectReq`; the outer
+//!   server dials the target and bridges the two streams.
+//! * Passive opens (Fig. 4): a client registers with `BindReq`; the
+//!   outer server allocates a *rendezvous* port, and every peer that
+//!   connects to it is bridged to the client through the inner server
+//!   (reached via the single `nxport` firewall hole).
+
+use crate::protocol::Msg;
+use crate::pump::{pump_detached, DEFAULT_CHUNK};
+use crate::stats::{ProxyStats, ProxySnapshot};
+use firewall::vnet::VNet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Outer server configuration.
+#[derive(Debug, Clone)]
+pub struct OuterConfig {
+    /// Logical host the server runs on (must be outside the firewall).
+    pub host: String,
+    /// Control port clients connect to.
+    pub ctrl_port: u16,
+    /// Logical address of the inner server (`host`, `nxport`). `None`
+    /// disables passive relaying through an inner server: peers of a
+    /// bound client are dialed back directly (only possible when no
+    /// firewall protects the client).
+    pub inner: Option<(String, u16)>,
+    /// Relay buffer size.
+    pub chunk: usize,
+}
+
+impl OuterConfig {
+    pub fn new(host: impl Into<String>) -> Self {
+        OuterConfig {
+            host: host.into(),
+            ctrl_port: firewall::OUTER_PORT,
+            inner: None,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    pub fn with_inner(mut self, host: impl Into<String>, nxport: u16) -> Self {
+        self.inner = Some((host.into(), nxport));
+        self
+    }
+}
+
+/// A running outer server. Dropping the handle shuts it down.
+pub struct OuterServer {
+    cfg: OuterConfig,
+    stats: Arc<ProxyStats>,
+    shutdown: Arc<AtomicBool>,
+    /// Rendezvous registry: rdv port → client private endpoint.
+    rdv: Arc<Mutex<HashMap<u16, (String, u16)>>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl OuterServer {
+    /// Bind the control port and start serving.
+    pub fn start(net: VNet, cfg: OuterConfig) -> io::Result<OuterServer> {
+        let listener = net.bind(&cfg.host, cfg.ctrl_port)?;
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(ProxyStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let rdv = Arc::new(Mutex::new(HashMap::new()));
+
+        let ctx = ServerCtx {
+            net,
+            cfg: cfg.clone(),
+            stats: stats.clone(),
+            shutdown: shutdown.clone(),
+            rdv: rdv.clone(),
+        };
+        let accept_thread = thread::spawn(move || {
+            // Keep the listener alive for the server's lifetime.
+            let listener = listener;
+            while !ctx.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        ProxyStats::bump(&ctx.stats.control_accepts);
+                        let c = ctx.clone();
+                        thread::spawn(move || c.handle_control(stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(OuterServer {
+            cfg,
+            stats,
+            shutdown,
+            rdv,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn stats(&self) -> ProxySnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Logical control address clients should use.
+    pub fn ctrl_addr(&self) -> (String, u16) {
+        (self.cfg.host.clone(), self.cfg.ctrl_port)
+    }
+
+    /// Currently registered rendezvous ports (diagnostics).
+    pub fn rendezvous_ports(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.rdv.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for OuterServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// State shared by handler threads.
+#[derive(Clone)]
+struct ServerCtx {
+    net: VNet,
+    cfg: OuterConfig,
+    stats: Arc<ProxyStats>,
+    shutdown: Arc<AtomicBool>,
+    rdv: Arc<Mutex<HashMap<u16, (String, u16)>>>,
+}
+
+impl ServerCtx {
+    fn handle_control(&self, mut stream: TcpStream) {
+        match Msg::read_from(&mut stream) {
+            Ok(Msg::ConnectReq { host, port }) => self.handle_connect(stream, host, port),
+            Ok(Msg::BindReq { host, port }) => self.handle_bind(stream, host, port),
+            _ => { /* protocol error or EOF: drop the connection */ }
+        }
+    }
+
+    /// Fig. 3: dial the target on the client's behalf and bridge.
+    fn handle_connect(&self, mut client: TcpStream, host: String, port: u16) {
+        match self.net.dial(&self.cfg.host, &host, port) {
+            Ok(target) => {
+                if (Msg::ConnectRep {
+                    ok: true,
+                    detail: String::new(),
+                })
+                .write_to(&mut client)
+                .is_ok()
+                {
+                    ProxyStats::bump(&self.stats.connects_ok);
+                    pump_detached(client, target, self.cfg.chunk, self.stats.clone());
+                }
+            }
+            Err(e) => {
+                ProxyStats::bump(&self.stats.connects_failed);
+                let _ = Msg::ConnectRep {
+                    ok: false,
+                    detail: e.to_string(),
+                }
+                .write_to(&mut client);
+            }
+        }
+    }
+
+    /// Fig. 4 steps 1-2: allocate a rendezvous port for the client and
+    /// relay arriving peers through the inner server. The registration
+    /// lives as long as the client keeps its control connection open.
+    fn handle_bind(&self, mut ctrl: TcpStream, client_host: String, client_port: u16) {
+        let listener = match self.net.bind(&self.cfg.host, 0) {
+            Ok(l) => l,
+            Err(_) => {
+                let _ = Msg::BindRep { rdv_port: 0 }.write_to(&mut ctrl);
+                return;
+            }
+        };
+        if listener.set_nonblocking(true).is_err() {
+            let _ = Msg::BindRep { rdv_port: 0 }.write_to(&mut ctrl);
+            return;
+        }
+        let rdv_port = listener.logical_port();
+        // Register before acknowledging, so a client that acts on the
+        // BindRep immediately observes a live rendezvous.
+        self.rdv
+            .lock()
+            .insert(rdv_port, (client_host.clone(), client_port));
+        ProxyStats::bump(&self.stats.binds);
+        if (Msg::BindRep { rdv_port }).write_to(&mut ctrl).is_err() {
+            self.rdv.lock().remove(&rdv_port);
+            return;
+        }
+
+        // Watch the control connection: EOF ends the registration.
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = done.clone();
+            let mut ctrl = ctrl;
+            thread::spawn(move || {
+                let mut scratch = [0u8; 16];
+                loop {
+                    match io::Read::read(&mut ctrl, &mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => { /* clients don't speak after bind */ }
+                    }
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+
+        // Accept peers on the rendezvous port.
+        let ctx = self.clone();
+        thread::spawn(move || {
+            let listener = listener; // owned: drop unregisters
+            while !done.load(Ordering::Relaxed) && !ctx.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((peer, _)) => {
+                        peer.set_nonblocking(false).ok();
+                        ctx.bridge_peer(peer, &client_host, client_port);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Unbind before withdrawing the registry entry so that
+            // observers who see the port gone can rely on new dials
+            // failing.
+            drop(listener);
+            ctx.rdv.lock().remove(&rdv_port);
+        });
+    }
+
+    /// Fig. 4 steps 4-5: a peer arrived; reach the client through the
+    /// inner server (or directly when no inner server is configured).
+    fn bridge_peer(&self, peer: TcpStream, client_host: &str, client_port: u16) {
+        let inward = match &self.cfg.inner {
+            Some((inner_host, nxport)) => {
+                self.net
+                    .dial(&self.cfg.host, inner_host, *nxport)
+                    .and_then(|mut inner| {
+                        Msg::RelayReq {
+                            host: client_host.to_string(),
+                            port: client_port,
+                        }
+                        .write_to(&mut inner)?;
+                        match Msg::read_from(&mut inner)? {
+                            Msg::RelayRep { ok: true } => Ok(inner),
+                            Msg::RelayRep { ok: false } => Err(io::Error::new(
+                                io::ErrorKind::ConnectionRefused,
+                                "inner server could not reach client",
+                            )),
+                            _ => Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "unexpected inner reply",
+                            )),
+                        }
+                    })
+            }
+            None => self.net.dial(&self.cfg.host, client_host, client_port),
+        };
+        match inward {
+            Ok(inward) => {
+                ProxyStats::bump(&self.stats.relays_ok);
+                pump_detached(peer, inward, self.cfg.chunk, self.stats.clone());
+            }
+            Err(_) => {
+                ProxyStats::bump(&self.stats.relays_failed);
+                // Dropping `peer` resets the rendezvous connection.
+            }
+        }
+    }
+}

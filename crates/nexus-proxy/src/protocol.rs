@@ -1,0 +1,305 @@
+//! Wire protocol of the Nexus Proxy (real-socket implementation).
+//!
+//! Control messages are length-prefixed frames:
+//!
+//! ```text
+//! +--------+------+------------------+
+//! | u32 BE | u8   | body             |
+//! | length | type | (type-specific)  |
+//! +--------+------+------------------+
+//! ```
+//!
+//! `length` covers the type byte and body. Once a relay is negotiated
+//! the stream leaves framed mode and both directions become an opaque
+//! byte pipe (the relay copies, never parses — like the original).
+//!
+//! The message set mirrors the paper's §3:
+//!
+//! * `ConnectReq`/`ConnectRep` — active open (`NXProxyConnect`, Fig. 3);
+//! * `BindReq`/`BindRep` — passive registration (`NXProxyBind`, Fig. 4
+//!   steps 1-2);
+//! * `RelayReq`/`RelayRep` — outer→inner completion of a passive open
+//!   (Fig. 4 step 4).
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a control frame; anything larger is a protocol error
+/// (relay *data* is never framed, so this only bounds control traffic).
+pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// A control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Client → outer: connect me to `host:port` and start relaying.
+    ConnectReq { host: String, port: u16 },
+    /// Outer → client: dial outcome. On `ok`, the stream is now a pipe.
+    ConnectRep { ok: bool, detail: String },
+    /// Client → outer: I listen privately at `host:port`; allocate a
+    /// rendezvous port on yourself and relay peers to me.
+    BindReq { host: String, port: u16 },
+    /// Outer → client: rendezvous port allocated (0 = failure).
+    BindRep { rdv_port: u16 },
+    /// Outer → inner: a peer arrived for the client privately listening
+    /// at `host:port`; dial it and bridge.
+    RelayReq { host: String, port: u16 },
+    /// Inner → outer: dial outcome. On `ok`, the stream is now a pipe.
+    RelayRep { ok: bool },
+}
+
+const T_CONNECT_REQ: u8 = 1;
+const T_CONNECT_REP: u8 = 2;
+const T_BIND_REQ: u8 = 3;
+const T_BIND_REP: u8 = 4;
+const T_RELAY_REQ: u8 = 5;
+const T_RELAY_REP: u8 = 6;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf) -> io::Result<String> {
+    if buf.remaining() < 2 {
+        return Err(bad("truncated string length"));
+    }
+    let n = buf.get_u16() as usize;
+    if buf.remaining() < n {
+        return Err(bad("truncated string body"));
+    }
+    let mut v = vec![0u8; n];
+    buf.copy_to_slice(&mut v);
+    String::from_utf8(v).map_err(|_| bad("non-utf8 string"))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl Msg {
+    /// Encode into a framed byte buffer.
+    pub fn encode(&self) -> BytesMut {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            Msg::ConnectReq { host, port } => {
+                body.put_u8(T_CONNECT_REQ);
+                put_str(&mut body, host);
+                body.put_u16(*port);
+            }
+            Msg::ConnectRep { ok, detail } => {
+                body.put_u8(T_CONNECT_REP);
+                body.put_u8(u8::from(*ok));
+                put_str(&mut body, detail);
+            }
+            Msg::BindReq { host, port } => {
+                body.put_u8(T_BIND_REQ);
+                put_str(&mut body, host);
+                body.put_u16(*port);
+            }
+            Msg::BindRep { rdv_port } => {
+                body.put_u8(T_BIND_REP);
+                body.put_u16(*rdv_port);
+            }
+            Msg::RelayReq { host, port } => {
+                body.put_u8(T_RELAY_REQ);
+                put_str(&mut body, host);
+                body.put_u16(*port);
+            }
+            Msg::RelayRep { ok } => {
+                body.put_u8(T_RELAY_REP);
+                body.put_u8(u8::from(*ok));
+            }
+        }
+        let mut framed = BytesMut::with_capacity(4 + body.len());
+        framed.put_u32(body.len() as u32);
+        framed.extend_from_slice(&body);
+        framed
+    }
+
+    /// Decode one frame body (without the length prefix).
+    pub fn decode(mut body: &[u8]) -> io::Result<Msg> {
+        if body.is_empty() {
+            return Err(bad("empty frame"));
+        }
+        let t = body.get_u8();
+        let msg = match t {
+            T_CONNECT_REQ => {
+                let host = get_str(&mut body)?;
+                if body.remaining() < 2 {
+                    return Err(bad("truncated port"));
+                }
+                Msg::ConnectReq {
+                    host,
+                    port: body.get_u16(),
+                }
+            }
+            T_CONNECT_REP => {
+                if body.remaining() < 1 {
+                    return Err(bad("truncated ok flag"));
+                }
+                let ok = body.get_u8() != 0;
+                Msg::ConnectRep {
+                    ok,
+                    detail: get_str(&mut body)?,
+                }
+            }
+            T_BIND_REQ => {
+                let host = get_str(&mut body)?;
+                if body.remaining() < 2 {
+                    return Err(bad("truncated port"));
+                }
+                Msg::BindReq {
+                    host,
+                    port: body.get_u16(),
+                }
+            }
+            T_BIND_REP => {
+                if body.remaining() < 2 {
+                    return Err(bad("truncated rdv port"));
+                }
+                Msg::BindRep {
+                    rdv_port: body.get_u16(),
+                }
+            }
+            T_RELAY_REQ => {
+                let host = get_str(&mut body)?;
+                if body.remaining() < 2 {
+                    return Err(bad("truncated port"));
+                }
+                Msg::RelayReq {
+                    host,
+                    port: body.get_u16(),
+                }
+            }
+            T_RELAY_REP => {
+                if body.remaining() < 1 {
+                    return Err(bad("truncated ok flag"));
+                }
+                Msg::RelayRep {
+                    ok: body.get_u8() != 0,
+                }
+            }
+            other => return Err(bad(&format!("unknown message type {other}"))),
+        };
+        if body.has_remaining() {
+            return Err(bad("trailing bytes in frame"));
+        }
+        Ok(msg)
+    }
+
+    /// Write one framed message to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let framed = self.encode();
+        w.write_all(&framed)?;
+        w.flush()
+    }
+
+    /// Read one framed message from a stream.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Msg> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_be_bytes(len);
+        if len == 0 || len > MAX_FRAME {
+            return Err(bad(&format!("bad frame length {len}")));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Msg::decode(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Msg) {
+        let framed = m.encode();
+        let len = u32::from_be_bytes(framed[0..4].try_into().unwrap());
+        assert_eq!(len as usize, framed.len() - 4);
+        let decoded = Msg::decode(&framed[4..]).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Msg::ConnectReq {
+            host: "etl-sun".into(),
+            port: 5001,
+        });
+        roundtrip(Msg::ConnectRep {
+            ok: true,
+            detail: String::new(),
+        });
+        roundtrip(Msg::ConnectRep {
+            ok: false,
+            detail: "firewall dropped".into(),
+        });
+        roundtrip(Msg::BindReq {
+            host: "rwcp-sun".into(),
+            port: 40001,
+        });
+        roundtrip(Msg::BindRep { rdv_port: 6001 });
+        roundtrip(Msg::BindRep { rdv_port: 0 });
+        roundtrip(Msg::RelayReq {
+            host: "compas0".into(),
+            port: 40002,
+        });
+        roundtrip(Msg::RelayRep { ok: true });
+    }
+
+    #[test]
+    fn stream_read_write() {
+        let mut buf = Vec::new();
+        let msgs = vec![
+            Msg::ConnectReq {
+                host: "a".into(),
+                port: 1,
+            },
+            Msg::RelayRep { ok: false },
+        ];
+        for m in &msgs {
+            m.write_to(&mut buf).unwrap();
+        }
+        let mut cur = std::io::Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(&Msg::read_from(&mut cur).unwrap(), m);
+        }
+        // EOF afterwards.
+        assert!(Msg::read_from(&mut cur).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Msg::decode(&[]).is_err());
+        assert!(Msg::decode(&[99]).is_err());
+        // Truncated string.
+        assert!(Msg::decode(&[T_CONNECT_REQ, 0, 5, b'a']).is_err());
+        // Trailing bytes.
+        let mut f = Msg::RelayRep { ok: true }.encode();
+        f.put_u8(0xFF);
+        assert!(Msg::decode(&f[4..]).is_err());
+        // Oversized frame length.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        buf.push(T_RELAY_REP);
+        let mut cur = std::io::Cursor::new(buf);
+        assert!(Msg::read_from(&mut cur).is_err());
+    }
+
+    proptest::proptest! {
+        /// Any (host, port) survives an encode/decode round trip in
+        /// every host-carrying message.
+        #[test]
+        fn prop_roundtrip_hosts(host in "[a-zA-Z0-9.-]{0,64}", port: u16) {
+            roundtrip(Msg::ConnectReq { host: host.clone(), port });
+            roundtrip(Msg::BindReq { host: host.clone(), port });
+            roundtrip(Msg::RelayReq { host, port });
+        }
+
+        /// Random bytes never panic the decoder.
+        #[test]
+        fn prop_decoder_total(bytes in proptest::collection::vec(0u8..=255, 0..128)) {
+            let _ = Msg::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The inner server as a simulation actor.
+
+use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
+use netsim::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Accepted from the outer server; waiting for `RelayReq`.
+    AwaitRelayReq,
+    /// Dialing the client; the map value in `dials` holds the outer leg.
+    Relayed,
+}
+
+/// The inner server actor. Spawn it on a host *inside* the firewall;
+/// it listens on `nxport` — the single inbound hole.
+pub struct SimInnerServer {
+    nxport: u16,
+    relay: RelayCore,
+    roles: HashMap<FlowId, Role>,
+    /// connect token → outer-side flow awaiting completion.
+    dials: HashMap<u64, FlowId>,
+    next_token: u64,
+}
+
+impl SimInnerServer {
+    pub fn new(nxport: u16, model: RelayModel) -> Self {
+        SimInnerServer {
+            nxport,
+            relay: RelayCore::new(model),
+            roles: HashMap::new(),
+            dials: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    pub fn forwarded(&self) -> u64 {
+        self.relay.forwarded
+    }
+}
+
+impl Actor for SimInnerServer {
+    fn name(&self) -> &str {
+        "inner-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.nxport)
+            .expect("inner server nxport in use");
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == RELAY_TIMER {
+            self.relay.on_timer(ctx);
+        }
+    }
+
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        match ev {
+            FlowEvent::Accepted { flow, .. } => {
+                self.roles.insert(flow, Role::AwaitRelayReq);
+            }
+            FlowEvent::Connected { flow, token, .. } => {
+                if let Some(outer_leg) = self.dials.remove(&token) {
+                    // Reached the client: confirm to the outer server
+                    // and bridge.
+                    self.roles.insert(outer_leg, Role::Relayed);
+                    self.roles.insert(flow, Role::Relayed);
+                    let _ = ctx.send(outer_leg, CTRL_MSG_BYTES, ProxyMsg::RelayRep { ok: true });
+                    self.relay.pair(ctx, outer_leg, flow);
+                }
+            }
+            FlowEvent::Refused { token, .. } => {
+                if let Some(outer_leg) = self.dials.remove(&token) {
+                    let _ = ctx.send(outer_leg, CTRL_MSG_BYTES, ProxyMsg::RelayRep { ok: false });
+                    ctx.close(outer_leg);
+                }
+            }
+            FlowEvent::Closed { flow, .. } => {
+                self.roles.remove(&flow);
+                if let Some(pair) = self.relay.on_closed(ctx, flow) {
+                    self.roles.remove(&pair);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let flow = msg.flow;
+        match self.roles.get(&flow).copied() {
+            Some(Role::AwaitRelayReq) => match msg.expect::<ProxyMsg>() {
+                ProxyMsg::RelayReq { client } => {
+                    ctx.trace(|| {
+                        format!("inner: RelayReq for client {client:?} on flow {}", flow.0)
+                    });
+                    let tok = self.next_token;
+                    self.next_token += 1;
+                    self.dials.insert(tok, flow);
+                    ctx.connect(client, tok);
+                }
+                other => {
+                    ctx.trace(|| format!("inner: unexpected {other:?}"));
+                    ctx.close(flow);
+                }
+            },
+            Some(Role::Relayed) => {
+                self.relay.on_data(ctx, flow, msg.size, msg.payload);
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The outer server as a simulation actor.
+
+use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
+use netsim::prelude::*;
+use std::collections::HashMap;
+
+/// Per-flow role tracking on the outer server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Accepted on the control port; waiting for the first request.
+    AwaitRequest,
+    /// Control connection that performed a bind; owns a rendezvous port.
+    BindControl { rdv_port: u16 },
+    /// A peer that connected to a rendezvous port; being bridged.
+    PeerPending,
+    /// Outbound leg toward the inner server; waiting for RelayRep.
+    AwaitRelayRep { peer: FlowId },
+    /// Fully relayed (either side).
+    Relayed,
+}
+
+/// What an in-flight `connect` of ours is for.
+enum Dial {
+    /// Active open on behalf of `client` (Fig. 3).
+    Target { client: FlowId },
+    /// Inner-server leg for a rendezvous `peer` (Fig. 4).
+    Inner { peer: FlowId, client: (NodeId, u16) },
+    /// Direct dial back to a bound client (no inner server configured).
+    DirectClient { peer: FlowId },
+}
+
+/// The outer server actor. Spawn it on a host *outside* the firewall.
+pub struct SimOuterServer {
+    ctrl_port: u16,
+    /// `(inner_host, nxport)`; `None` = dial bound clients directly.
+    inner: Option<(NodeId, u16)>,
+    relay: RelayCore,
+    roles: HashMap<FlowId, Role>,
+    /// rendezvous port → private endpoint of the registered client.
+    rdv: HashMap<u16, (NodeId, u16)>,
+    dials: HashMap<u64, Dial>,
+    next_token: u64,
+}
+
+impl SimOuterServer {
+    pub fn new(ctrl_port: u16, inner: Option<(NodeId, u16)>, model: RelayModel) -> Self {
+        SimOuterServer {
+            ctrl_port,
+            inner,
+            relay: RelayCore::new(model),
+            roles: HashMap::new(),
+            rdv: HashMap::new(),
+            dials: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Messages forwarded so far (diagnostics for tests/benches).
+    pub fn forwarded(&self) -> u64 {
+        self.relay.forwarded
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, msg: ProxyMsg) {
+        match msg {
+            ProxyMsg::ConnectReq { dst } => {
+                ctx.trace(|| format!("outer: ConnectReq flow={} -> {:?}", flow.0, dst));
+                let tok = self.token();
+                self.dials.insert(tok, Dial::Target { client: flow });
+                ctx.connect(dst, tok);
+            }
+            ProxyMsg::BindReq { client } => {
+                match ctx.listen(0) {
+                    Ok(port) => {
+                        ctx.trace(|| {
+                            format!("outer: BindReq client={client:?} -> rdv port {port}")
+                        });
+                        self.rdv.insert(port, client);
+                        self.roles.insert(flow, Role::BindControl { rdv_port: port });
+                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
+                    }
+                    Err(_) => {
+                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
+                    }
+                }
+            }
+            other => {
+                ctx.trace(|| format!("outer: unexpected request {other:?}"));
+                ctx.close(flow);
+            }
+        }
+    }
+}
+
+impl Actor for SimOuterServer {
+    fn name(&self) -> &str {
+        "outer-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.ctrl_port)
+            .expect("outer server control port in use");
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == RELAY_TIMER {
+            self.relay.on_timer(ctx);
+        }
+    }
+
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        match ev {
+            FlowEvent::Accepted {
+                flow, listen_port, ..
+            } => {
+                if listen_port == self.ctrl_port {
+                    self.roles.insert(flow, Role::AwaitRequest);
+                } else if let Some(&client) = self.rdv.get(&listen_port) {
+                    // Fig. 4 step 3: a peer hit the rendezvous port.
+                    self.roles.insert(flow, Role::PeerPending);
+                    let tok = self.token();
+                    match self.inner {
+                        Some(inner_addr) => {
+                            ctx.trace(|| {
+                                format!(
+                                    "outer: peer flow={} on rdv:{listen_port}, dialing inner",
+                                    flow.0
+                                )
+                            });
+                            self.dials.insert(tok, Dial::Inner { peer: flow, client });
+                            ctx.connect(inner_addr, tok);
+                        }
+                        None => {
+                            self.dials.insert(tok, Dial::DirectClient { peer: flow });
+                            ctx.connect(client, tok);
+                        }
+                    }
+                } else {
+                    // Rendezvous registration vanished between SYN and
+                    // accept: refuse by closing.
+                    ctx.close(flow);
+                }
+            }
+            FlowEvent::Connected { flow, token, .. } => match self.dials.remove(&token) {
+                Some(Dial::Target { client }) => {
+                    self.roles.insert(client, Role::Relayed);
+                    self.roles.insert(flow, Role::Relayed);
+                    let _ = ctx.send(client, CTRL_MSG_BYTES, ProxyMsg::ConnectRep { ok: true });
+                    self.relay.pair(ctx, client, flow);
+                }
+                Some(Dial::Inner { peer, client }) => {
+                    // Fig. 4 step 4: ask the inner server to complete.
+                    self.roles.insert(flow, Role::AwaitRelayRep { peer });
+                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::RelayReq { client });
+                }
+                Some(Dial::DirectClient { peer }) => {
+                    self.roles.insert(peer, Role::Relayed);
+                    self.roles.insert(flow, Role::Relayed);
+                    self.relay.pair(ctx, peer, flow);
+                }
+                None => ctx.close(flow),
+            },
+            FlowEvent::Refused { token, .. } => match self.dials.remove(&token) {
+                Some(Dial::Target { client }) => {
+                    let _ = ctx.send(client, CTRL_MSG_BYTES, ProxyMsg::ConnectRep { ok: false });
+                    ctx.close(client);
+                }
+                Some(Dial::Inner { peer, .. }) | Some(Dial::DirectClient { peer }) => {
+                    ctx.close(peer);
+                }
+                None => {}
+            },
+            FlowEvent::Closed { flow, .. } => {
+                if let Some(Role::BindControl { rdv_port }) = self.roles.remove(&flow) {
+                    // Registration lifetime = control connection lifetime.
+                    self.rdv.remove(&rdv_port);
+                    ctx.unlisten(rdv_port);
+                }
+                if let Some(pair) = self.relay.on_closed(ctx, flow) {
+                    self.roles.remove(&pair);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let flow = msg.flow;
+        match self.roles.get(&flow).copied() {
+            Some(Role::AwaitRequest) => {
+                let m = msg.expect::<ProxyMsg>();
+                self.handle_request(ctx, flow, m);
+            }
+            Some(Role::AwaitRelayRep { peer }) => match msg.expect::<ProxyMsg>() {
+                ProxyMsg::RelayRep { ok: true } => {
+                    // Fig. 4 step 5 complete: bridge peer ↔ inner leg.
+                    self.roles.insert(peer, Role::Relayed);
+                    self.roles.insert(flow, Role::Relayed);
+                    self.relay.pair(ctx, peer, flow);
+                }
+                _ => {
+                    ctx.close(peer);
+                    ctx.close(flow);
+                }
+            },
+            Some(Role::Relayed) | Some(Role::PeerPending) => {
+                // Opaque relay traffic (PeerPending: early data from an
+                // eager peer — buffered by the core until paired).
+                self.relay.on_data(ctx, flow, msg.size, msg.payload);
+            }
+            Some(Role::BindControl { .. }) => {
+                // Clients don't speak on a bind control connection.
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Relay accounting, shared between server threads via atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters kept by each proxy server (outer or inner).
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Bytes copied through the relay (both directions).
+    pub relayed_bytes: AtomicU64,
+    /// Control connections accepted.
+    pub control_accepts: AtomicU64,
+    /// Active opens relayed (ConnectReq handled successfully).
+    pub connects_ok: AtomicU64,
+    pub connects_failed: AtomicU64,
+    /// Passive registrations (BindReq handled).
+    pub binds: AtomicU64,
+    /// Passive relays completed (peer↔inner bridges established).
+    pub relays_ok: AtomicU64,
+    pub relays_failed: AtomicU64,
+}
+
+impl ProxyStats {
+    pub fn add_bytes(&self, n: u64) {
+        self.relayed_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ProxySnapshot {
+        ProxySnapshot {
+            relayed_bytes: self.relayed_bytes.load(Ordering::Relaxed),
+            control_accepts: self.control_accepts.load(Ordering::Relaxed),
+            connects_ok: self.connects_ok.load(Ordering::Relaxed),
+            connects_failed: self.connects_failed.load(Ordering::Relaxed),
+            binds: self.binds.load(Ordering::Relaxed),
+            relays_ok: self.relays_ok.load(Ordering::Relaxed),
+            relays_failed: self.relays_failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ProxyStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProxySnapshot {
+    pub relayed_bytes: u64,
+    pub control_accepts: u64,
+    pub connects_ok: u64,
+    pub connects_failed: u64,
+    pub binds: u64,
+    pub relays_ok: u64,
+    pub relays_failed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = ProxyStats::default();
+        s.add_bytes(100);
+        s.add_bytes(28);
+        ProxyStats::bump(&s.connects_ok);
+        ProxyStats::bump(&s.binds);
+        ProxyStats::bump(&s.binds);
+        let snap = s.snapshot();
+        assert_eq!(snap.relayed_bytes, 128);
+        assert_eq!(snap.connects_ok, 1);
+        assert_eq!(snap.binds, 2);
+        assert_eq!(snap.relays_failed, 0);
+    }
+}

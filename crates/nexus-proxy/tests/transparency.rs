@@ -1,0 +1,121 @@
+//! Property: the relay is byte-transparent. Whatever is written into
+//! one end of a relayed connection — any content, any write-chunking,
+//! either direction, active or passive open — comes out identically.
+
+use firewall::vnet::VNet;
+use firewall::{Policy, NXPORT, OUTER_PORT};
+use nexus_proxy::{
+    nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
+};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+struct World {
+    net: VNet,
+    _outer: OuterServer,
+    _inner: InnerServer,
+}
+
+fn world() -> World {
+    let net = VNet::new();
+    let rwcp = net.add_site("rwcp", Some(Policy::typical("rwcp")));
+    let dmz = net.add_site("dmz", None);
+    let etl = net.add_site("etl", None);
+    net.add_host("rwcp-sun", rwcp);
+    let inner_ref = net.add_host("rwcp-inner", rwcp);
+    net.add_host("rwcp-outer", dmz);
+    net.add_host("etl-sun", etl);
+    net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
+    let inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = OuterServer::start(
+        net.clone(),
+        OuterConfig::new("rwcp-outer").with_inner("rwcp-inner", NXPORT),
+    )
+    .unwrap();
+    World {
+        net,
+        _outer: outer,
+        _inner: inner,
+    }
+}
+
+/// Write `data` in the given chunk sizes (cycled), then shutdown-write.
+fn chunked_write(mut s: TcpStream, data: Vec<u8>, chunks: Vec<usize>) {
+    std::thread::spawn(move || {
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < data.len() {
+            let n = chunks[i % chunks.len()].max(1).min(data.len() - pos);
+            if s.write_all(&data[pos..pos + n]).is_err() {
+                return;
+            }
+            pos += n;
+            i += 1;
+        }
+        let _ = s.shutdown(std::net::Shutdown::Write);
+    });
+}
+
+fn read_all(mut s: TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+proptest! {
+    // Socket-heavy: keep the case count modest.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Passive relay (peer → outer → inner → client): arbitrary bytes
+    /// with arbitrary write chunking arrive intact, and the echoed
+    /// reverse direction too.
+    #[test]
+    fn prop_passive_relay_is_transparent(
+        data in proptest::collection::vec(any::<u8>(), 1..20_000),
+        chunks in proptest::collection::vec(1usize..4096, 1..6),
+    ) {
+        let w = world();
+        let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+        let listener = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+        let adv = listener.advertised.clone();
+        // Inside server echoes everything then closes.
+        let expected_len = data.len();
+        let srv = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut buf = vec![0u8; expected_len];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+            buf
+        });
+        let peer = w.net.dial("etl-sun", &adv.0, adv.1).unwrap();
+        let reader = peer.try_clone().unwrap();
+        chunked_write(peer, data.clone(), chunks);
+        let mut echoed = vec![0u8; expected_len];
+        let mut r = reader;
+        r.read_exact(&mut echoed).unwrap();
+        let received = srv.join().unwrap();
+        prop_assert_eq!(&received, &data);
+        prop_assert_eq!(&echoed, &data);
+    }
+
+    /// Active relay (client → outer → target): ditto.
+    #[test]
+    fn prop_active_relay_is_transparent(
+        data in proptest::collection::vec(any::<u8>(), 1..20_000),
+        chunks in proptest::collection::vec(1usize..4096, 1..6),
+    ) {
+        let w = world();
+        let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+        let l = w.net.bind("etl-sun", 0).unwrap();
+        let port = l.logical_port();
+        let srv = std::thread::spawn(move || {
+            let (s, _) = l.accept().unwrap();
+            read_all(s)
+        });
+        let s = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", port)).unwrap();
+        chunked_write(s, data.clone(), chunks);
+        let received = srv.join().unwrap();
+        prop_assert_eq!(&received, &data);
+    }
+}

@@ -1,0 +1,123 @@
+//! Message framing over byte streams.
+//!
+//! Nexus is message-oriented; TCP is a byte pipe. Frames are
+//! `u32`-length-prefixed blobs, written atomically per message. The
+//! relay never sees frame boundaries (it copies bytes), so framing
+//! survives arbitrary re-chunking — a property the proptest below pins.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one message (64 MiB): protects against corrupted length
+/// prefixes taking the process down with a giant allocation.
+pub const MAX_MSG: u32 = 64 * 1024 * 1024;
+
+/// Write one framed message.
+pub fn send_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "message too large"))?;
+    if len > MAX_MSG {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "message too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one framed message. `Ok(None)` on clean EOF at a frame
+/// boundary; errors on EOF mid-frame.
+pub fn recv_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_MSG {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds maximum"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, b"alpha").unwrap();
+        send_frame(&mut buf, b"").unwrap();
+        send_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(recv_frame(&mut cur).unwrap().unwrap(), b"alpha");
+        assert_eq!(recv_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(recv_frame(&mut cur).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(recv_frame(&mut cur).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn eof_mid_frame_is_error() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7); // cut into the payload
+        let mut cur = Cursor::new(buf);
+        assert!(recv_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_MSG + 1).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(recv_frame(&mut cur).is_err());
+    }
+
+    /// A reader that returns data in adversarially small pieces, to
+    /// emulate relay re-chunking.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    proptest::proptest! {
+        /// Framing is chunking-independent: any message sequence read
+        /// through any read granularity reproduces the messages.
+        #[test]
+        fn prop_rechunking_preserves_frames(
+            msgs in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 0..200), 0..10),
+            step in 1usize..17,
+        ) {
+            let mut buf = Vec::new();
+            for m in &msgs {
+                send_frame(&mut buf, m).unwrap();
+            }
+            let mut r = Dribble { data: &buf, pos: 0, step };
+            for m in &msgs {
+                let got = recv_frame(&mut r).unwrap().unwrap();
+                proptest::prop_assert_eq!(&got, m);
+            }
+            proptest::prop_assert!(recv_frame(&mut r).unwrap().is_none());
+        }
+    }
+}

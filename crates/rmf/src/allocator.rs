@@ -1,0 +1,427 @@
+//! The resource allocator: "manages computing resources and runs as a
+//! daemon process inside the firewall". Q clients ask it which
+//! resources should execute a job (Fig. 2 steps 3-4); Q servers report
+//! load changes back.
+
+use crate::job::FlowTrace;
+use crate::wire::Record;
+use firewall::vnet::VNet;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Well-known allocator port (a fixed inbound hole in the firewall,
+/// like the paper's Q-system channels).
+pub const ALLOCATOR_PORT: u16 = 2120;
+
+/// A managed resource (a cluster or supercomputer front-end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceInfo {
+    /// Public name, e.g. "COMPaS".
+    pub name: String,
+    /// Logical host running its Q server.
+    pub qserver_host: String,
+    /// Processors available.
+    pub cpus: u32,
+}
+
+/// Selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectPolicy {
+    /// Fill resources in least-loaded-fraction order (default).
+    LeastLoaded,
+    /// Fill in registration order.
+    FirstFit,
+}
+
+#[derive(Debug)]
+struct Entry {
+    info: ResourceInfo,
+    load: u32,
+}
+
+/// One allocation slice: `count` processes on a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    pub resource: String,
+    pub qserver_host: String,
+    pub count: u32,
+}
+
+/// Shared allocator state (also usable directly, without the socket
+/// front-end, for unit tests).
+#[derive(Clone)]
+pub struct AllocatorState {
+    entries: Arc<Mutex<Vec<Entry>>>,
+    policy: SelectPolicy,
+}
+
+impl AllocatorState {
+    pub fn new(policy: SelectPolicy) -> Self {
+        AllocatorState {
+            entries: Arc::new(Mutex::new(Vec::new())),
+            policy,
+        }
+    }
+
+    pub fn register(&self, info: ResourceInfo) {
+        self.entries.lock().push(Entry { info, load: 0 });
+    }
+
+    /// Current load of a resource (diagnostics).
+    pub fn load_of(&self, name: &str) -> Option<u32> {
+        self.entries
+            .lock()
+            .iter()
+            .find(|e| e.info.name == name)
+            .map(|e| e.load)
+    }
+
+    /// Apply a load delta reported by a Q server.
+    pub fn report(&self, name: &str, delta: i64) {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.iter_mut().find(|e| e.info.name == name) {
+            let new = i64::from(e.load) + delta;
+            e.load = new.max(0) as u32;
+        }
+    }
+
+    /// Total processors under management.
+    pub fn total_cpus(&self) -> u32 {
+        self.entries.lock().iter().map(|e| e.info.cpus).sum()
+    }
+
+    /// Select resources for `count` processes. `explicit` restricts
+    /// (and orders) the candidates. Distinguishes two failures so the
+    /// job manager can queue: *transient* exhaustion (resources busy —
+    /// retry later) and *permanent* impossibility (the request exceeds
+    /// total capacity). Oversubscription is allowed only on explicit
+    /// request.
+    pub fn select(&self, count: u32, explicit: &[String]) -> io::Result<Vec<Allocation>> {
+        if explicit.is_empty() && count > self.total_cpus() {
+            return Err(io::Error::other(
+                format!(
+                    "insufficient capacity permanently: {count} procs requested, {} managed",
+                    self.total_cpus()
+                ),
+            ));
+        }
+        let mut entries = self.entries.lock();
+        let order: Vec<usize> = if explicit.is_empty() {
+            let mut idx: Vec<usize> = (0..entries.len()).collect();
+            if self.policy == SelectPolicy::LeastLoaded {
+                idx.sort_by(|&a, &b| {
+                    let fa = f64::from(entries[a].load) / f64::from(entries[a].info.cpus.max(1));
+                    let fb = f64::from(entries[b].load) / f64::from(entries[b].info.cpus.max(1));
+                    fa.partial_cmp(&fb).unwrap()
+                });
+            }
+            idx
+        } else {
+            let mut idx = Vec::new();
+            for name in explicit {
+                let pos = entries
+                    .iter()
+                    .position(|e| &e.info.name == name)
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("unknown resource {name}"),
+                        )
+                    })?;
+                idx.push(pos);
+            }
+            idx
+        };
+
+        let mut remaining = count;
+        let mut out = Vec::new();
+        for (k, &i) in order.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let e = &entries[i];
+            let free = e.info.cpus.saturating_sub(e.load);
+            let is_last = k + 1 == order.len();
+            // The last explicit resource absorbs any overflow
+            // (explicit placement means the user knows best).
+            let take = if is_last && !explicit.is_empty() {
+                remaining
+            } else {
+                free.min(remaining)
+            };
+            if take > 0 {
+                out.push(Allocation {
+                    resource: e.info.name.clone(),
+                    qserver_host: e.info.qserver_host.clone(),
+                    count: take,
+                });
+                remaining -= take;
+            }
+        }
+        if remaining > 0 {
+            return Err(io::Error::other(
+                format!("insufficient capacity: {remaining} of {count} unplaced (resources busy)"),
+            ));
+        }
+        // Book the load now; Q servers report decrements on completion.
+        for a in &out {
+            if let Some(e) = entries.iter_mut().find(|e| e.info.name == a.resource) {
+                e.load += a.count;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The allocator daemon: socket front-end over [`AllocatorState`].
+pub struct ResourceAllocator {
+    pub state: AllocatorState,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    host: String,
+}
+
+impl ResourceAllocator {
+    pub fn start(
+        net: VNet,
+        host: impl Into<String>,
+        policy: SelectPolicy,
+        trace: FlowTrace,
+    ) -> io::Result<ResourceAllocator> {
+        let host = host.into();
+        let state = AllocatorState::new(policy);
+        let listener = net.bind(&host, ALLOCATOR_PORT)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let t_state = state.clone();
+        let t_shutdown = shutdown.clone();
+        let accept_thread = thread::spawn(move || {
+            let listener = listener;
+            while !t_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let state = t_state.clone();
+                        let trace = trace.clone();
+                        thread::spawn(move || {
+                            while let Ok(Some(req)) = Record::read_from(&mut stream) {
+                                let reply = handle(&state, &trace, &req);
+                                if reply.write_to(&mut stream).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ResourceAllocator {
+            state,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            host,
+        })
+    }
+
+    pub fn addr(&self) -> (String, u16) {
+        (self.host.clone(), ALLOCATOR_PORT)
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ResourceAllocator {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle(state: &AllocatorState, trace: &FlowTrace, req: &Record) -> Record {
+    match req.kind() {
+        "query" => {
+            let count = req.require_u64("count").unwrap_or(0) as u32;
+            let explicit: Vec<String> = req
+                .get_all("resource")
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            trace.record(3, format!("Q client inquires allocator for {count} procs"));
+            match state.select(count, &explicit) {
+                Ok(allocs) => {
+                    trace.record(
+                        4,
+                        format!(
+                            "allocator selects: {}",
+                            allocs
+                                .iter()
+                                .map(|a| format!("{}x{}", a.resource, a.count))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        ),
+                    );
+                    let mut rep = Record::new("allocation");
+                    for a in &allocs {
+                        rep.push(
+                            "alloc",
+                            format!("{}|{}|{}", a.resource, a.qserver_host, a.count),
+                        );
+                    }
+                    rep
+                }
+                Err(e) => Record::new("error").with("detail", e.to_string()),
+            }
+        }
+        "report" => {
+            let name = req.get("resource").unwrap_or("");
+            let delta: i64 = req.get("delta").and_then(|d| d.parse().ok()).unwrap_or(0);
+            state.report(name, delta);
+            Record::new("ok")
+        }
+        other => Record::new("error").with("detail", format!("unknown request {other}")),
+    }
+}
+
+/// Parse the allocator's reply into allocations.
+pub fn parse_allocation(rec: &Record) -> io::Result<Vec<Allocation>> {
+    if rec.kind() == "error" {
+        return Err(io::Error::other(
+            rec.get("detail").unwrap_or("allocator error").to_string(),
+        ));
+    }
+    let mut out = Vec::new();
+    for a in rec.get_all("alloc") {
+        let mut parts = a.split('|');
+        let (Some(r), Some(h), Some(c)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad alloc entry"));
+        };
+        out.push(Allocation {
+            resource: r.to_string(),
+            qserver_host: h.to_string(),
+            count: c
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad alloc count"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(resources: &[(&str, u32)]) -> AllocatorState {
+        let s = AllocatorState::new(SelectPolicy::LeastLoaded);
+        for (name, cpus) in resources {
+            s.register(ResourceInfo {
+                name: name.to_string(),
+                qserver_host: format!("{name}-fe"),
+                cpus: *cpus,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn least_loaded_spreads() {
+        let s = state_with(&[("A", 8), ("B", 8)]);
+        let a1 = s.select(8, &[]).unwrap();
+        assert_eq!(a1.len(), 1);
+        assert_eq!(a1[0].count, 8);
+        // A is now fully loaded; next allocation must land on B.
+        let a2 = s.select(4, &[]).unwrap();
+        assert_ne!(a2[0].resource, a1[0].resource);
+    }
+
+    #[test]
+    fn allocation_spans_resources_when_needed() {
+        let s = state_with(&[("A", 4), ("B", 8), ("C", 8)]);
+        let allocs = s.select(20, &[]).unwrap();
+        let total: u32 = allocs.iter().map(|a| a.count).sum();
+        assert_eq!(total, 20);
+        assert_eq!(allocs.len(), 3);
+    }
+
+    #[test]
+    fn insufficient_capacity_fails() {
+        let s = state_with(&[("A", 4)]);
+        assert!(s.select(5, &[]).is_err());
+        // And nothing was booked by the failed attempt.
+        assert_eq!(s.load_of("A"), Some(0));
+    }
+
+    #[test]
+    fn explicit_resources_respected_and_can_oversubscribe() {
+        let s = state_with(&[("A", 4), ("B", 4)]);
+        let allocs = s.select(6, &["B".to_string()]).unwrap();
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(allocs[0].resource, "B");
+        assert_eq!(allocs[0].count, 6); // user said B; B absorbs all
+        assert!(s.select(1, &["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn explicit_multi_resource_split() {
+        // The paper's wide-area run: 4 on RWCP-Sun, 8 on COMPaS, 8 on
+        // ETL-O2K.
+        let s = state_with(&[("RWCP-Sun", 4), ("COMPaS", 8), ("ETL-O2K", 16)]);
+        let allocs = s
+            .select(
+                20,
+                &[
+                    "RWCP-Sun".to_string(),
+                    "COMPaS".to_string(),
+                    "ETL-O2K".to_string(),
+                ],
+            )
+            .unwrap();
+        let counts: Vec<u32> = allocs.iter().map(|a| a.count).collect();
+        assert_eq!(counts, vec![4, 8, 8]);
+    }
+
+    #[test]
+    fn report_adjusts_load() {
+        let s = state_with(&[("A", 8)]);
+        s.select(6, &[]).unwrap();
+        assert_eq!(s.load_of("A"), Some(6));
+        s.report("A", -6);
+        assert_eq!(s.load_of("A"), Some(0));
+        s.report("A", -5); // clamps at zero
+        assert_eq!(s.load_of("A"), Some(0));
+    }
+
+    #[test]
+    fn allocation_record_roundtrip() {
+        let allocs = vec![
+            Allocation {
+                resource: "A".into(),
+                qserver_host: "a-fe".into(),
+                count: 4,
+            },
+            Allocation {
+                resource: "B".into(),
+                qserver_host: "b-fe".into(),
+                count: 16,
+            },
+        ];
+        let mut rec = Record::new("allocation");
+        for a in &allocs {
+            rec.push("alloc", format!("{}|{}|{}", a.resource, a.qserver_host, a.count));
+        }
+        assert_eq!(parse_allocation(&rec).unwrap(), allocs);
+        let err = Record::new("error").with("detail", "nope");
+        assert!(parse_allocation(&err).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The executable registry: the stand-in for `fork`/`exec`.
+//!
+//! A real Q server forks job processes from binaries on disk. Here an
+//! "executable" is a registered Rust closure; the Q server runs one
+//! thread per requested process. The closure receives an [`ExecCtx`]
+//! with its argv, staged files, a stdout sink, and the identity of the
+//! host it "runs" on — enough for jobs to start MPI ranks over the
+//! virtual network.
+
+use crate::gass::GassStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution context handed to a job process.
+pub struct ExecCtx {
+    /// Logical host this process runs on.
+    pub host: String,
+    /// Process index within the job (0-based) and total count.
+    pub proc_index: u32,
+    pub proc_count: u32,
+    pub args: Vec<String>,
+    /// Staged input files by name.
+    pub files: HashMap<String, Vec<u8>>,
+    stdout: Arc<Mutex<Vec<u8>>>,
+}
+
+impl ExecCtx {
+    pub fn println(&self, line: impl AsRef<str>) {
+        let mut out = self.stdout.lock();
+        out.extend_from_slice(line.as_ref().as_bytes());
+        out.push(b'\n');
+    }
+
+    pub fn write(&self, bytes: &[u8]) {
+        self.stdout.lock().extend_from_slice(bytes);
+    }
+}
+
+/// Exit status of one process.
+pub type ExitCode = i32;
+
+/// An executable body. Must be thread-safe: the Q server runs `count`
+/// instances concurrently.
+pub type ExecFn = Arc<dyn Fn(ExecCtx) -> ExitCode + Send + Sync>;
+
+/// Name → executable mapping, shared by all Q servers of a deployment
+/// (the analogue of identical NFS-mounted binaries).
+#[derive(Clone, Default)]
+pub struct ExecRegistry {
+    map: Arc<Mutex<HashMap<String, ExecFn>>>,
+}
+
+impl ExecRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(ExecCtx) -> ExitCode + Send + Sync + 'static,
+    {
+        self.map.lock().insert(name.to_string(), Arc::new(f));
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<ExecFn> {
+        self.map.lock().get(name).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Run `count` processes of `exec` on `host`, collecting a combined
+/// stdout and the worst exit code. Used by the Q server.
+pub fn run_processes(
+    exec: ExecFn,
+    host: &str,
+    count: u32,
+    args: &[String],
+    files: HashMap<String, Vec<u8>>,
+    gass: &GassStore,
+    stdout_path: &str,
+) -> ExitCode {
+    let stdout = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 0..count {
+        let exec = exec.clone();
+        let ctx = ExecCtx {
+            host: host.to_string(),
+            proc_index: i,
+            proc_count: count,
+            args: args.to_vec(),
+            files: files.clone(),
+            stdout: stdout.clone(),
+        };
+        handles.push(std::thread::spawn(move || exec(ctx)));
+    }
+    let mut worst = 0;
+    for h in handles {
+        match h.join() {
+            Ok(code) => worst = worst.max(code.abs()),
+            Err(_) => worst = worst.max(125), // panicked process
+        }
+    }
+    // Stage captured stdout back into GASS (the paper: GASS "uses
+    // files for input/output").
+    gass.put(host, stdout_path, stdout.lock().clone());
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_run() {
+        let reg = ExecRegistry::new();
+        reg.register("hello", |ctx: ExecCtx| {
+            ctx.println(format!("hello from {}/{}", ctx.proc_index, ctx.proc_count));
+            0
+        });
+        assert_eq!(reg.names(), vec!["hello"]);
+        let gass = GassStore::new();
+        let code = run_processes(
+            reg.lookup("hello").unwrap(),
+            "compas0",
+            3,
+            &[],
+            HashMap::new(),
+            &gass,
+            "out/job1",
+        );
+        assert_eq!(code, 0);
+        let out = String::from_utf8(gass.get("compas0", "out/job1").unwrap()).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("/3"));
+    }
+
+    #[test]
+    fn worst_exit_code_wins() {
+        let reg = ExecRegistry::new();
+        reg.register("flaky", |ctx: ExecCtx| if ctx.proc_index == 1 { 7 } else { 0 });
+        let gass = GassStore::new();
+        let code = run_processes(
+            reg.lookup("flaky").unwrap(),
+            "h",
+            3,
+            &[],
+            HashMap::new(),
+            &gass,
+            "out/x",
+        );
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn panicking_process_reports_failure() {
+        let reg = ExecRegistry::new();
+        reg.register("boom", |_| panic!("crash"));
+        let gass = GassStore::new();
+        let code = run_processes(
+            reg.lookup("boom").unwrap(),
+            "h",
+            1,
+            &[],
+            HashMap::new(),
+            &gass,
+            "out/x",
+        );
+        assert_eq!(code, 125);
+    }
+
+    #[test]
+    fn args_and_files_reach_the_process() {
+        let reg = ExecRegistry::new();
+        reg.register("cat", |ctx: ExecCtx| {
+            let name = &ctx.args[0];
+            ctx.write(ctx.files.get(name).map(|f| f.as_slice()).unwrap_or(b"?"));
+            0
+        });
+        let gass = GassStore::new();
+        let mut files = HashMap::new();
+        files.insert("in.txt".to_string(), b"payload".to_vec());
+        run_processes(
+            reg.lookup("cat").unwrap(),
+            "h",
+            1,
+            &["in.txt".to_string()],
+            files,
+            &gass,
+            "out/cat",
+        );
+        assert_eq!(gass.get("h", "out/cat").unwrap(), b"payload");
+    }
+}

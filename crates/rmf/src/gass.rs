@@ -1,0 +1,136 @@
+//! GASS-style file staging.
+//!
+//! "Since the Globus GASS facility uses files for input/output, the
+//! Q system also transfers the files to remote resources." We model
+//! GASS as an in-memory per-host file store addressed by
+//! `gass://host/path` URLs; the Q system copies staged inputs to the
+//! executing resource and captured stdout back.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// A parsed `gass://host/path` URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GassUrl {
+    pub host: String,
+    pub path: String,
+}
+
+impl GassUrl {
+    pub fn parse(url: &str) -> io::Result<GassUrl> {
+        let rest = url.strip_prefix("gass://").ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("not a gass url: {url}"))
+        })?;
+        let (host, path) = rest.split_once('/').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("gass url needs a path: {url}"))
+        })?;
+        if host.is_empty() || path.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("empty host or path: {url}"),
+            ));
+        }
+        Ok(GassUrl {
+            host: host.to_string(),
+            path: path.to_string(),
+        })
+    }
+
+    pub fn to_url(&self) -> String {
+        format!("gass://{}/{}", self.host, self.path)
+    }
+}
+
+/// `(host, path)` → file bytes.
+type FileMap = HashMap<(String, String), Vec<u8>>;
+
+/// The (process-wide) GASS store: per-host path → bytes.
+#[derive(Clone, Default)]
+pub struct GassStore {
+    files: Arc<Mutex<FileMap>>,
+}
+
+impl GassStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(&self, host: &str, path: &str, data: Vec<u8>) {
+        self.files
+            .lock()
+            .insert((host.to_string(), path.to_string()), data);
+    }
+
+    pub fn get(&self, host: &str, path: &str) -> Option<Vec<u8>> {
+        self.files
+            .lock()
+            .get(&(host.to_string(), path.to_string()))
+            .cloned()
+    }
+
+    pub fn get_url(&self, url: &str) -> io::Result<Vec<u8>> {
+        let u = GassUrl::parse(url)?;
+        self.get(&u.host, &u.path).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no such gass file: {url}"))
+        })
+    }
+
+    pub fn exists(&self, url: &str) -> bool {
+        GassUrl::parse(url)
+            .ok()
+            .map(|u| self.files.lock().contains_key(&(u.host, u.path)))
+            .unwrap_or(false)
+    }
+
+    /// Copy a file from one host's store to another (the Q system's
+    /// stage-in transfer). Returns the byte count moved.
+    pub fn transfer(&self, from_url: &str, to_host: &str, to_path: &str) -> io::Result<usize> {
+        let data = self.get_url(from_url)?;
+        let n = data.len();
+        self.put(to_host, to_path, data);
+        Ok(n)
+    }
+
+    pub fn len(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parse() {
+        let u = GassUrl::parse("gass://rwcp-sun/inputs/knap50.dat").unwrap();
+        assert_eq!(u.host, "rwcp-sun");
+        assert_eq!(u.path, "inputs/knap50.dat");
+        assert_eq!(u.to_url(), "gass://rwcp-sun/inputs/knap50.dat");
+        assert!(GassUrl::parse("http://x/y").is_err());
+        assert!(GassUrl::parse("gass://hostonly").is_err());
+        assert!(GassUrl::parse("gass:///path").is_err());
+    }
+
+    #[test]
+    fn store_and_transfer() {
+        let g = GassStore::new();
+        assert!(g.is_empty());
+        g.put("rwcp-sun", "inputs/a", b"data!".to_vec());
+        assert!(g.exists("gass://rwcp-sun/inputs/a"));
+        assert_eq!(g.get_url("gass://rwcp-sun/inputs/a").unwrap(), b"data!");
+        let n = g
+            .transfer("gass://rwcp-sun/inputs/a", "compas0", "staged/a")
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(g.get("compas0", "staged/a").unwrap(), b"data!");
+        // Missing source.
+        assert!(g.transfer("gass://rwcp-sun/nope", "x", "y").is_err());
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Job identity and lifecycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique job identifier (issued by the gatekeeper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// GRAM-style job states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted by the gatekeeper, not yet placed.
+    Pending,
+    /// Placed on resources; processes running.
+    Active,
+    /// All processes exited 0.
+    Done,
+    /// Something failed (placement, staging, or a nonzero exit).
+    Failed,
+}
+
+impl JobState {
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Active => "active",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "pending" => JobState::Pending,
+            "active" => JobState::Active,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One step in the RMF execution flow — the paper's Figure 2 numbers
+/// its six steps; integration tests assert this exact sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEventRec {
+    /// 1-6 per the paper; 0 for setup events.
+    pub step: u8,
+    pub detail: String,
+}
+
+/// Shared, append-only trace of flow events.
+#[derive(Debug, Default, Clone)]
+pub struct FlowTrace {
+    inner: std::sync::Arc<parking_lot::Mutex<Vec<FlowEventRec>>>,
+}
+
+impl FlowTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, step: u8, detail: impl Into<String>) {
+        self.inner.lock().push(FlowEventRec {
+            step,
+            detail: detail.into(),
+        });
+    }
+
+    pub fn events(&self) -> Vec<FlowEventRec> {
+        self.inner.lock().clone()
+    }
+
+    /// The step numbers in occurrence order (dedup-adjacent not
+    /// applied; tests filter as needed).
+    pub fn steps(&self) -> Vec<u8> {
+        self.inner.lock().iter().map(|e| e.step).collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.inner.lock().iter() {
+            out.push_str(&format!("  ({}) {}\n", e.step, e.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_strings_roundtrip() {
+        for s in [JobState::Pending, JobState::Active, JobState::Done, JobState::Failed] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobState::parse("nope"), None);
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Active.is_terminal());
+    }
+
+    #[test]
+    fn flow_trace_records_in_order() {
+        let t = FlowTrace::new();
+        t.record(1, "submit");
+        t.record(2, "job manager");
+        assert_eq!(t.steps(), vec![1, 2]);
+        assert!(t.render().contains("(2) job manager"));
+        // Clones share the log.
+        let t2 = t.clone();
+        t2.record(3, "inquiry");
+        assert_eq!(t.steps(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+    }
+}

@@ -1,0 +1,188 @@
+//! Control-plane wire format: framed key/value records.
+//!
+//! RMF messages are small structured records (job requests, resource
+//! lists, status reports). They are encoded as a count-prefixed list
+//! of length-prefixed UTF-8 `key`/`value` pairs inside one
+//! `nexus::msg` frame — simple, explicit, endian-fixed.
+
+use std::io::{self, Read, Write};
+
+fn bad(m: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, m.to_string())
+}
+
+/// An ordered key/value record. Keys may repeat (e.g. one `resource`
+/// entry per allocated resource).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Record {
+    pairs: Vec<(String, String)>,
+}
+
+impl Record {
+    pub fn new(kind: &str) -> Record {
+        let mut r = Record::default();
+        r.push("kind", kind);
+        r
+    }
+
+    pub fn push(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.pairs.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn with(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// First value for `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `key`, in order.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    pub fn kind(&self) -> &str {
+        self.get("kind").unwrap_or("")
+    }
+
+    pub fn require(&self, key: &str) -> io::Result<&str> {
+        self.get(key)
+            .ok_or_else(|| bad(&format!("missing field {key}")))
+    }
+
+    pub fn require_u64(&self, key: &str) -> io::Result<u64> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| bad(&format!("field {key} is not a number")))
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&(self.pairs.len() as u32).to_be_bytes());
+        for (k, v) in &self.pairs {
+            for s in [k, v] {
+                buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+        buf
+    }
+
+    pub fn decode(bytes: &[u8]) -> io::Result<Record> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
+            if bytes.len() < *pos + n {
+                return Err(bad("truncated record"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let count = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if count > 4096 {
+            return Err(bad("absurd field count"));
+        }
+        let mut pairs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut strs = [String::new(), String::new()];
+            for slot in &mut strs {
+                let len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                if len > 1 << 20 {
+                    return Err(bad("absurd string length"));
+                }
+                *slot = String::from_utf8(take(&mut pos, len)?.to_vec())
+                    .map_err(|_| bad("non-utf8 field"))?;
+            }
+            let [k, v] = strs;
+            pairs.push((k, v));
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Record { pairs })
+    }
+
+    /// Send as one frame on a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        nexus::msg::send_frame(w, &self.encode())
+    }
+
+    /// Read one record frame; `Ok(None)` on clean EOF.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Record>> {
+        match nexus::msg::recv_frame(r)? {
+            Some(frame) => Ok(Some(Record::decode(&frame)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Record::new("submit")
+            .with("executable", "knapsack")
+            .with("count", "8")
+            .with("resource", "compas")
+            .with("resource", "o2k");
+        let d = Record::decode(&r.encode()).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(d.kind(), "submit");
+        assert_eq!(d.get("count"), Some("8"));
+        assert_eq!(d.get_all("resource"), vec!["compas", "o2k"]);
+        assert_eq!(d.require_u64("count").unwrap(), 8);
+        assert!(d.require("missing").is_err());
+        assert!(d.require_u64("executable").is_err());
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        Record::new("a").write_to(&mut buf).unwrap();
+        Record::new("b").with("x", "y").write_to(&mut buf).unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(Record::read_from(&mut cur).unwrap().unwrap().kind(), "a");
+        let b = Record::read_from(&mut cur).unwrap().unwrap();
+        assert_eq!(b.get("x"), Some("y"));
+        assert!(Record::read_from(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[0, 0, 0, 1]).is_err()); // count 1, no data
+        let mut ok = Record::new("x").encode();
+        ok.push(0xFF); // trailing byte
+        assert!(Record::decode(&ok).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(pairs in proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,32}"), 0..16)) {
+            let mut r = Record::default();
+            for (k, v) in &pairs {
+                r.push(k, v.clone());
+            }
+            let d = Record::decode(&r.encode()).unwrap();
+            proptest::prop_assert_eq!(d, r);
+        }
+
+        #[test]
+        fn prop_decoder_total(bytes in proptest::collection::vec(0u8..=255, 0..96)) {
+            let _ = Record::decode(&bytes);
+        }
+    }
+}

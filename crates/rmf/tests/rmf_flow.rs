@@ -1,0 +1,413 @@
+//! End-to-end tests of the full RMF deployment on a firewalled site —
+//! the paper's Figure 2 flow, driven over real (guarded loopback)
+//! sockets.
+
+use firewall::vnet::VNet;
+use firewall::Policy;
+use rmf::{
+    rmf_site_policy, submit_job, wait_job, ExecCtx, ExecRegistry, FlowTrace, Gatekeeper,
+    GassStore, JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy, ALLOCATOR_PORT,
+    QSERVER_PORT,
+};
+use std::time::Duration;
+
+/// A full RMF deployment on a firewalled site:
+/// * outside: `user-host`, `gk-host` (gatekeeper);
+/// * inside (deny-in firewall): `alloc-host` (allocator),
+///   `compas-fe` + `sun-fe` (Q servers), with only the RMF holes.
+struct Deployment {
+    net: VNet,
+    gk: Gatekeeper,
+    alloc: ResourceAllocator,
+    _qs: Vec<QServer>,
+    gass: GassStore,
+    trace: FlowTrace,
+    registry: ExecRegistry,
+}
+
+fn deploy() -> Deployment {
+    let net = VNet::new();
+    let outside = net.add_site("outside", None);
+    let inside = net.add_site("rwcp", None); // policy set after refs known
+    net.add_host("user-host", outside);
+    net.add_host("gk-host", outside);
+    let alloc_ref = net.add_host("alloc-host", inside);
+    let compas_ref = net.add_host("compas-fe", inside);
+    let sun_ref = net.add_host("sun-fe", inside);
+    net.reload_policy(
+        inside,
+        rmf_site_policy(
+            "rwcp",
+            &[
+                (alloc_ref, ALLOCATOR_PORT),
+                (compas_ref, QSERVER_PORT),
+                (sun_ref, QSERVER_PORT),
+            ],
+        ),
+    );
+
+    let trace = FlowTrace::new();
+    let gass = GassStore::new();
+    let registry = ExecRegistry::new();
+
+    let alloc = ResourceAllocator::start(
+        net.clone(),
+        "alloc-host",
+        SelectPolicy::LeastLoaded,
+        trace.clone(),
+    )
+    .unwrap();
+    alloc.state.register(ResourceInfo {
+        name: "COMPaS".into(),
+        qserver_host: "compas-fe".into(),
+        cpus: 8,
+    });
+    alloc.state.register(ResourceInfo {
+        name: "RWCP-Sun".into(),
+        qserver_host: "sun-fe".into(),
+        cpus: 4,
+    });
+
+    let qs = vec![
+        QServer::start(
+            net.clone(),
+            "compas-fe",
+            "COMPaS",
+            registry.clone(),
+            gass.clone(),
+            "alloc-host",
+            trace.clone(),
+        )
+        .unwrap(),
+        QServer::start(
+            net.clone(),
+            "sun-fe",
+            "RWCP-Sun",
+            registry.clone(),
+            gass.clone(),
+            "alloc-host",
+            trace.clone(),
+        )
+        .unwrap(),
+    ];
+
+    let gk = Gatekeeper::start(
+        net.clone(),
+        "gk-host",
+        vec!["/O=Grid/CN=Researcher".to_string()],
+        "alloc-host",
+        gass.clone(),
+        trace.clone(),
+    )
+    .unwrap();
+
+    Deployment {
+        net,
+        gk,
+        alloc,
+        _qs: qs,
+        gass,
+        trace,
+        registry,
+    }
+}
+
+const SUBJECT: &str = "/O=Grid/CN=Researcher";
+
+#[test]
+fn full_six_step_flow_across_the_firewall() {
+    let d = deploy();
+    d.registry.register("hello", |ctx: ExecCtx| {
+        ctx.println(format!("hello from {} #{}", ctx.host, ctx.proc_index));
+        0
+    });
+    let gk = d.gk.addr();
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=hello)(count=10)",
+    )
+    .unwrap();
+    let (state, exit, stdout_urls) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(state, JobState::Done);
+    assert_eq!(exit, 0);
+    // Output staged via GASS: 10 lines total across the parts.
+    let mut lines = 0;
+    for url in &stdout_urls {
+        let data = d.gass.get_url(url).unwrap();
+        lines += String::from_utf8(data).unwrap().lines().count();
+    }
+    assert_eq!(lines, 10);
+
+    // Figure 2's six steps occurred in order (first occurrences).
+    let steps = d.trace.steps();
+    let mut first = Vec::new();
+    for s in steps {
+        if s >= 1 && !first.contains(&s) {
+            first.push(s);
+        }
+    }
+    assert_eq!(first, vec![1, 2, 3, 4, 5, 6], "{}", d.trace.render());
+}
+
+#[test]
+fn allocation_spans_resources_and_releases_load() {
+    let d = deploy();
+    d.registry.register("sleepy", |_ctx: ExecCtx| {
+        std::thread::sleep(Duration::from_millis(20));
+        0
+    });
+    let gk = d.gk.addr();
+    // 10 procs > COMPaS' 8: must span both resources.
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=sleepy)(count=10)",
+    )
+    .unwrap();
+    wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    // After completion, Q servers report the load release.
+    for _ in 0..400 {
+        let a = d.alloc.state.load_of("COMPaS").unwrap();
+        let b = d.alloc.state.load_of("RWCP-Sun").unwrap();
+        if a == 0 && b == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "load never released: COMPaS={:?} RWCP-Sun={:?}",
+        d.alloc.state.load_of("COMPaS"),
+        d.alloc.state.load_of("RWCP-Sun")
+    );
+}
+
+#[test]
+fn unauthorized_subject_is_denied() {
+    let d = deploy();
+    let gk = d.gk.addr();
+    let err = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        "/O=Grid/CN=Mallory",
+        "&(executable=hello)",
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+}
+
+#[test]
+fn bad_rsl_is_denied() {
+    let d = deploy();
+    let gk = d.gk.addr();
+    let err = submit_job(&d.net, "user-host", (&gk.0, gk.1), SUBJECT, "(no-amp)").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+}
+
+#[test]
+fn unknown_executable_fails_the_job() {
+    let d = deploy();
+    let gk = d.gk.addr();
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=no-such-binary)(count=1)",
+    )
+    .unwrap();
+    let (state, _, _) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(state, JobState::Failed);
+}
+
+#[test]
+fn over_capacity_request_fails_cleanly() {
+    let d = deploy();
+    d.registry.register("hello", |_| 0);
+    let gk = d.gk.addr();
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=hello)(count=100)",
+    )
+    .unwrap();
+    let (state, _, _) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(state, JobState::Failed);
+    let info = d.gk.job_info(job).unwrap();
+    assert!(info.detail.contains("allocation failed"), "{}", info.detail);
+}
+
+#[test]
+fn stage_in_files_reach_the_processes() {
+    let d = deploy();
+    d.registry.register("cat", |ctx: ExecCtx| {
+        let data = ctx.files.get("input.dat").cloned().unwrap_or_default();
+        ctx.write(&data);
+        0
+    });
+    d.gass.put("gk-host", "inputs/d1", b"42 items".to_vec());
+    let gk = d.gk.addr();
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=cat)(count=1)(stage_in=input.dat<gass://gk-host/inputs/d1)",
+    )
+    .unwrap();
+    let (state, _, stdout_urls) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(state, JobState::Done);
+    assert_eq!(d.gass.get_url(&stdout_urls[0]).unwrap(), b"42 items");
+}
+
+#[test]
+fn firewall_premise_user_cannot_reach_q_server_directly_without_hole() {
+    // Rebuild the site WITHOUT the Q-system holes: the Q servers
+    // become unreachable from outside — the deployment only works
+    // because rmf_site_policy opens exactly those fixed ports.
+    let net = VNet::new();
+    let outside = net.add_site("outside", None);
+    let inside = net.add_site("rwcp", Some(Policy::typical("rwcp")));
+    net.add_host("user-host", outside);
+    net.add_host("compas-fe", inside);
+    let _l = net.bind("compas-fe", QSERVER_PORT).unwrap();
+    assert_eq!(
+        net.dial("user-host", "compas-fe", QSERVER_PORT)
+            .unwrap_err()
+            .kind(),
+        std::io::ErrorKind::PermissionDenied
+    );
+}
+
+#[test]
+fn policy_exposure_is_minimal() {
+    // Three fixed holes, versus a 1000-port Globus 1.1 range.
+    let p = rmf_site_policy(
+        "rwcp",
+        &[(1, ALLOCATOR_PORT), (2, QSERVER_PORT), (3, QSERVER_PORT)],
+    );
+    assert_eq!(p.inbound_exposure(), 3);
+}
+
+#[test]
+fn jobs_queue_when_resources_are_busy() {
+    // The Q system is a *queuing* system: a second job that cannot be
+    // placed immediately waits for the first to release capacity,
+    // rather than failing.
+    let d = deploy();
+    d.registry.register("holder", |_ctx: ExecCtx| {
+        std::thread::sleep(Duration::from_millis(150));
+        0
+    });
+    d.registry.register("quick", |_ctx: ExecCtx| 0);
+    let gk = d.gk.addr();
+    // Occupy all 12 processors.
+    let j1 = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=holder)(count=12)",
+    )
+    .unwrap();
+    // Give placement a moment so j2 actually finds everything busy.
+    std::thread::sleep(Duration::from_millis(40));
+    let j2 = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=quick)(count=8)",
+    )
+    .unwrap();
+    let (s2, _, _) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        j2,
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(s2, JobState::Done, "queued job should run after capacity frees");
+    let (s1, _, _) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        j1,
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(s1, JobState::Done);
+}
+
+#[test]
+fn explicit_resource_placement() {
+    let d = deploy();
+    d.registry.register("where", |ctx: ExecCtx| {
+        ctx.println(&ctx.host);
+        0
+    });
+    let gk = d.gk.addr();
+    let job = submit_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        SUBJECT,
+        "&(executable=where)(count=2)(resource=RWCP-Sun)",
+    )
+    .unwrap();
+    let (state, _, stdout_urls) = wait_job(
+        &d.net,
+        "user-host",
+        (&gk.0, gk.1),
+        job,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(state, JobState::Done);
+    assert_eq!(stdout_urls.len(), 1);
+    let out = String::from_utf8(d.gass.get_url(&stdout_urls[0]).unwrap()).unwrap();
+    assert!(out.lines().all(|l| l == "sun-fe"), "{out}");
+}

@@ -1,0 +1,61 @@
+//! The paper's headline experiment in miniature: the 0-1 knapsack on
+//! all four Table 3 systems over the simulated testbed, with and
+//! without the Nexus Proxy on the wide-area cluster.
+//!
+//! Run with: `cargo run --release --example knapsack_wan -- [items]`
+//! (default 22 items ≈ 8M-node search space).
+
+use wacs::prelude::*;
+
+fn main() {
+    let items: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(22);
+    println!("0-1 knapsack, no-pruning instance, n = {items} (2^{} nodes)\n", items + 1);
+
+    let seq = sequential_baseline(items);
+    println!(
+        "sequential on RWCP-Sun: {:>6.1} virtual s ({} nodes)",
+        seq.elapsed_secs,
+        seq.total_traversed()
+    );
+
+    println!("\n{:<22} {:>5} {:>12} {:>9}", "System", "procs", "time (vs)", "speedup");
+    for system in System::ALL {
+        let rr = run_knapsack(&KnapsackRun::paper_default(system, items));
+        println!(
+            "{:<22} {:>5} {:>12.1} {:>9.2}",
+            system.name(),
+            rr.ranks.len(),
+            rr.elapsed_secs,
+            seq.elapsed_secs / rr.elapsed_secs
+        );
+    }
+
+    // The proxy-overhead comparison (paper: ~3.5%).
+    let mut with = KnapsackRun::paper_default(System::WideArea, items);
+    with.use_proxy = true;
+    let mut without = with.clone();
+    without.use_proxy = false;
+    let t_with = run_knapsack(&with).elapsed_secs;
+    let t_without = run_knapsack(&without).elapsed_secs;
+    println!(
+        "\nWide-area with proxy:    {t_with:>8.1} vs\nWide-area without proxy: {t_without:>8.1} vs\nproxy overhead: {:.1}%",
+        100.0 * (t_with - t_without) / t_without
+    );
+
+    // Steal statistics (Tables 5/6 in miniature).
+    let rr = run_knapsack(&KnapsackRun::paper_default(System::WideArea, items));
+    println!("\nWide-area run detail (master + per-cluster max/min/avg):");
+    let m = rr.master().unwrap();
+    println!("  master on {}: {} steals served, {} nodes", m.host, m.steals, m.traversed);
+    for group in rr.groups() {
+        let s = rr.group_summary(&group, |r| r.steals).unwrap();
+        let t = rr.group_summary(&group, |r| r.traversed).unwrap();
+        println!(
+            "  {group:<10} steals max/min/avg = {}/{}/{:.1}   nodes max/min/avg = {}/{}/{:.0}",
+            s.max, s.min, s.avg, t.max, t.min, t.avg
+        );
+    }
+}

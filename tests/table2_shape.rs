@@ -1,0 +1,110 @@
+//! Workspace integration: the paper's Table 2 *shape* claims, checked
+//! against the calibrated simulator. We do not chase absolute numbers
+//! (our substrate is a simulator); we check who wins, by roughly what
+//! factor, and where the crossovers sit — the claims quoted below are
+//! the paper's own sentences.
+
+use wacs::prelude::*;
+
+fn oneway_ms(pair: PpPair, mode: PpMode, size: u64) -> f64 {
+    pingpong(pair, mode, size).one_way.as_millis_f64()
+}
+
+fn bw(pair: PpPair, mode: PpMode, size: u64) -> f64 {
+    pingpong(pair, mode, size).bandwidth
+}
+
+#[test]
+fn lan_indirect_latency_is_tens_of_times_direct() {
+    // "In indirect communications between RWCP-Sun and COMPaS, the
+    // latency is 60 times larger" (0.41 ms → 25.0 ms).
+    let direct = oneway_ms(PpPair::RwcpSunCompas, PpMode::Direct, 1);
+    let indirect = oneway_ms(PpPair::RwcpSunCompas, PpMode::Indirect, 1);
+    let factor = indirect / direct;
+    assert!(
+        (25.0..120.0).contains(&factor),
+        "LAN latency factor {factor:.1} (direct {direct:.3} ms, indirect {indirect:.3} ms)"
+    );
+}
+
+#[test]
+fn wan_indirect_latency_is_several_times_direct() {
+    // "the network latency when utilizing the Nexus Proxy is
+    // approximately six times larger" (3.9 ms → 25.1 ms).
+    let direct = oneway_ms(PpPair::RwcpSunEtlSun, PpMode::Direct, 1);
+    let indirect = oneway_ms(PpPair::RwcpSunEtlSun, PpMode::Indirect, 1);
+    let factor = indirect / direct;
+    assert!(
+        (3.0..12.0).contains(&factor),
+        "WAN latency factor {factor:.1} (direct {direct:.3} ms, indirect {indirect:.3} ms)"
+    );
+}
+
+#[test]
+fn lan_indirect_bandwidth_drops_an_order_of_magnitude() {
+    // "a drop in bandwidth for 4KB and 1MB message is order of
+    // magnitude compared to direct communications."
+    for size in [4096u64, 1 << 20] {
+        let direct = bw(PpPair::RwcpSunCompas, PpMode::Direct, size);
+        let indirect = bw(PpPair::RwcpSunCompas, PpMode::Indirect, size);
+        let drop = direct / indirect;
+        assert!(
+            drop > 6.0,
+            "size {size}: drop {drop:.1}x (direct {direct:.0}, indirect {indirect:.0})"
+        );
+    }
+}
+
+#[test]
+fn lan_indirect_small_message_bandwidth_below_wan_indirect() {
+    // "Since both of COMPaS and RWCP-Sun utilize the Nexus Proxy,
+    // bandwidth for 4KB message is smaller than the bandwidth between
+    // RWCP-Sun and ETL-Sun" — two relays beat one relay plus a slow
+    // WAN, at small sizes.
+    let lan = bw(PpPair::RwcpSunCompas, PpMode::Indirect, 4096);
+    let wan = bw(PpPair::RwcpSunEtlSun, PpMode::Indirect, 4096);
+    assert!(
+        lan < wan,
+        "LAN indirect 4KB {lan:.0} B/s should be below WAN indirect {wan:.0} B/s"
+    );
+}
+
+#[test]
+fn wan_bulk_bandwidth_converges_to_direct() {
+    // "As message size increases however, the bandwidth when utilizing
+    // the Nexus Proxy is close to the bandwidth of the direct
+    // communication … the overhead of the Nexus Proxy can be
+    // negligible when the message size is large."
+    let sizes = [4096u64, 65536, 1 << 20];
+    let mut gaps = Vec::new();
+    for size in sizes {
+        let direct = bw(PpPair::RwcpSunEtlSun, PpMode::Direct, size);
+        let indirect = bw(PpPair::RwcpSunEtlSun, PpMode::Indirect, size);
+        gaps.push((direct - indirect) / direct);
+    }
+    // Gap shrinks monotonically with size and ends small.
+    assert!(
+        gaps[0] > gaps[2],
+        "gap should shrink with size: {gaps:?}"
+    );
+    assert!(gaps[2] < 0.30, "bulk gap {:.2} too large", gaps[2]);
+}
+
+#[test]
+fn direct_absolute_anchors() {
+    // Direct rows of Table 2, within calibration tolerance.
+    let lan_lat = oneway_ms(PpPair::RwcpSunCompas, PpMode::Direct, 1);
+    assert!((0.25..0.62).contains(&lan_lat), "LAN direct latency {lan_lat} ms (paper 0.41)");
+    let wan_lat = oneway_ms(PpPair::RwcpSunEtlSun, PpMode::Direct, 1);
+    assert!((2.7..5.1).contains(&wan_lat), "WAN direct latency {wan_lat} ms (paper 3.9)");
+    let lan_bulk = bw(PpPair::RwcpSunCompas, PpMode::Direct, 1 << 20);
+    assert!(
+        (4.0e6..9.0e6).contains(&lan_bulk),
+        "LAN direct 1MB bandwidth {lan_bulk:.0} B/s (paper 6.32 MB/s)"
+    );
+    let lan_4k = bw(PpPair::RwcpSunCompas, PpMode::Direct, 4096);
+    assert!(
+        (2.0e6..6.0e6).contains(&lan_4k),
+        "LAN direct 4KB bandwidth {lan_4k:.0} B/s (paper 3.29 MB/s)"
+    );
+}
