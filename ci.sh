@@ -1,0 +1,25 @@
+#!/bin/sh
+# Workspace verification gate. Everything here must pass before a
+# change lands; ROADMAP.md's Tier-1 line points at this script.
+#
+#   1. formatting            (cargo fmt --check)
+#   2. zero-warning clippy   (workspace lints, all targets)
+#   3. project lint rules    (xtask: panics, lock standard, ports)
+#   4. the test suite
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

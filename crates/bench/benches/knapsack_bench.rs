@@ -1,40 +1,42 @@
-//! Criterion benches of the workload: sequential branch-and-bound
-//! throughput (nodes/second — the quantity the CPU calibration
-//! constants are denominated in), DP verification cost, and a full
-//! small simulated parallel run.
+//! Benches of the workload: sequential branch-and-bound throughput
+//! (nodes/second — the quantity the CPU calibration constants are
+//! denominated in), DP verification cost, and a full small simulated
+//! parallel run.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use knapsack::{seq_solve, Instance, SolveMode};
+use wacs_bench::harness::{black_box, Harness, Throughput};
 use wacs_core::{run_knapsack, KnapsackRun, System};
 
-fn bench_seq(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     let inst = Instance::no_pruning(18);
     let nodes = Instance::full_tree_nodes(18);
-    let mut g = c.benchmark_group("seq-branch-and-bound");
-    g.throughput(Throughput::Elements(nodes));
-    g.bench_function("no-pruning-n18", |b| {
-        b.iter(|| seq_solve(&inst, SolveMode::Exhaustive))
-    });
     let pruned = Instance::uncorrelated(28, 100, 7).sorted_by_ratio();
-    g.bench_function("pruned-uncorrelated-n28", |b| {
-        b.iter(|| seq_solve(&pruned, SolveMode::Prune { sorted: true }))
+    {
+        let mut g = h.group("seq-branch-and-bound");
+        g.throughput(Throughput::Elements(nodes));
+        g.run("no-pruning-n18", || {
+            black_box(seq_solve(&inst, SolveMode::Exhaustive));
+        });
+        g.run("pruned-uncorrelated-n28", || {
+            black_box(seq_solve(&pruned, SolveMode::Prune { sorted: true }));
+        });
+    }
+
+    let dp_inst = Instance::uncorrelated(100, 500, 3);
+    h.bench("dp-n100-r500", || {
+        black_box(knapsack::dp::solve(&dp_inst));
     });
-    g.finish();
-}
 
-fn bench_dp(c: &mut Criterion) {
-    let inst = Instance::uncorrelated(100, 500, 3);
-    c.bench_function("dp-n100-r500", |b| b.iter(|| knapsack::dp::solve(&inst)));
-}
-
-fn bench_simulated_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulated-cluster");
+    let mut g = h.group("simulated-cluster");
     g.sample_size(10);
-    g.bench_function("wide-area-n16-proxied", |b| {
-        b.iter(|| run_knapsack(&KnapsackRun::paper_default(System::WideArea, 16)))
+    g.run("wide-area-n16-proxied", || {
+        black_box(run_knapsack(&KnapsackRun::paper_default(
+            System::WideArea,
+            16,
+        )));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_seq, bench_dp, bench_simulated_cluster);
-criterion_main!(benches);

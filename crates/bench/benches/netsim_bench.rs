@@ -1,9 +1,11 @@
-//! Criterion benches of the discrete-event engine itself: event
-//! throughput for messaging workloads and the full Table 2 cell
-//! measurement (one complete calibrated sim per iteration).
+//! Benches of the discrete-event engine itself: event throughput for
+//! messaging workloads and the full Table 2 cell measurement (one
+//! complete calibrated sim per iteration).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netsim::prelude::*;
+use wacs_bench::harness::{black_box, Harness, Throughput};
 use wacs_core::{pingpong, Mode, Pair};
 
 /// Two actors flooding messages back and forth for a fixed number of
@@ -73,30 +75,27 @@ fn flood_once(rounds: u32) -> u64 {
     sim.stats().events_processed
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     let events = flood_once(1000);
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("pingpong-1000-rounds", |b| {
-        b.iter(|| flood_once(1000));
-    });
-    g.finish();
-}
+    {
+        let mut g = h.group("engine");
+        g.throughput(Throughput::Elements(events));
+        g.run("pingpong-1000-rounds", || {
+            black_box(flood_once(1000));
+        });
+    }
 
-fn bench_table2_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2-cell");
+    let mut g = h.group("table2-cell");
     g.sample_size(10);
-    g.bench_function("lan-direct-4k", |b| {
-        b.iter(|| pingpong(Pair::RwcpSunCompas, Mode::Direct, 4096))
+    g.run("lan-direct-4k", || {
+        black_box(pingpong(Pair::RwcpSunCompas, Mode::Direct, 4096));
     });
-    g.bench_function("lan-indirect-4k", |b| {
-        b.iter(|| pingpong(Pair::RwcpSunCompas, Mode::Indirect, 4096))
+    g.run("lan-indirect-4k", || {
+        black_box(pingpong(Pair::RwcpSunCompas, Mode::Indirect, 4096));
     });
-    g.bench_function("wan-indirect-1m", |b| {
-        b.iter(|| pingpong(Pair::RwcpSunEtlSun, Mode::Indirect, 1 << 20))
+    g.run("wan-indirect-1m", || {
+        black_box(pingpong(Pair::RwcpSunEtlSun, Mode::Indirect, 1 << 20));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine, bench_table2_cells);
-criterion_main!(benches);

@@ -1,10 +1,11 @@
-//! Criterion benches of the *real-socket* Nexus Proxy on the guarded
-//! loopback network: connection setup and relay round trips, direct vs
+//! Benches of the *real-socket* Nexus Proxy on the guarded loopback
+//! network: connection setup and relay round trips, direct vs
 //! active-open relay vs passive rendezvous relay — the real-hardware
 //! analogue of Table 2 (absolute numbers reflect this machine, the
 //! *ordering* reflects the paper).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use firewall::vnet::VNet;
 use firewall::{Policy, NXPORT, OUTER_PORT};
 use nexus_proxy::{
@@ -12,6 +13,7 @@ use nexus_proxy::{
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use wacs_bench::harness::{black_box, Harness, Throughput};
 
 struct World {
     net: VNet,
@@ -70,7 +72,7 @@ fn roundtrip(s: &mut TcpStream, payload: &[u8], scratch: &mut [u8]) {
     s.read_exact(&mut scratch[..payload.len()]).unwrap();
 }
 
-fn bench_roundtrips(c: &mut Criterion) {
+fn bench_roundtrips(h: &mut Harness) {
     let w = world();
     let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
     let echo_port = spawn_echo(&w.net, "etl-sun");
@@ -105,39 +107,35 @@ fn bench_roundtrips(c: &mut Criterion) {
     let mut scratch = vec![0u8; 1 << 20];
     for size in [64usize, 4096, 65536] {
         let payload = vec![0xA5u8; size];
-        let mut g = c.benchmark_group(format!("roundtrip/{size}B"));
+        let mut g = h.group(&format!("roundtrip/{size}B"));
+        g.sample_size(40);
         g.throughput(Throughput::Bytes(2 * size as u64));
-        g.bench_function(BenchmarkId::new("direct", size), |b| {
-            b.iter(|| roundtrip(&mut direct, &payload, &mut scratch))
+        g.run("direct", || roundtrip(&mut direct, &payload, &mut scratch));
+        g.run("proxy-active", || {
+            roundtrip(&mut active, &payload, &mut scratch);
         });
-        g.bench_function(BenchmarkId::new("proxy-active", size), |b| {
-            b.iter(|| roundtrip(&mut active, &payload, &mut scratch))
+        g.run("proxy-passive", || {
+            roundtrip(&mut passive, &payload, &mut scratch);
         });
-        g.bench_function(BenchmarkId::new("proxy-passive", size), |b| {
-            b.iter(|| roundtrip(&mut passive, &payload, &mut scratch))
-        });
-        g.finish();
     }
 }
 
-fn bench_connect_setup(c: &mut Criterion) {
+fn bench_connect_setup(h: &mut Harness) {
     let w = world();
     let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
     let echo_port = spawn_echo(&w.net, "etl-sun");
-    let mut g = c.benchmark_group("connect-setup");
+    let mut g = h.group("connect-setup");
     g.sample_size(30);
-    g.bench_function("direct", |b| {
-        b.iter(|| w.net.dial("rwcp-sun", "etl-sun", echo_port).unwrap())
+    g.run("direct", || {
+        black_box(w.net.dial("rwcp-sun", "etl-sun", echo_port).unwrap());
     });
-    g.bench_function("via-outer", |b| {
-        b.iter(|| nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", echo_port)).unwrap())
+    g.run("via-outer", || {
+        black_box(nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", echo_port)).unwrap());
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_roundtrips, bench_connect_setup
+fn main() {
+    let mut h = Harness::from_env();
+    bench_roundtrips(&mut h);
+    bench_connect_setup(&mut h);
 }
-criterion_main!(benches);

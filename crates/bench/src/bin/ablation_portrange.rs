@@ -30,7 +30,10 @@ fn main() {
     let range_policy = Policy::typical_with_port_range("RWCP", lo, hi);
 
     println!("Ablation: Nexus Proxy vs TCP_MIN_PORT/TCP_MAX_PORT (n = {items})\n");
-    println!("{:<28} {:>16} {:>12} {:>9}", "Scheme", "inbound ports", "time (s)", "speedup");
+    println!(
+        "{:<28} {:>16} {:>12} {:>9}",
+        "Scheme", "inbound ports", "time (s)", "speedup"
+    );
 
     let proxied = run_knapsack(&KnapsackRun::paper_default(System::WideArea, items));
     println!(
@@ -57,7 +60,10 @@ fn main() {
     let open = run_knapsack(&open_cfg);
     println!(
         "{:<28} {:>16} {:>12.1} {:>9.2}",
-        "No firewall (baseline)", 65535, open.elapsed_secs, seq / open.elapsed_secs
+        "No firewall (baseline)",
+        65535,
+        open.elapsed_secs,
+        seq / open.elapsed_secs
     );
 
     println!(

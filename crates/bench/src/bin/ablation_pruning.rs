@@ -23,8 +23,8 @@ fn stats_for(make: impl Fn(u64) -> Instance, seeds: std::ops::Range<u64>) -> (u6
         prune_frac.push(c.pruned as f64 / c.traversed.max(1) as f64);
     }
     let (mn, mx) = (
-        *counts.iter().min().unwrap(),
-        *counts.iter().max().unwrap(),
+        counts.iter().copied().min().unwrap_or_default(),
+        counts.iter().copied().max().unwrap_or_default(),
     );
     let avg = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
     let pf = prune_frac.iter().sum::<f64>() / prune_frac.len() as f64;
@@ -36,7 +36,10 @@ fn main() {
     let r = 1000u64;
     let seeds = 0u64..12;
     println!("Ablation: instance-class variance under branch-and-bound");
-    println!("(n = {n}, coefficients up to {r}, {} seeds per class)\n", seeds.clone().count());
+    println!(
+        "(n = {n}, coefficients up to {r}, {} seeds per class)\n",
+        seeds.clone().count()
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>9} {:>9}",
         "class", "min nodes", "max nodes", "avg nodes", "max/min", "pruned"

@@ -47,9 +47,9 @@ fn main() {
                 without.elapsed_secs,
                 seq / without.elapsed_secs,
                 overhead,
-                with.master().map(|m| m.steals).unwrap_or(0)
+                with.master().map_or(0, |m| m.steals)
             );
-            if best.map(|(t, _, _)| with.elapsed_secs < t).unwrap_or(true) {
+            if best.is_none_or(|(t, _, _)| with.elapsed_secs < t) {
                 best = Some((with.elapsed_secs, interval, steal_unit));
             }
         }

@@ -10,14 +10,19 @@
 
 use firewall::vnet::VNet;
 use firewall::{Policy, NXPORT, OUTER_PORT};
-use nexus_proxy::{nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv};
-use rmf::{
-    rmf_site_policy, submit_job, wait_job, ExecRegistry, FlowTrace, Gatekeeper, GassStore,
-    QServer, ResourceAllocator, ResourceInfo, SelectPolicy,
+use nexus_proxy::{
+    nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
 };
-use std::io::{Read, Write};
+use rmf::{
+    rmf_site_policy, submit_job, wait_job, ExecRegistry, FlowTrace, GassStore, Gatekeeper, QServer,
+    ResourceAllocator, ResourceInfo, SelectPolicy,
+};
+use std::error::Error;
+use std::io::{self, Read, Write};
 use std::time::Duration;
 use wacs_core::{FirewallMode, PaperTestbed};
+
+type Render = Result<(), Box<dyn Error>>;
 
 fn fig1() {
     println!("── Figure 1: Wide-area cluster system ──────────────────────");
@@ -31,7 +36,7 @@ fn fig1() {
     );
 }
 
-fn fig2() {
+fn fig2() -> Render {
     println!("── Figure 2: The architecture of RMF (live run) ────────────");
     let net = VNet::new();
     let outside = net.add_site("outside", None);
@@ -45,26 +50,85 @@ fn fig2() {
         inside,
         rmf_site_policy(
             "rwcp",
-            &[(a, rmf::ALLOCATOR_PORT), (q1, rmf::QSERVER_PORT), (q2, rmf::QSERVER_PORT)],
+            &[
+                (a, rmf::ALLOCATOR_PORT),
+                (q1, rmf::QSERVER_PORT),
+                (q2, rmf::QSERVER_PORT),
+            ],
         ),
     );
     let trace = FlowTrace::new();
     let gass = GassStore::new();
     let registry = ExecRegistry::new();
     registry.register("job", |_| 0);
-    let alloc = ResourceAllocator::start(net.clone(), "alloc-host", SelectPolicy::LeastLoaded, trace.clone()).unwrap();
-    alloc.state.register(ResourceInfo { name: "cluster A".into(), qserver_host: "clusterA-fe".into(), cpus: 8 });
-    alloc.state.register(ResourceInfo { name: "cluster B".into(), qserver_host: "clusterB-fe".into(), cpus: 8 });
-    let _qa = QServer::start(net.clone(), "clusterA-fe", "cluster A", registry.clone(), gass.clone(), "alloc-host", trace.clone()).unwrap();
-    let _qb = QServer::start(net.clone(), "clusterB-fe", "cluster B", registry, gass.clone(), "alloc-host", trace.clone()).unwrap();
-    let gk = Gatekeeper::start(net.clone(), "gk-host", vec!["/CN=user".into()], "alloc-host", gass, trace.clone()).unwrap();
+    let alloc = ResourceAllocator::start(
+        net.clone(),
+        "alloc-host",
+        SelectPolicy::LeastLoaded,
+        trace.clone(),
+    )?;
+    alloc.state.register(ResourceInfo {
+        name: "cluster A".into(),
+        qserver_host: "clusterA-fe".into(),
+        cpus: 8,
+    });
+    alloc.state.register(ResourceInfo {
+        name: "cluster B".into(),
+        qserver_host: "clusterB-fe".into(),
+        cpus: 8,
+    });
+    let _qa = QServer::start(
+        net.clone(),
+        "clusterA-fe",
+        "cluster A",
+        registry.clone(),
+        gass.clone(),
+        "alloc-host",
+        trace.clone(),
+    )?;
+    let _qb = QServer::start(
+        net.clone(),
+        "clusterB-fe",
+        "cluster B",
+        registry,
+        gass.clone(),
+        "alloc-host",
+        trace.clone(),
+    )?;
+    let gk = Gatekeeper::start(
+        net.clone(),
+        "gk-host",
+        vec!["/CN=user".into()],
+        "alloc-host",
+        gass,
+        trace.clone(),
+    )?;
     let addr = gk.addr();
-    let job = submit_job(&net, "user", (&addr.0, addr.1), "/CN=user", "&(executable=job)(count=12)").unwrap();
-    wait_job(&net, "user", (&addr.0, addr.1), job, Duration::from_secs(30)).unwrap();
+    let job = submit_job(
+        &net,
+        "user",
+        (&addr.0, addr.1),
+        "/CN=user",
+        "&(executable=job)(count=12)",
+    )?;
+    wait_job(
+        &net,
+        "user",
+        (&addr.0, addr.1),
+        job,
+        Duration::from_secs(30),
+    )?;
     println!("{}", trace.render());
+    Ok(())
 }
 
-fn figs34() {
+/// Join a helper thread that itself returns an io::Result.
+fn join(t: std::thread::JoinHandle<io::Result<()>>) -> Render {
+    t.join().map_err(|_| "helper thread panicked")??;
+    Ok(())
+}
+
+fn figs34() -> Render {
     let net = VNet::new();
     let rwcp = net.add_site("rwcp", None);
     let dmz = net.add_site("dmz", None);
@@ -74,76 +138,78 @@ fn figs34() {
     net.add_host("outer-host", dmz);
     net.add_host("pb-host", remote); // PB: outside
     net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
-    let inner = InnerServer::start(net.clone(), InnerConfig::new("inner-host")).unwrap();
+    let inner = InnerServer::start(net.clone(), InnerConfig::new("inner-host"))?;
     let outer = OuterServer::start(
         net.clone(),
         OuterConfig::new("outer-host").with_inner("inner-host", NXPORT),
-    )
-    .unwrap();
+    )?;
     let env = ProxyEnv::via("outer-host", OUTER_PORT);
 
     println!("── Figure 3: active connection via the Nexus Proxy ─────────");
-    let l = net.bind("pb-host", 7000).unwrap();
-    let t = std::thread::spawn(move || {
-        let (mut s, _) = l.accept().unwrap();
+    let l = net.bind("pb-host", 7000)?;
+    let t = std::thread::spawn(move || -> io::Result<()> {
+        let (mut s, _) = l.accept()?;
         let mut b = [0u8; 1];
-        s.read_exact(&mut b).unwrap();
+        s.read_exact(&mut b)
     });
     println!("  (1) PA calls NXProxyConnect() instead of connect()");
-    let mut pa = nx_proxy_connect(&net, &env, "pa-host", ("pb-host", 7000)).unwrap();
+    let mut pa = nx_proxy_connect(&net, &env, "pa-host", ("pb-host", 7000))?;
     println!(
         "  (2) outer server received the request and connected to PB  [connects_ok = {}]",
         outer.stats().connects_ok
     );
-    pa.write_all(b"!").unwrap();
-    t.join().unwrap();
-    println!(
-        "  (3) PB accepted; link established through the outer server [relayed ≥ 1 byte]\n"
-    );
+    pa.write_all(b"!")?;
+    join(t)?;
+    println!("  (3) PB accepted; link established through the outer server [relayed ≥ 1 byte]\n");
 
     println!("── Figure 4: passive connection via the Nexus Proxy ────────");
     println!("  (1) PA calls NXProxyBind() instead of bind()");
-    let listener = nx_proxy_bind(&net, &env, "pa-host").unwrap();
+    let listener = nx_proxy_bind(&net, &env, "pa-host")?;
     let adv = listener.advertised.clone();
     println!(
         "  (2) outer server bound rendezvous port {} and listens    [binds = {}]",
         adv.1,
         outer.stats().binds
     );
-    let t = std::thread::spawn(move || {
+    let t = std::thread::spawn(move || -> io::Result<()> {
         println!("  (5) PA calls NXProxyAccept() on the returned endpoint");
-        let mut s = listener.accept().unwrap();
+        let mut s = listener.accept()?;
         let mut b = [0u8; 1];
-        s.read_exact(&mut b).unwrap();
+        s.read_exact(&mut b)
     });
     println!("  (3) PB connects to the outer server instead of PA");
-    let mut pb = net.dial("pb-host", &adv.0, adv.1).unwrap();
-    pb.write_all(b"!").unwrap();
-    t.join().unwrap();
+    let mut pb = net.dial("pb-host", &adv.0, adv.1)?;
+    pb.write_all(b"!")?;
+    join(t)?;
     println!(
         "  (4) outer connected to inner via nxport; inner connected to PA [outer relays = {}, inner relays = {}]\n",
         outer.stats().relays_ok,
         inner.stats().relays_ok
     );
+    Ok(())
 }
 
-fn fig5() {
+fn fig5() -> Render {
     println!("── Figure 5: experimental environment (validated testbed) ──");
     let tb = PaperTestbed::build(FirewallMode::DenyInWithNxport);
     println!("{}", tb.render());
     // Validation: routing + firewall behaviour hold on this data.
-    let path = tb.topo.route(tb.rwcp_sun, tb.etl_sun).unwrap();
+    let path = tb
+        .topo
+        .route(tb.rwcp_sun, tb.etl_sun)
+        .ok_or("testbed is not connected")?;
     println!(
         "route rwcp-sun -> etl-sun: {} hops, {} one-way, bottleneck {:.0} B/s",
         path.len(),
         tb.topo.path_latency(&path),
         tb.topo.path_bandwidth(&path)
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Render {
     fig1();
-    fig2();
-    figs34();
-    fig5();
+    fig2()?;
+    figs34()?;
+    fig5()
 }

@@ -26,9 +26,7 @@ fn main() {
         let device = match system {
             System::Compas => "mpich ch_p4 device",
             System::EtlO2k => "vendor-provided MPI",
-            System::LocalArea | System::WideArea => {
-                "mpich Globus device utilizing the Nexus Proxy"
-            }
+            System::LocalArea | System::WideArea => "mpich Globus device utilizing the Nexus Proxy",
         };
         println!(
             "{:<22} {:>6}  {} — {}",

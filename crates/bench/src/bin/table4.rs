@@ -11,7 +11,10 @@ use wacs_core::{run_knapsack, sequential_baseline, KnapsackRun, System};
 fn main() {
     let items = arg_usize("--items", TABLE4_ITEMS);
     println!("Table 4: Execution time for the 0-1 knapsack problem");
-    println!("(no-pruning instance, n = {items}, 2^{} nodes; virtual seconds)\n", items + 1);
+    println!(
+        "(no-pruning instance, n = {items}, 2^{} nodes; virtual seconds)\n",
+        items + 1
+    );
 
     let seq = sequential_baseline(items);
     println!(

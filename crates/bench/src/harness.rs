@@ -1,0 +1,165 @@
+//! Minimal benchmark harness for the `harness = false` bench targets.
+//!
+//! `cargo bench` invokes each bench binary with `--bench` (plus an
+//! optional name filter); this module gives those binaries a
+//! criterion-shaped surface — groups, per-iteration timing, throughput
+//! annotation — without an external dependency, which matters because
+//! the workspace must build offline. It measures wall-clock medians
+//! over fixed sample batches; it is a smoke-and-trend tool, not a
+//! statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for preventing the optimizer from deleting the
+/// benchmarked computation.
+pub use std::hint::black_box;
+
+/// What one iteration processes, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver: parses the argv conventions `cargo bench` uses
+/// (`--bench`, optional substring filter) and runs matching benches.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    pub fn from_env() -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: 20,
+            throughput: None,
+        }
+    }
+
+    /// One-off benchmark without group settings.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.group(name).run("", f);
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f`, printing a one-line summary. Warms up briefly, then
+    /// takes `samples` timed runs and reports the median.
+    pub fn run(&mut self, name: &str, mut f: impl FnMut()) {
+        let full = if name.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{name}", self.name)
+        };
+        if !self.harness.matches(&full) {
+            return;
+        }
+        // Warm-up: run until ~50ms spent or 5 iterations, whichever first.
+        let warm_start = Instant::now();
+        for _ in 0..5 {
+            f();
+            if warm_start.elapsed() > Duration::from_millis(50) {
+                break;
+            }
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let rate = self.throughput.map(|t| {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!(", {:.2} MB/s", n as f64 / secs / 1e6),
+            }
+        });
+        println!(
+            "bench {full:<44} median {:>12} ({} samples{})",
+            fmt_duration(median),
+            times.len(),
+            rate.unwrap_or_default(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut h = Harness { filter: None };
+        let mut calls = 0u32;
+        h.group("g").sample_size(3).run("case", || calls += 1);
+        // 3 samples + up to 5 warm-up calls.
+        assert!((4..=8).contains(&calls));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            filter: Some("other".into()),
+        };
+        let mut calls = 0u32;
+        h.group("g").run("case", || calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn durations_format_by_scale() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -14,7 +14,10 @@
 //! | `ablation_portrange` | proxy vs `TCP_MIN/MAX_PORT` exposure trade |
 //! | `ablation_relay` | Table 2 sensitivity to the relay cost model |
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 use knapsack::RunResult;
+
+pub mod harness;
 
 /// Pretty-print a bytes/second figure the way the paper does
 /// (KB/sec or MB/sec).
@@ -43,14 +46,11 @@ pub fn group_row(
     metric: impl Fn(&knapsack::RankStats) -> u64 + Copy,
 ) -> String {
     let mut row = String::new();
-    let master = rr.master().map(metric).unwrap_or(0);
+    let master = rr.master().map_or(0, metric);
     row.push_str(&format!("{master:>10} "));
     for g in groups {
         match rr.group_summary(g, metric) {
-            Some(s) => row.push_str(&format!(
-                "{:>10} {:>10} {:>10.1} ",
-                s.max, s.min, s.avg
-            )),
+            Some(s) => row.push_str(&format!("{:>10} {:>10} {:>10.1} ", s.max, s.min, s.avg)),
             None => row.push_str(&format!("{:>10} {:>10} {:>10} ", "-", "-", "-")),
         }
     }

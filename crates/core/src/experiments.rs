@@ -12,11 +12,9 @@ use knapsack::sim::{MasterActor, Shared, SlaveActor};
 use knapsack::{ParParams, RunResult};
 use netsim::engine::{NetConfig, Simulator};
 use netsim::prelude::*;
-use nexus_proxy::sim::{
-    NxClient, NxEvent, NxHandled, SimInnerServer, SimOuterServer, SimProxyEnv,
-};
-use parking_lot::Mutex;
+use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, SimInnerServer, SimOuterServer, SimProxyEnv};
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 /// Which Table 2 pair to measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,14 +211,22 @@ impl PpClient {
                     self.t0 = Some(ctx.now());
                 }
                 if self.round == self.warmup + self.reps {
-                    let elapsed = ctx.now().since(self.t0.expect("t0 set at warmup end"));
+                    // t0 was stored when `round` passed `warmup` above; a
+                    // missing stamp is a harness bug worth an abort.
+                    #[allow(clippy::expect_used)]
+                    let elapsed = ctx.now().since(self.t0.expect("t0 set at warmup end")); // lint:allow(unwrap-panic)
                     let one_way = SimDuration(elapsed.nanos() / u64::from(2 * self.reps));
                     self.shared.lock().one_way = Some(one_way);
                     ctx.stop_simulation();
                     return;
                 }
                 self.round += 1;
-                let (flow, size) = (self.ping_flow.unwrap(), self.size);
+                // Pings go out on C1; pongs come back on the separate C2
+                // connection, so d.flow must NOT be used here. C1 exists
+                // before any pong can arrive (maybe_start gates on it).
+                #[allow(clippy::expect_used)]
+                let flow = self.ping_flow.expect("pong before ping channel"); // lint:allow(unwrap-panic)
+                let size = self.size;
                 let stamp = PingStamp(ctx.now());
                 let _ = self.nx.send_data(ctx, flow, size, stamp);
             }
@@ -336,10 +342,13 @@ pub fn pingpong_with_model(
     );
     sim.run();
     let st = shared.lock();
+    // The sim ran to completion above; a missing sample means the proxy
+    // wiring for this scenario is broken, which should fail loudly.
+    #[allow(clippy::expect_used)]
     let one_way = st
         .one_way
-        .expect("ping-pong did not complete — check proxy wiring");
-    // Average the measured (post-warmup) forward samples.
+        .expect("ping-pong did not complete — check proxy wiring"); // lint:allow(unwrap-panic)
+                                                                    // Average the measured (post-warmup) forward samples.
     let measured = &st.c1_samples[2.min(st.c1_samples.len())..];
     let forward = if measured.is_empty() {
         one_way
@@ -451,7 +460,10 @@ pub fn run_knapsack_with_mode(cfg: &KnapsackRun, fw_mode: FirewallMode) -> RunRe
     }
     sim.run();
     let result = shared.lock().result.clone();
-    result.expect("knapsack simulation did not finish")
+    // A finished sim always publishes a result; anything else is a bug
+    // in the master/slave protocol and deserves the abort.
+    #[allow(clippy::expect_used)]
+    result.expect("knapsack simulation did not finish") // lint:allow(unwrap-panic)
 }
 
 /// Sequential baseline: "we ran the sequential version of the 0-1
@@ -475,7 +487,8 @@ pub fn sequential_baseline(items: usize) -> RunResult {
     );
     sim.run();
     let result = shared.lock().result.clone();
-    result.expect("sequential run did not finish")
+    #[allow(clippy::expect_used)]
+    result.expect("sequential run did not finish") // lint:allow(unwrap-panic)
 }
 
 #[cfg(test)]
@@ -519,7 +532,10 @@ mod tests {
         let drop = (direct - indirect) / direct;
         // "the overhead of the Nexus Proxy can be negligible when the
         // message size is large" — under 30% here.
-        assert!(drop < 0.30, "bulk WAN drop {drop:.2} (direct {direct:.0}, indirect {indirect:.0})");
+        assert!(
+            drop < 0.30,
+            "bulk WAN drop {drop:.2} (direct {direct:.0}, indirect {indirect:.0})"
+        );
     }
 
     #[test]
@@ -537,7 +553,10 @@ mod tests {
                 "{}",
                 system.name()
             );
-            assert_eq!(rr.best, Instance::no_pruning(cal::QUICK_ITEMS).total_profit());
+            assert_eq!(
+                rr.best,
+                Instance::no_pruning(cal::QUICK_ITEMS).total_profit()
+            );
             let speedup = seq.elapsed_secs / rr.elapsed_secs;
             assert!(
                 speedup > 1.5,

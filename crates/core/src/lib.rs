@@ -4,6 +4,7 @@
 //! ([`calibration`]), and the harness functions that regenerate every
 //! table ([`experiments`]).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod calibration;
 pub mod experiments;
 pub mod testbed;

@@ -64,12 +64,7 @@ impl PaperTestbed {
         let rwcp_sun = topo.add_host_with_cpu("rwcp-sun", rwcp_site, cal::cpu::SUN_E450, 4);
         let compas: Vec<NodeId> = (0..COMPAS_NODES)
             .map(|i| {
-                topo.add_host_with_cpu(
-                    format!("compas{i}"),
-                    rwcp_site,
-                    cal::cpu::PENTIUM_PRO,
-                    4,
-                )
+                topo.add_host_with_cpu(format!("compas{i}"), rwcp_site, cal::cpu::PENTIUM_PRO, 4)
             })
             .collect();
         let rwcp_inner = topo.add_host_with_cpu("rwcp-inner", rwcp_site, cal::cpu::SUN_E450, 2);
@@ -99,11 +94,9 @@ impl PaperTestbed {
         topo.add_link(etl_sw, etl_o2k, lan_lat, cal::LAN_BANDWIDTH);
 
         topo.sites[rwcp_site.0 as usize].policy = match mode {
-            FirewallMode::DenyInWithNxport => Some(Policy::typical_with_nxport(
-                "RWCP",
-                rwcp_inner.0,
-                NXPORT,
-            )),
+            FirewallMode::DenyInWithNxport => {
+                Some(Policy::typical_with_nxport("RWCP", rwcp_inner.0, NXPORT))
+            }
             FirewallMode::TemporarilyOpen => None,
             FirewallMode::PortRangeOpen { lo, hi } => {
                 Some(Policy::typical_with_port_range("RWCP", lo, hi))
@@ -291,7 +284,10 @@ mod tests {
     fn wan_is_the_bottleneck_to_etl() {
         let tb = PaperTestbed::build(FirewallMode::TemporarilyOpen);
         let path = tb.topo.route(tb.rwcp_sun, tb.etl_sun).unwrap();
-        assert_eq!(tb.topo.path_bandwidth(&path), crate::calibration::WAN_BANDWIDTH);
+        assert_eq!(
+            tb.topo.path_bandwidth(&path),
+            crate::calibration::WAN_BANDWIDTH
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! tracker even under a deny-based inbound policy (otherwise no
 //! outbound-initiated TCP connection could ever complete).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod audit;
 pub mod conntrack;
 pub mod policy;

@@ -4,10 +4,9 @@
 use crate::audit::{AuditLog, AuditRecord};
 use crate::conntrack::ConnTracker;
 use crate::rule::{Action, Direction, Endpoint, HostSet, PortSet, Proto, Rule, Verdict};
-use serde::{Deserialize, Serialize};
 
 /// A stateless policy: ordered rules and per-direction default actions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Policy {
     pub rules: Vec<Rule>,
     pub default_inbound: Action,
@@ -59,11 +58,7 @@ impl Policy {
     /// `inner_host:nxport` is allowed, as the paper requires —
     /// "only the communication port from the outer server to the inner
     /// server must be opened in advance".
-    pub fn typical_with_nxport(
-        name: impl Into<String>,
-        inner_host: u32,
-        nxport: u16,
-    ) -> Policy {
+    pub fn typical_with_nxport(name: impl Into<String>, inner_host: u32, nxport: u16) -> Policy {
         Policy::typical(name).push(
             Rule::allow(Direction::Inbound)
                 .proto(Proto::Tcp)
@@ -210,7 +205,11 @@ impl Firewall {
         };
         let rule = match verdict {
             Verdict::PassEstablished => "<established>".to_string(),
-            _ => self.policy.evaluate(direction, proto, src, dst).1.to_string(),
+            _ => self
+                .policy
+                .evaluate(direction, proto, src, dst)
+                .1
+                .to_string(),
         };
         self.audit.push(AuditRecord {
             direction,
@@ -247,11 +246,13 @@ mod tests {
     fn typical_policy_denies_inbound_allows_outbound() {
         let p = Policy::typical("site");
         assert_eq!(
-            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 1), ep(1, 80)).0,
+            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 1), ep(1, 80))
+                .0,
             Action::Deny
         );
         assert_eq!(
-            p.evaluate(Direction::Outbound, Proto::Tcp, ep(1, 1), ep(9, 80)).0,
+            p.evaluate(Direction::Outbound, Proto::Tcp, ep(1, 1), ep(9, 80))
+                .0,
             Action::Allow
         );
     }
@@ -278,17 +279,20 @@ mod tests {
     fn nxport_hole_only_reaches_inner_host() {
         let p = Policy::typical_with_nxport("rwcp", 3, 911);
         assert_eq!(
-            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(3, 911)).0,
+            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(3, 911))
+                .0,
             Action::Allow
         );
         // Same port on another host: denied.
         assert_eq!(
-            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(4, 911)).0,
+            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(4, 911))
+                .0,
             Action::Deny
         );
         // Another port on the inner host: denied.
         assert_eq!(
-            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(3, 912)).0,
+            p.evaluate(Direction::Inbound, Proto::Tcp, ep(9, 50000), ep(3, 912))
+                .0,
             Action::Deny
         );
     }

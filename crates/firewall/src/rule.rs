@@ -1,8 +1,6 @@
 //! Filtering rules: match sets over hosts, ports and protocols, plus the
 //! verdicts a filter can return.
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque host identifier.
 ///
 /// The simulator maps its `HostId` into this; the real-socket stack maps
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 pub type HostRef = u32;
 
 /// One endpoint of a (potential) flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     pub host: HostRef,
     pub port: u16,
@@ -30,7 +28,7 @@ impl std::fmt::Display for Endpoint {
 }
 
 /// Transport protocol selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Proto {
     Tcp,
     Udp,
@@ -45,7 +43,7 @@ impl Proto {
 }
 
 /// Direction of a packet relative to the protected (inside) network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// From the outside world into the protected site.
     Inbound,
@@ -63,7 +61,7 @@ impl Direction {
 }
 
 /// A set of hosts a rule can match.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HostSet {
     Any,
     One(HostRef),
@@ -88,7 +86,7 @@ impl HostSet {
 /// `TCP_MAX_PORT` workaround the paper critiques: opening the whole
 /// listener range inbound is "basically the same as the allow based
 /// firewall".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PortSet {
     Any,
     One(u16),
@@ -124,14 +122,14 @@ impl PortSet {
 }
 
 /// Rule action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
     Allow,
     Deny,
 }
 
 /// Final verdict returned by [`crate::Firewall::filter`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Passed by an explicit rule or by the default action.
     Pass,
@@ -148,7 +146,7 @@ impl Verdict {
 }
 
 /// A single filtering rule. First matching rule wins.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     pub action: Action,
     pub direction: Direction,

@@ -20,12 +20,12 @@
 
 use crate::policy::{Firewall, Policy};
 use crate::rule::{Direction, Endpoint, HostRef, Proto};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 /// Site index within a `VNet`.
 pub type VSiteId = usize;
@@ -160,7 +160,11 @@ impl VNet {
                 format!("unknown host {host}"),
             ));
         }
-        let port = if port == 0 { self.ephemeral_port() } else { port };
+        let port = if port == 0 {
+            self.ephemeral_port()
+        } else {
+            port
+        };
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let real = listener.local_addr()?;
         let mut services = self.inner.services.lock();
@@ -193,7 +197,10 @@ impl VNet {
     pub fn check_connect(&self, from: &str, to: &str, port: u16) -> io::Result<()> {
         let hosts = self.inner.hosts.lock();
         let src = hosts.get(from).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::NotFound, format!("unknown source host {from}"))
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("unknown source host {from}"),
+            )
         })?;
         let dst = hosts.get(to).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("unknown dest host {to}"))
@@ -215,9 +222,7 @@ impl VNet {
                 if !verdict.passed() {
                     return Err(io::Error::new(
                         io::ErrorKind::PermissionDenied,
-                        format!(
-                            "firewall dropped {from}->{to}:{port} ({dir:?} at site {site})"
-                        ),
+                        format!("firewall dropped {from}->{to}:{port} ({dir:?} at site {site})"),
                     ));
                 }
             }

@@ -12,6 +12,11 @@ use crate::comm::Comm;
 use crate::datatype::{pack_f64s, pack_u64s, unpack_f64s, unpack_u64s};
 use std::io;
 
+/// Copy an (already length-checked) 4-byte slice into an array.
+fn read4(c: &[u8]) -> [u8; 4] {
+    [c[0], c[1], c[2], c[3]]
+}
+
 const TAG_BARRIER_UP: i32 = -1;
 const TAG_BARRIER_DOWN: i32 = -2;
 const TAG_BCAST: i32 = -3;
@@ -116,10 +121,7 @@ impl Comm {
             if vrank & mask == 0 {
                 let child = vrank | mask;
                 if child < size {
-                    let (_, _, bytes) = self.recv(
-                        Some((child + root) % size),
-                        Some(TAG_REDUCE),
-                    )?;
+                    let (_, _, bytes) = self.recv(Some((child + root) % size), Some(TAG_REDUCE))?;
                     let other = unpack_f64s(&bytes)?;
                     combine_f64(&mut local, &other, op)?;
                 }
@@ -154,8 +156,7 @@ impl Comm {
             if vrank & mask == 0 {
                 let child = vrank | mask;
                 if child < size {
-                    let (_, _, bytes) =
-                        self.recv(Some((child + root) % size), Some(TAG_REDUCE))?;
+                    let (_, _, bytes) = self.recv(Some((child + root) % size), Some(TAG_REDUCE))?;
                     let other = unpack_u64s(&bytes)?;
                     if other.len() != local.len() {
                         return Err(io::Error::new(
@@ -187,7 +188,15 @@ impl Comm {
                 let (src, _, payload) = self.recv(None, Some(TAG_GATHER))?;
                 out[src as usize] = Some(payload);
             }
-            Ok(Some(out.into_iter().map(|o| o.unwrap()).collect()))
+            let full: io::Result<Vec<Vec<u8>>> = out
+                .into_iter()
+                .map(|o| {
+                    o.ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "gather missed a rank")
+                    })
+                })
+                .collect();
+            Ok(Some(full?))
         } else {
             self.send_internal(root, TAG_GATHER, &data)?;
             Ok(None)
@@ -255,10 +264,10 @@ impl Comm {
             *pos += n;
             Ok(s)
         };
-        let count = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let count = u32::from_be_bytes(read4(take(&mut pos, 4)?));
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let len = u32::from_be_bytes(read4(take(&mut pos, 4)?)) as usize;
             out.push(take(&mut pos, len)?.to_vec());
         }
         Ok(out)
@@ -289,7 +298,13 @@ impl Comm {
             let (src, _, payload) = self.recv(None, Some(TAG_ALLTOALL))?;
             out[src as usize] = Some(payload);
         }
-        Ok(out.into_iter().map(|o| o.unwrap()).collect())
+        out.into_iter()
+            .map(|o| {
+                o.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "alltoall missed a rank")
+                })
+            })
+            .collect()
     }
 
     /// Binomial broadcast on an explicit reserved tag (lets composed

@@ -2,11 +2,11 @@
 
 use crate::packet::Packet;
 use nexus::{Endpoint, NexusContext, Startpoint};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wacs_sync::OrderedMutex;
 
 /// Tags below this are reserved for collectives; user tags must be
 /// non-negative.
@@ -32,14 +32,14 @@ pub struct Comm {
     /// Advertised endpoint addresses of all ranks (index = rank).
     addrs: Arc<Vec<(String, u16)>>,
     /// Lazily attached startpoints to peers.
-    peers: Vec<Mutex<Option<Startpoint>>>,
+    peers: Vec<OrderedMutex<Option<Startpoint>>>,
     /// Messages received but not yet matched (MPI's unexpected-message
     /// queue).
-    stash: Mutex<VecDeque<Packet>>,
+    stash: OrderedMutex<VecDeque<Packet>>,
     epoch: Instant,
     /// Diagnostics.
-    sent: Mutex<u64>,
-    received: Mutex<u64>,
+    sent: OrderedMutex<u64>,
+    received: OrderedMutex<u64>,
 }
 
 impl Comm {
@@ -50,7 +50,9 @@ impl Comm {
         ep: Endpoint,
         addrs: Arc<Vec<(String, u16)>>,
     ) -> Comm {
-        let peers = (0..size).map(|_| Mutex::new(None)).collect();
+        let peers = (0..size)
+            .map(|peer| OrderedMutex::new(&format!("gridmpi.comm.peer{peer}"), None))
+            .collect();
         Comm {
             rank,
             size,
@@ -58,10 +60,10 @@ impl Comm {
             ep,
             addrs,
             peers,
-            stash: Mutex::new(VecDeque::new()),
+            stash: OrderedMutex::new("gridmpi.comm.stash", VecDeque::new()),
             epoch: Instant::now(),
-            sent: Mutex::new(0),
-            received: Mutex::new(0),
+            sent: OrderedMutex::new("gridmpi.comm.sent", 0),
+            received: OrderedMutex::new("gridmpi.comm.received", 0),
         }
     }
 
@@ -102,14 +104,17 @@ impl Comm {
         assert_ne!(dest, self.rank, "self-sends are not supported");
         let frame = Packet::encode(self.rank, tag, payload);
         let mut slot = self.peers[dest as usize].lock();
-        if slot.is_none() {
-            let (host, port) = &self.addrs[dest as usize];
-            let sp = self
-                .ctx
-                .attach_retry((host, *port), 200, Duration::from_millis(5))?;
-            *slot = Some(sp);
-        }
-        slot.as_ref().unwrap().send(&frame)?;
+        let sp = match slot.as_ref() {
+            Some(sp) => sp,
+            None => {
+                let (host, port) = &self.addrs[dest as usize];
+                let sp = self
+                    .ctx
+                    .attach_retry((host, *port), 200, Duration::from_millis(5))?;
+                slot.insert(sp)
+            }
+        };
+        sp.send(&frame)?;
         *self.sent.lock() += 1;
         Ok(())
     }
@@ -172,11 +177,7 @@ impl Comm {
             *self.received.lock() += 1;
             self.stash.lock().push_back(p);
         }
-        Ok(self
-            .stash
-            .lock()
-            .iter()
-            .any(|p| p.matches(src, tag)))
+        Ok(self.stash.lock().iter().any(|p| p.matches(src, tag)))
     }
 
     /// Non-blocking receive.

@@ -25,7 +25,11 @@ pub fn unpack_u64s(bytes: &[u8]) -> io::Result<Vec<u64>> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_be_bytes(a)
+        })
         .collect())
 }
 
@@ -43,7 +47,11 @@ pub fn unpack_i64s(bytes: &[u8]) -> io::Result<Vec<i64>> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| i64::from_be_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            i64::from_be_bytes(a)
+        })
         .collect())
 }
 
@@ -61,7 +69,11 @@ pub fn unpack_f64s(bytes: &[u8]) -> io::Result<Vec<f64>> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| f64::from_be_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            f64::from_be_bytes(a)
+        })
         .collect())
 }
 
@@ -79,7 +91,11 @@ pub fn unpack_u32s(bytes: &[u8]) -> io::Result<Vec<u32>> {
     }
     Ok(bytes
         .chunks_exact(4)
-        .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(c);
+            u32::from_be_bytes(a)
+        })
         .collect())
 }
 
@@ -99,7 +115,10 @@ mod tests {
 
     #[test]
     fn scalar_roundtrip() {
-        assert_eq!(unpack_u64(&pack_u64(0xDEAD_BEEF_CAFE_F00D)).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(
+            unpack_u64(&pack_u64(0xDEAD_BEEF_CAFE_F00D)).unwrap(),
+            0xDEAD_BEEF_CAFE_F00D
+        );
         assert!(unpack_u64(&[1, 2, 3]).is_err());
     }
 
@@ -117,25 +136,35 @@ mod tests {
         assert_eq!(pack_u64s(&[256]), vec![0, 0, 0, 0, 0, 0, 1, 0]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_u64s(v in proptest::collection::vec(proptest::num::u64::ANY, 0..64)) {
-            proptest::prop_assert_eq!(unpack_u64s(&pack_u64s(&v)).unwrap(), v);
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
+    }
 
-        #[test]
-        fn prop_i64s(v in proptest::collection::vec(proptest::num::i64::ANY, 0..64)) {
-            proptest::prop_assert_eq!(unpack_i64s(&pack_i64s(&v)).unwrap(), v);
-        }
-
-        #[test]
-        fn prop_f64s(v in proptest::collection::vec(proptest::num::f64::NORMAL, 0..64)) {
-            proptest::prop_assert_eq!(unpack_f64s(&pack_f64s(&v)).unwrap(), v);
-        }
-
-        #[test]
-        fn prop_u32s(v in proptest::collection::vec(proptest::num::u32::ANY, 0..64)) {
-            proptest::prop_assert_eq!(unpack_u32s(&pack_u32s(&v)).unwrap(), v);
+    /// Pack/unpack round trips across random vectors of every type.
+    #[test]
+    fn random_vectors_roundtrip() {
+        let mut r = test_rng(0xda7a);
+        for _ in 0..200 {
+            let n = (r() % 64) as usize;
+            let u64s: Vec<u64> = (0..n).map(|_| r()).collect();
+            assert_eq!(unpack_u64s(&pack_u64s(&u64s)).unwrap(), u64s);
+            let i64s: Vec<i64> = (0..n).map(|_| r() as i64).collect();
+            assert_eq!(unpack_i64s(&pack_i64s(&i64s)).unwrap(), i64s);
+            let u32s: Vec<u32> = (0..n).map(|_| r() as u32).collect();
+            assert_eq!(unpack_u32s(&pack_u32s(&u32s)).unwrap(), u32s);
+            // Normal (non-NaN, non-subnormal) floats compare exactly.
+            let f64s: Vec<f64> = (0..n)
+                .map(|_| 1.0 + (r() % 1_000_000) as f64 / 997.0)
+                .collect();
+            assert_eq!(unpack_f64s(&pack_f64s(&f64s)).unwrap(), f64s);
         }
     }
 }

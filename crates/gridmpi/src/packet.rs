@@ -32,8 +32,8 @@ impl Packet {
                 "short MPI packet",
             ));
         }
-        let src = u32::from_be_bytes(frame[0..4].try_into().unwrap());
-        let tag = i32::from_be_bytes(frame[4..8].try_into().unwrap());
+        let src = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]);
+        let tag = i32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]);
         let payload = frame[HEADER_LEN..].to_vec();
         Ok(Packet { src, tag, payload })
     }
@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn empty_payload_ok_short_header_err() {
-        assert_eq!(Packet::decode(Packet::encode(0, 0, b"")).unwrap().payload, b"");
+        assert_eq!(
+            Packet::decode(Packet::encode(0, 0, b"")).unwrap().payload,
+            b""
+        );
         assert!(Packet::decode(vec![1, 2, 3]).is_err());
     }
 
@@ -82,13 +85,31 @@ mod tests {
         assert!(!p.matches(Some(2), Some(8)));
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip(src: u32, tag: i32, payload in proptest::collection::vec(0u8..=255, 0..256)) {
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Encode/decode round trip across random (src, tag, payload).
+    #[test]
+    fn random_packets_roundtrip() {
+        let mut r = test_rng(0x9ac4e7);
+        for _ in 0..500 {
+            let src = r() as u32;
+            let tag = r() as i32;
+            let len = (r() % 256) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| r() as u8).collect();
             let p = Packet::decode(Packet::encode(src, tag, &payload)).unwrap();
-            proptest::prop_assert_eq!(p.src, src);
-            proptest::prop_assert_eq!(p.tag, tag);
-            proptest::prop_assert_eq!(p.payload, payload);
+            assert_eq!(p.src, src);
+            assert_eq!(p.tag, tag);
+            assert_eq!(p.payload, payload);
         }
     }
 }

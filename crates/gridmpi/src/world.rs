@@ -63,8 +63,7 @@ where
             .spawn(move || {
                 let comm = Comm::new(rank as u32, size, spec.ctx, ep, addrs);
                 body(&comm)
-            })
-            .expect("failed to spawn rank thread");
+            })?;
         handles.push(handle);
     }
 

@@ -6,10 +6,14 @@ use crate::instance::Instance;
 
 /// Optimal value by DP over capacities `0..=C`.
 ///
-/// Panics if the capacity is absurdly large for a table (tests keep
-/// C·n under ~10^8).
+/// Panics (via `assert!`) if the capacity is absurdly large for a
+/// table (tests keep C·n under ~10^8).
 pub fn solve(inst: &Instance) -> u64 {
-    let c = usize::try_from(inst.capacity).expect("capacity too large for DP");
+    assert!(
+        inst.capacity < 200_000_000,
+        "DP capacity too large; use B&B"
+    );
+    let c = inst.capacity as usize;
     assert!(
         c.saturating_mul(inst.n().max(1)) < 200_000_000,
         "DP table too large; use B&B"

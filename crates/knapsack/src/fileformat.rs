@@ -109,7 +109,13 @@ mod tests {
         assert_eq!(inst.name, "my instance");
         assert_eq!(inst.n(), 2);
         assert_eq!(inst.capacity, 10);
-        assert_eq!(inst.items[1], Item { weight: 5, profit: 6 });
+        assert_eq!(
+            inst.items[1],
+            Item {
+                weight: 5,
+                profit: 6
+            }
+        );
     }
 
     #[test]
@@ -122,16 +128,47 @@ mod tests {
         assert!(read_instance("1 10\n1 2 3\n").is_err()); // three columns
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip(n in 0usize..40, r in 1u64..100, seed: u64) {
-            let inst = Instance::weakly_correlated(n.max(1), r, seed);
-            let back = read_instance(&write_instance(&inst)).unwrap();
-            proptest::prop_assert_eq!(back, inst);
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
+    }
 
-        #[test]
-        fn prop_parser_total(text in "[ -~\\n]{0,256}") {
+    /// Write/read round trips on random instances.
+    #[test]
+    fn random_instances_roundtrip() {
+        let mut r = test_rng(0xf11e);
+        for _ in 0..60 {
+            let n = 1 + (r() % 40) as usize;
+            let range = 1 + r() % 99;
+            let inst = Instance::weakly_correlated(n, range, r());
+            let back = read_instance(&write_instance(&inst)).unwrap();
+            assert_eq!(back, inst);
+        }
+    }
+
+    /// The parser is total: printable noise (with newlines) never
+    /// panics it.
+    #[test]
+    fn parser_total_on_random_text() {
+        let mut r = test_rng(0x7e47);
+        for _ in 0..1000 {
+            let len = (r() % 256) as usize;
+            let text: String = (0..len)
+                .map(|_| {
+                    if r().is_multiple_of(8) {
+                        '\n'
+                    } else {
+                        (0x20 + (r() % 95) as u8) as char
+                    }
+                })
+                .collect();
             let _ = read_instance(&text);
         }
     }

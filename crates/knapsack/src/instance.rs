@@ -6,19 +6,17 @@
 //! space is traced by processes" (§4.4) — which makes total work
 //! deterministic and lets the experiment isolate scheduling behaviour.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use netsim::SimRng;
 
 /// One item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Item {
     pub weight: u64,
     pub profit: u64,
 }
 
 /// A 0-1 knapsack instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     pub items: Vec<Item>,
     pub capacity: u64,
@@ -67,11 +65,11 @@ impl Instance {
     /// Uncorrelated instance: weights and profits independent uniform
     /// in `[1, r]`, capacity = half the total weight.
     pub fn uncorrelated(n: usize, r: u64, seed: u64) -> Instance {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let items = (0..n)
             .map(|_| Item {
-                weight: rng.gen_range(1..=r),
-                profit: rng.gen_range(1..=r),
+                weight: rng.range_inclusive(1, r),
+                profit: rng.range_inclusive(1, r),
             })
             .collect::<Vec<_>>();
         let capacity = items.iter().map(|i| i.weight).sum::<u64>() / 2;
@@ -84,16 +82,16 @@ impl Instance {
 
     /// Weakly correlated: profit within ±`r/10` of weight.
     pub fn weakly_correlated(n: usize, r: u64, seed: u64) -> Instance {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let spread = (r / 10).max(1);
         let items = (0..n)
             .map(|_| {
-                let weight = rng.gen_range(1..=r);
+                let weight = rng.range_inclusive(1, r);
                 let lo = weight.saturating_sub(spread).max(1);
                 let hi = weight + spread;
                 Item {
                     weight,
-                    profit: rng.gen_range(lo..=hi),
+                    profit: rng.range_inclusive(lo, hi),
                 }
             })
             .collect::<Vec<_>>();
@@ -107,11 +105,11 @@ impl Instance {
 
     /// Strongly correlated: profit = weight + `r/10` (hard for B&B).
     pub fn strongly_correlated(n: usize, r: u64, seed: u64) -> Instance {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let bump = (r / 10).max(1);
         let items = (0..n)
             .map(|_| {
-                let weight = rng.gen_range(1..=r);
+                let weight = rng.range_inclusive(1, r);
                 Item {
                     weight,
                     profit: weight + bump,

@@ -7,10 +7,9 @@
 //! represented by a stack onto which nodes are pushed."
 
 use crate::instance::Instance;
-use serde::{Deserialize, Serialize};
 
 /// A search-tree node. `capacity` is the *remaining* capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     pub index: u32,
     pub value: u64,
@@ -58,7 +57,7 @@ impl Node {
 }
 
 /// Statistics of a branch run.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BranchCounters {
     /// Nodes popped (the paper's "traversed nodes").
     pub traversed: u64,
@@ -144,7 +143,9 @@ mod tests {
         let mut stack = vec![Node::root(&inst)];
         let mut best = 0;
         let mut c = BranchCounters::default();
-        assert!(branch_once(&inst, &mut stack, &mut best, false, false, &mut c));
+        assert!(branch_once(
+            &inst, &mut stack, &mut best, false, false, &mut c
+        ));
         // Everything fits: two children.
         assert_eq!(stack.len(), 2);
         assert_eq!(c.traversed, 1);
@@ -155,7 +156,10 @@ mod tests {
     #[test]
     fn infeasible_include_is_not_pushed() {
         let inst = Instance {
-            items: vec![crate::instance::Item { weight: 10, profit: 5 }],
+            items: vec![crate::instance::Item {
+                weight: 10,
+                profit: 5,
+            }],
             capacity: 3,
             name: "tight".into(),
         };
@@ -172,7 +176,9 @@ mod tests {
         let mut stack = Vec::new();
         let mut best = 0;
         let mut c = BranchCounters::default();
-        assert!(!branch_once(&inst, &mut stack, &mut best, false, false, &mut c));
+        assert!(!branch_once(
+            &inst, &mut stack, &mut best, false, false, &mut c
+        ));
         assert_eq!(c.traversed, 0);
     }
 

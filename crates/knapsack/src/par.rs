@@ -78,9 +78,9 @@ pub fn node_work_estimate(node: &Node, n: usize) -> u64 {
 
 /// Estimated work on a whole stack (saturating).
 pub fn stack_work_estimate(stack: &[Node], n: usize) -> u64 {
-    stack
-        .iter()
-        .fold(0u64, |acc, nd| acc.saturating_add(node_work_estimate(nd, n)))
+    stack.iter().fold(0u64, |acc, nd| {
+        acc.saturating_add(node_work_estimate(nd, n))
+    })
 }
 
 /// Pick how many *bottom* (shallowest) nodes to return so the
@@ -319,8 +319,7 @@ fn slave(comm: &Comm, inst: &Instance, params: &ParParams) -> io::Result<()> {
                     // Return the *bottom* (shallowest, largest-subtree)
                     // nodes when holding too much estimated work: this
                     // is what breaks up a hoarded near-root subtree.
-                    let take =
-                        back_send_count(&stack, inst.n(), threshold, params.back_unit);
+                    let take = back_send_count(&stack, inst.n(), threshold, params.back_unit);
                     if take > 0 {
                         let surplus: Vec<Node> = stack.drain(..take).collect();
                         comm.send(0, TAG_BACK, &encode_nodes(best, &surplus))?;
@@ -387,8 +386,16 @@ mod tests {
     #[test]
     fn work_estimate_and_back_send_count() {
         let n = 20;
-        let deep = Node { index: 18, value: 0, capacity: 5 };
-        let shallow = Node { index: 1, value: 0, capacity: 5 };
+        let deep = Node {
+            index: 18,
+            value: 0,
+            capacity: 5,
+        };
+        let shallow = Node {
+            index: 1,
+            value: 0,
+            capacity: 5,
+        };
         assert_eq!(node_work_estimate(&deep, n), 4);
         assert_eq!(node_work_estimate(&shallow, n), 1 << 19);
         // A stack of deep nodes never triggers.
@@ -404,15 +411,27 @@ mod tests {
         let many = vec![shallow; 8];
         assert!(back_send_count(&many, n, 1000, 3) <= 3);
         // Estimates saturate rather than overflow for huge depths.
-        let huge = Node { index: 0, value: 0, capacity: 0 };
+        let huge = Node {
+            index: 0,
+            value: 0,
+            capacity: 0,
+        };
         assert!(stack_work_estimate(&[huge; 4], 80) >= 1 << 62);
     }
 
     #[test]
     fn node_shipment_roundtrip() {
         let nodes = vec![
-            Node { index: 1, value: 2, capacity: 3 },
-            Node { index: 4, value: 5, capacity: 6 },
+            Node {
+                index: 1,
+                value: 2,
+                capacity: 3,
+            },
+            Node {
+                index: 4,
+                value: 5,
+                capacity: 6,
+            },
         ];
         let (best, back) = decode_nodes(&encode_nodes(77, &nodes)).unwrap();
         assert_eq!(best, 77);
@@ -424,11 +443,15 @@ mod tests {
     fn parallel_exhaustive_covers_entire_tree() {
         let n = 14;
         let inst = Instance::no_pruning(n);
-        let rr = run_flat(4, inst.clone(), ParParams {
-            interval: 64,
-            steal_unit: 3,
-            ..ParParams::default()
-        });
+        let rr = run_flat(
+            4,
+            inst.clone(),
+            ParParams {
+                interval: 64,
+                steal_unit: 3,
+                ..ParParams::default()
+            },
+        );
         assert_eq!(rr.best, inst.total_profit());
         // Every node traversed exactly once across all ranks.
         assert_eq!(rr.total_traversed(), Instance::full_tree_nodes(n));
@@ -442,13 +465,17 @@ mod tests {
     fn parallel_matches_sequential_on_pruned_instance() {
         let inst = Instance::uncorrelated(18, 60, 11).sorted_by_ratio();
         let (truth, _) = seq::solve(&inst, SolveMode::Prune { sorted: true });
-        let rr = run_flat(3, inst, ParParams {
-            interval: 128,
-            steal_unit: 2,
-            prune: true,
-            sorted: true,
-            ..ParParams::default()
-        });
+        let rr = run_flat(
+            3,
+            inst,
+            ParParams {
+                interval: 128,
+                steal_unit: 2,
+                prune: true,
+                sorted: true,
+                ..ParParams::default()
+            },
+        );
         assert_eq!(rr.best, truth);
     }
 
@@ -465,13 +492,17 @@ mod tests {
         // Ship enough nodes per steal that a slave's stack exceeds the
         // (tiny) threshold, forcing the surplus-return path.
         let inst = Instance::no_pruning(16);
-        let rr = run_flat(3, inst.clone(), ParParams {
-            interval: 8,
-            steal_unit: 6,
-            back_unit: 2,
-            back_threshold_nodes: 64,
-            ..ParParams::default()
-        });
+        let rr = run_flat(
+            3,
+            inst.clone(),
+            ParParams {
+                interval: 8,
+                steal_unit: 6,
+                back_unit: 2,
+                back_threshold_nodes: 64,
+                ..ParParams::default()
+            },
+        );
         assert_eq!(rr.best, inst.total_profit());
         assert_eq!(rr.total_traversed(), Instance::full_tree_nodes(16));
         let total_backs: u64 = rr.ranks.iter().map(|r| r.back_sends).sum();
@@ -482,11 +513,15 @@ mod tests {
     fn many_ranks_small_tree_terminates() {
         // More slaves than work: most starve; termination must hold.
         let inst = Instance::no_pruning(4);
-        let rr = run_flat(8, inst.clone(), ParParams {
-            interval: 1,
-            steal_unit: 1,
-            ..ParParams::default()
-        });
+        let rr = run_flat(
+            8,
+            inst.clone(),
+            ParParams {
+                interval: 1,
+                steal_unit: 1,
+                ..ParParams::default()
+            },
+        );
         assert_eq!(rr.best, inst.total_profit());
         assert_eq!(rr.total_traversed(), Instance::full_tree_nodes(4));
     }

@@ -77,28 +77,46 @@ mod tests {
         assert_eq!(solve(&empty, SolveMode::Exhaustive).0, 0);
 
         let nothing_fits = Instance {
-            items: vec![crate::instance::Item { weight: 99, profit: 5 }; 4],
+            items: vec![
+                crate::instance::Item {
+                    weight: 99,
+                    profit: 5
+                };
+                4
+            ],
             capacity: 1,
             name: "tight".into(),
         };
         assert_eq!(solve(&nothing_fits, SolveMode::Exhaustive).0, 0);
     }
 
-    proptest::proptest! {
-        /// B&B (both modes) equals DP on random instances — the core
-        /// correctness property.
-        #[test]
-        fn prop_bb_equals_dp(
-            n in 1usize..12,
-            r in 1u64..40,
-            seed in proptest::num::u64::ANY,
-        ) {
-            let inst = Instance::uncorrelated(n, r, seed).sorted_by_ratio();
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// B&B (both modes) equals DP on random instances — the core
+    /// correctness property.
+    #[test]
+    fn bb_equals_dp_on_random_instances() {
+        let mut r = test_rng(0xb0b);
+        for _ in 0..60 {
+            let n = 1 + (r() % 11) as usize;
+            let range = 1 + r() % 39;
+            let seed = r();
+            let inst = Instance::uncorrelated(n, range, seed).sorted_by_ratio();
             let truth = dp::solve(&inst);
             let (a, _) = solve(&inst, SolveMode::Exhaustive);
             let (b, _) = solve(&inst, SolveMode::Prune { sorted: true });
-            proptest::prop_assert_eq!(a, truth);
-            proptest::prop_assert_eq!(b, truth);
+            assert_eq!(a, truth, "exhaustive vs dp on {}", inst.name);
+            assert_eq!(b, truth, "pruned vs dp on {}", inst.name);
         }
     }
 }

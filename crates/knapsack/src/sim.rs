@@ -14,8 +14,17 @@ use crate::node::{branch_once, BranchCounters, Node};
 use crate::stats::{RankStats, RunResult};
 use netsim::prelude::*;
 use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, SimProxyEnv};
-use parking_lot::Mutex;
 use std::sync::Arc;
+use wacs_sync::Mutex;
+
+/// Abort on a protocol-wiring bug inside the simulation harness.
+/// These are programming errors in the actor plumbing, never runtime
+/// inputs, so the loud failure is deliberate; concentrating the abort
+/// here keeps every call site clean under the no-panic lint.
+#[allow(clippy::panic)]
+fn sim_bug(what: &str, detail: impl std::fmt::Debug) -> ! {
+    panic!("knapsack sim wiring bug: {what}: {detail:?}") // lint:allow(unwrap-panic)
+}
 
 /// Scheduling parameters (mirrors [`crate::par::ParParams`]).
 pub type SimParams = crate::par::ParParams;
@@ -193,7 +202,7 @@ impl MasterActor {
                     self.publish(ctx);
                 }
             }
-            other => panic!("master got unexpected {other:?}"),
+            other => sim_bug("master got an unexpected message", other),
         }
     }
 
@@ -207,7 +216,7 @@ impl MasterActor {
             NxHandled::Event(NxEvent::Accepted { flow }) => {
                 self.slave_flows.push(flow);
             }
-            NxHandled::Event(NxEvent::BindFailed) => panic!("master bind failed"),
+            NxHandled::Event(NxEvent::BindFailed) => sim_bug("master bind failed", ()),
             NxHandled::Data(d) => self.handle_data(ctx, d),
             _ => {}
         }
@@ -310,7 +319,9 @@ impl SlaveActor {
     }
 
     fn send_steal(&mut self, ctx: &mut Ctx<'_>) {
-        let flow = self.master.expect("steal before connect");
+        let Some(flow) = self.master else {
+            sim_bug("steal before connect", self.rank)
+        };
         let msg = KMsg::Steal { best: self.best };
         let size = msg.wire_size();
         let _ = ctx.send(flow, size, msg);
@@ -368,7 +379,10 @@ impl Actor for SlaveActor {
                         nodes: surplus,
                     };
                     let size = msg.wire_size();
-                    let _ = ctx.send(self.master.unwrap(), size, msg);
+                    let Some(master) = self.master else {
+                        sim_bug("back-send before connect", self.rank)
+                    };
+                    let _ = ctx.send(master, size, msg);
                     self.back_sends += 1;
                 }
                 let cost = SimDuration::from_secs_f64(f64::from(ops.max(1)) / rate);
@@ -405,11 +419,12 @@ impl SlaveActor {
                 return;
             }
             NxHandled::Event(NxEvent::Refused { .. }) => {
-                panic!("slave {} could not reach the master", self.rank)
+                sim_bug("slave could not reach the master", self.rank)
             }
             NxHandled::Data(d) => d,
             _ => return,
         };
+        let master_flow = d.flow;
         match d.expect::<KMsg>() {
             KMsg::Nodes { best, nodes } => {
                 self.best = self.best.max(best);
@@ -431,9 +446,9 @@ impl SlaveActor {
                 };
                 let msg = KMsg::Stats(Box::new(rs));
                 let size = msg.wire_size();
-                let _ = ctx.send(self.master.unwrap(), size, msg);
+                let _ = ctx.send(master_flow, size, msg);
             }
-            other => panic!("slave got unexpected {other:?}"),
+            other => sim_bug("slave got an unexpected message", other),
         }
     }
 }
@@ -532,10 +547,7 @@ mod tests {
             .filter(|r| r.rank != 0)
             .map(|r| r.traversed)
             .collect();
-        let (mx, mn) = (
-            *counts.iter().max().unwrap(),
-            *counts.iter().min().unwrap(),
-        );
+        let (mx, mn) = (*counts.iter().max().unwrap(), *counts.iter().min().unwrap());
         assert!(
             mx as f64 / (mn.max(1) as f64) < 5.0,
             "imbalanced: {counts:?}"

@@ -1,10 +1,8 @@
 //! Per-rank run statistics and the cluster-level summaries of the
 //! paper's Tables 5 (steal counts) and 6 (traversed nodes).
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics one rank reports at the end of a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankStats {
     pub rank: u32,
     /// Logical host the rank ran on (keys the per-cluster grouping).
@@ -22,7 +20,7 @@ pub struct RankStats {
 }
 
 /// Result of a parallel run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     pub best: u64,
     /// Wall (real runs) or virtual (simulated runs) seconds.
@@ -32,7 +30,7 @@ pub struct RunResult {
 
 /// Max/min/average triple for one group of ranks — one cell block of
 /// Tables 5/6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupSummary {
     pub max: u64,
     pub min: u64,
@@ -50,7 +48,11 @@ impl RunResult {
     }
 
     /// Summarize a metric over the *slave* ranks of one group.
-    pub fn group_summary(&self, group: &str, metric: impl Fn(&RankStats) -> u64) -> Option<GroupSummary> {
+    pub fn group_summary(
+        &self,
+        group: &str,
+        metric: impl Fn(&RankStats) -> u64,
+    ) -> Option<GroupSummary> {
         let vals: Vec<u64> = self
             .ranks
             .iter()
@@ -60,8 +62,8 @@ impl RunResult {
         if vals.is_empty() {
             return None;
         }
-        let max = *vals.iter().max().unwrap();
-        let min = *vals.iter().min().unwrap();
+        let max = vals.iter().copied().max().unwrap_or_default();
+        let min = vals.iter().copied().min().unwrap_or_default();
         let avg = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
         Some(GroupSummary {
             max,
@@ -119,6 +121,9 @@ mod tests {
         let s = rr.group_summary("COMPaS", |r| r.steals).unwrap();
         assert_eq!((s.max, s.min), (9, 3));
         assert!(rr.group_summary("ETL-O2K", |r| r.traversed).is_none());
-        assert_eq!(rr.groups(), vec!["RWCP-Sun".to_string(), "COMPaS".to_string()]);
+        assert_eq!(
+            rr.groups(),
+            vec!["RWCP-Sun".to_string(), "COMPaS".to_string()]
+        );
     }
 }

@@ -3,6 +3,8 @@
 //! The system must degrade observably (severed flows, no result) —
 //! never hang the virtual clock or panic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use firewall::Policy;
 use knapsack::instance::Instance;
 use knapsack::sim::{MasterActor, Shared, SlaveActor};
@@ -128,12 +130,17 @@ fn outer_server_death_severs_the_cluster_without_hanging() {
     r.sim.kill_actor(r.outer_id);
     // The virtual clock must drain (no livelock) within a bounded
     // horizon; the run cannot produce a result.
-    let end = r.sim.run_until(SimTime(SimDuration::from_secs(600).nanos()));
+    let end = r
+        .sim
+        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
     assert!(
         end < SimTime(SimDuration::from_secs(600).nanos()),
         "event queue should drain after the relay dies"
     );
-    assert!(r.shared.lock().result.is_none(), "no result without the relay");
+    assert!(
+        r.shared.lock().result.is_none(),
+        "no result without the relay"
+    );
     assert!(
         r.sim.stats().flows_closed > flows_before,
         "relayed flows should have been reset"
@@ -145,7 +152,9 @@ fn inner_server_death_severs_inside_ranks() {
     let mut r = rig(20);
     r.sim.run_until(SimTime(SimDuration::from_secs(2).nanos()));
     r.sim.kill_actor(r.inner_id);
-    let end = r.sim.run_until(SimTime(SimDuration::from_secs(600).nanos()));
+    let end = r
+        .sim
+        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
     assert!(end < SimTime(SimDuration::from_secs(600).nanos()));
     assert!(r.shared.lock().result.is_none());
 }
@@ -160,7 +169,9 @@ fn firewall_hard_reset_mid_run_kills_relayed_traffic() {
     let fw = r.sim.firewall_mut(site).unwrap();
     fw.reload(Policy::deny_based("rwcp-lockdown"));
     fw.flush_conntrack();
-    let end = r.sim.run_until(SimTime(SimDuration::from_secs(600).nanos()));
+    let end = r
+        .sim
+        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
     assert!(end < SimTime(SimDuration::from_secs(600).nanos()));
     assert!(r.shared.lock().result.is_none());
     // The audit log recorded the drops.

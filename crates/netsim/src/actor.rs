@@ -32,12 +32,15 @@ pub struct Delivery {
 
 impl Delivery {
     /// Downcast the payload, panicking with a useful message on type
-    /// confusion (a bug in the protocol wiring, not a runtime input).
+    /// confusion (a bug in the protocol wiring, not a runtime input —
+    /// the abort is the documented contract of this method).
+    #[allow(clippy::panic)]
     pub fn expect<T: 'static>(self) -> T {
         *self
             .payload
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("unexpected payload type on flow {:?}", self.flow))
+        // lint:allow(unwrap-panic)
     }
 
     /// Non-consuming typed view.

@@ -320,7 +320,9 @@ impl<'w> Ctx<'w> {
     /// Fire `on_timer(token)` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.world.now + delay;
-        self.world.queue.schedule(at, Event::Timer(self.actor, token));
+        self.world
+            .queue
+            .schedule(at, Event::Timer(self.actor, token));
     }
 
     /// Begin listening. `port == 0` picks an ephemeral port. Returns
@@ -382,9 +384,9 @@ impl<'w> Ctx<'w> {
                 ),
             );
             self.world.stats.flows_refused += 1;
-            self.world.trace.log(now, || {
-                format!("FW-DROP connect {src_ep}->{dst_ep}")
-            });
+            self.world
+                .trace
+                .log(now, || format!("FW-DROP connect {src_ep}->{dst_ep}"));
             return;
         }
 
@@ -535,7 +537,9 @@ impl<'w> Ctx<'w> {
             {
                 // Firewall started eating this flow: sever it.
                 self.world.stats.messages_filtered += 1;
-                let f = self.world.flows.get_mut(&flow).unwrap();
+                let Some(f) = self.world.flows.get_mut(&flow) else {
+                    return Ok(());
+                };
                 f.state = FlowState::Closed;
                 let (a_actor, b_actor) = (f.a.actor, f.b.actor);
                 let fc = f.clone();
@@ -633,8 +637,7 @@ impl<'w> Ctx<'w> {
         self.world
             .flows
             .get(&flow)
-            .map(|f| f.state == FlowState::Established)
-            .unwrap_or(false)
+            .is_some_and(|f| f.state == FlowState::Established)
     }
 }
 
@@ -726,7 +729,11 @@ impl Simulator {
             .values()
             .filter(|f| f.state != FlowState::Closed && (f.a.actor == id || f.b.actor == id))
             .map(|f| {
-                let peer = if f.a.actor == id { f.b.actor } else { f.a.actor };
+                let peer = if f.a.actor == id {
+                    f.b.actor
+                } else {
+                    f.a.actor
+                };
                 (f.id, peer, f.clone())
             })
             .collect();
@@ -765,7 +772,9 @@ impl Simulator {
                 self.world.now = deadline;
                 break;
             }
-            let (t, ev) = self.world.queue.pop().unwrap();
+            let Some((t, ev)) = self.world.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.world.now, "event time regression");
             self.world.now = t;
             self.world.stats.events_processed += 1;
@@ -857,7 +866,13 @@ impl Simulator {
         };
         let len = nodes.len();
         // Node/link order in travel direction.
-        let node_at = |i: usize| if t.forward { nodes[i] } else { nodes[len - 1 - i] };
+        let node_at = |i: usize| {
+            if t.forward {
+                nodes[i]
+            } else {
+                nodes[len - 1 - i]
+            }
+        };
         let link_at = |i: usize| {
             if t.forward {
                 path[i]
@@ -898,7 +913,11 @@ impl Simulator {
         let wire = self.world.config.wire_bytes(t.bytes);
         let ser = SimDuration::from_secs_f64(wire as f64 / bandwidth);
         let free = self.world.link_free[lid.0 as usize][dir];
-        let depart = if free > self.world.now { free } else { self.world.now };
+        let depart = if free > self.world.now {
+            free
+        } else {
+            self.world.now
+        };
         let finish = depart + ser;
         self.world.link_free[lid.0 as usize][dir] = finish;
         let arrive = finish + latency;
@@ -918,8 +937,8 @@ mod tests {
     use super::*;
     use crate::topology::Topology;
     use firewall::Policy;
-    use parking_lot::Mutex;
     use std::sync::Arc;
+    use wacs_sync::Mutex;
 
     /// Shared observation sink for test actors.
     type Log = Arc<Mutex<Vec<String>>>;
@@ -1193,7 +1212,9 @@ mod tests {
         );
         sim.run_until(SimTime(SimDuration::from_millis(50).nanos()));
         let echoes_before = log.lock().iter().filter(|l| l.starts_with("echo")).count();
-        sim.firewall_mut(SiteId(1)).unwrap().reload(Policy::deny_based("B"));
+        sim.firewall_mut(SiteId(1))
+            .unwrap()
+            .reload(Policy::deny_based("B"));
         sim.run_until(SimTime(SimDuration::from_millis(100).nanos()));
         let final_log = log.lock().clone();
         let echoes_after = final_log.iter().filter(|l| l.starts_with("echo")).count();

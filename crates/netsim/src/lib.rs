@@ -37,6 +37,7 @@
 //! sim.run();
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod actor;
 pub mod engine;
 pub mod event;

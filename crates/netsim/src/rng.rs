@@ -3,43 +3,68 @@
 //! One seeded generator lives in the [`crate::engine::World`]; actors
 //! draw from it through their context, so a run is a pure function of
 //! `(topology, actors, seed)`.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood 2014): a 64-bit
+//! counter run through a finalizing mixer. It is tiny, has full
+//! 2^64 period, passes BigCrush, and — unlike an external generator
+//! crate — pins the stream forever, which the reproducibility
+//! contract above depends on.
 
 /// Thin wrapper fixing the generator choice (and therefore the stream)
 /// for all simulations.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: u64,
     seed: u64,
 }
 
 impl SimRng {
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        SimRng { state: seed, seed }
     }
 
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
-    /// Uniform in `[0, n)`.
+    /// Next raw 64-bit draw (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n = 0` yields 0.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        if n == 0 {
+            return 0;
+        }
+        // Rejection sampling kills the modulo bias: draw again while
+        // the sample falls in the final partial bucket of 2^64 % n.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform in `[lo, hi]`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derive an independent child stream (e.g. one per actor) that
@@ -71,7 +96,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 
@@ -97,5 +124,24 @@ mod tests {
             let f = r.f64();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = SimRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_and_degenerate_ranges() {
+        let mut r = SimRng::seed_from_u64(1);
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+        assert_eq!(r.range_inclusive(5, 5), 5);
+        let _ = r.range_inclusive(0, u64::MAX); // must not overflow
     }
 }

@@ -9,30 +9,29 @@
 
 use crate::time::SimDuration;
 use firewall::Policy;
-use serde::{Deserialize, Serialize};
 
 /// Index of any node (host or switch) in the topology graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Index of a site (firewall domain).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SiteId(pub u16);
 
 /// Index of a duplex link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkId(pub u32);
 
 /// What kind of node this is. Only hosts run actors and terminate
 /// flows; switches only forward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     Host,
     Switch,
 }
 
 /// A node in the graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     pub name: String,
     pub kind: NodeKind,
@@ -46,7 +45,7 @@ pub struct Node {
 }
 
 /// A full-duplex link. Each direction has independent capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     pub a: NodeId,
     pub b: NodeId,
@@ -60,7 +59,7 @@ pub struct Link {
 }
 
 /// A site: a named firewall domain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Site {
     pub name: String,
     /// `None` means the site is open (no border firewall) — like ETL's
@@ -69,7 +68,7 @@ pub struct Site {
 }
 
 /// The static network description.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     pub nodes: Vec<Node>,
     pub links: Vec<Link>,
@@ -142,7 +141,10 @@ impl Topology {
         bandwidth_bytes_per_sec: f64,
     ) -> LinkId {
         assert!(a != b, "self-links are not allowed");
-        assert!(bandwidth_bytes_per_sec > 0.0, "link needs positive bandwidth");
+        assert!(
+            bandwidth_bytes_per_sec > 0.0,
+            "link needs positive bandwidth"
+        );
         let id = LinkId(self.links.len() as u32);
         let name = format!("{}<->{}", self.node(a).name, self.node(b).name);
         self.links.push(Link {
@@ -221,7 +223,9 @@ impl Topology {
         let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (p, lid) = prev[cur.0 as usize].expect("broken predecessor chain");
+            // A finite distance guarantees a predecessor; treat a broken
+            // chain as unroutable rather than aborting.
+            let (p, lid) = prev[cur.0 as usize]?;
             path.push(lid);
             cur = p;
         }

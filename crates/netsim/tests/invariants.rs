@@ -2,11 +2,15 @@
 //! message is delivered exactly once on open topologies), per-flow
 //! FIFO ordering, routing sanity on random topologies, and run
 //! determinism under arbitrary parameters.
+//!
+//! Cases come from a seeded [`SimRng`] stream, so the sweep is
+//! deterministic and reproducible offline.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use netsim::prelude::*;
-use parking_lot::Mutex;
-use proptest::prelude::*;
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 /// Random connected topology: `n` hosts hung off a random tree of
 /// switches; returns (topo, hosts).
@@ -55,6 +59,11 @@ fn random_topology(
     (topo, hosts)
 }
 
+/// `len` random values in `[lo, hi)`.
+fn vec_in(rng: &mut SimRng, len: usize, lo: u64, hi: u64) -> Vec<u64> {
+    (0..len).map(|_| lo + rng.below(hi - lo)).collect()
+}
+
 type Recorded = Arc<Mutex<Vec<u64>>>;
 
 /// Receiver that records the sequence numbers it gets.
@@ -98,74 +107,127 @@ impl Actor for Source {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Conservation + FIFO: `count` messages on one flow arrive exactly
+/// once each, in order, regardless of topology shape, latencies and
+/// message sizes.
+#[test]
+fn delivery_conservation_and_fifo() {
+    let mut rng = SimRng::seed_from_u64(0xf1f0);
+    for _ in 0..24 {
+        let n_switches = 1 + rng.below(5) as usize;
+        let n_extra = rng.below(4) as usize;
+        let extra: Vec<(usize, usize)> = (0..n_extra)
+            .map(|_| (rng.below(6) as usize, rng.below(6) as usize))
+            .collect();
+        let n_lat = 1 + rng.below(3) as usize;
+        let lat_us = vec_in(&mut rng, n_lat, 10, 5000);
+        let n_sizes = 1 + rng.below(4) as usize;
+        let sizes = vec_in(&mut rng, n_sizes, 0, 100_000);
+        let count = 1 + rng.below(39);
+        let seed = rng.next_u64();
 
-    /// Conservation + FIFO: `count` messages on one flow arrive
-    /// exactly once each, in order, regardless of topology shape,
-    /// latencies and message sizes.
-    #[test]
-    fn prop_delivery_conservation_and_fifo(
-        n_switches in 1usize..6,
-        extra in proptest::collection::vec((0usize..6, 0usize..6), 0..4),
-        lat_us in proptest::collection::vec(10u64..5000, 1..4),
-        sizes in proptest::collection::vec(0u64..100_000, 1..5),
-        count in 1u64..40,
-        seed in any::<u64>(),
-    ) {
         let (topo, hosts) = random_topology(2, n_switches, &extra, &lat_us);
         let mut sim = Simulator::new(topo, NetConfig::default(), seed);
         let got: Recorded = Arc::default();
-        sim.spawn(hosts[1], Box::new(Sink { port: 7, got: got.clone(), expect: count }));
-        sim.spawn(hosts[0], Box::new(Source { dst: (hosts[1], 7), count, sizes }));
+        sim.spawn(
+            hosts[1],
+            Box::new(Sink {
+                port: 7,
+                got: got.clone(),
+                expect: count,
+            }),
+        );
+        sim.spawn(
+            hosts[0],
+            Box::new(Source {
+                dst: (hosts[1], 7),
+                count,
+                sizes,
+            }),
+        );
         sim.run();
         let got = got.lock().clone();
-        prop_assert_eq!(got.len() as u64, count, "every message delivered exactly once");
-        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "per-flow FIFO: {:?}", got);
-        prop_assert_eq!(sim.stats().messages_sent, count);
-        prop_assert_eq!(sim.stats().messages_delivered, count);
+        assert_eq!(
+            got.len() as u64,
+            count,
+            "every message delivered exactly once"
+        );
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "per-flow FIFO: {got:?}"
+        );
+        assert_eq!(sim.stats().messages_sent, count);
+        assert_eq!(sim.stats().messages_delivered, count);
     }
+}
 
-    /// Routing sanity on random graphs: routes exist between all host
-    /// pairs, are symmetric in cost, and path_nodes endpoints match.
-    #[test]
-    fn prop_routing_sane(
-        n_hosts in 2usize..6,
-        n_switches in 1usize..7,
-        extra in proptest::collection::vec((0usize..7, 0usize..7), 0..5),
-        lat_us in proptest::collection::vec(10u64..5000, 1..4),
-    ) {
+/// Routing sanity on random graphs: routes exist between all host
+/// pairs, are symmetric in cost, and path_nodes endpoints match.
+#[test]
+fn routing_sane() {
+    let mut rng = SimRng::seed_from_u64(0x40d7e);
+    for _ in 0..24 {
+        let n_hosts = 2 + rng.below(4) as usize;
+        let n_switches = 1 + rng.below(6) as usize;
+        let n_extra = rng.below(5) as usize;
+        let extra: Vec<(usize, usize)> = (0..n_extra)
+            .map(|_| (rng.below(7) as usize, rng.below(7) as usize))
+            .collect();
+        let n_lat = 1 + rng.below(3) as usize;
+        let lat_us = vec_in(&mut rng, n_lat, 10, 5000);
+
         let (topo, hosts) = random_topology(n_hosts, n_switches, &extra, &lat_us);
         for &a in &hosts {
             for &b in &hosts {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let p = topo.route(a, b).expect("connected topology");
                 let nodes = topo.path_nodes(a, &p);
-                prop_assert_eq!(nodes[0], a);
-                prop_assert_eq!(*nodes.last().unwrap(), b);
+                assert_eq!(nodes[0], a);
+                assert_eq!(*nodes.last().unwrap(), b);
                 // Cost symmetry (links are duplex with equal latency).
                 let q = topo.route(b, a).unwrap();
-                prop_assert_eq!(topo.path_latency(&p), topo.path_latency(&q));
+                assert_eq!(topo.path_latency(&p), topo.path_latency(&q));
             }
         }
     }
+}
 
-    /// Determinism: identical inputs produce identical event counts,
-    /// final times, and delivery sequences.
-    #[test]
-    fn prop_runs_are_deterministic(
-        n_switches in 1usize..5,
-        lat_us in proptest::collection::vec(10u64..3000, 1..3),
-        sizes in proptest::collection::vec(0u64..50_000, 1..4),
-        count in 1u64..20,
-        seed in any::<u64>(),
-    ) {
+/// Determinism: identical inputs produce identical event counts,
+/// final times, and delivery sequences.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0xde7e);
+    for _ in 0..24 {
+        let n_switches = 1 + rng.below(4) as usize;
+        let n_lat = 1 + rng.below(2) as usize;
+        let lat_us = vec_in(&mut rng, n_lat, 10, 3000);
+        let n_sizes = 1 + rng.below(3) as usize;
+        let sizes = vec_in(&mut rng, n_sizes, 0, 50_000);
+        let count = 1 + rng.below(19);
+        let seed = rng.next_u64();
+
         let run = || {
             let (topo, hosts) = random_topology(2, n_switches, &[], &lat_us);
             let mut sim = Simulator::new(topo, NetConfig::default(), seed);
             let got: Recorded = Arc::default();
-            sim.spawn(hosts[1], Box::new(Sink { port: 7, got: got.clone(), expect: count }));
-            sim.spawn(hosts[0], Box::new(Source { dst: (hosts[1], 7), count, sizes: sizes.clone() }));
+            sim.spawn(
+                hosts[1],
+                Box::new(Sink {
+                    port: 7,
+                    got: got.clone(),
+                    expect: count,
+                }),
+            );
+            sim.spawn(
+                hosts[0],
+                Box::new(Source {
+                    dst: (hosts[1], 7),
+                    count,
+                    sizes: sizes.clone(),
+                }),
+            );
             let end = sim.run();
             let events = sim.stats().events_processed;
             let seqs = got.lock().clone();
@@ -173,6 +235,6 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

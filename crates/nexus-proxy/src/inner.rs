@@ -7,7 +7,7 @@
 
 use crate::protocol::Msg;
 use crate::pump::{pump_detached, DEFAULT_CHUNK};
-use crate::stats::{ProxyStats, ProxySnapshot};
+use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
 use std::io;
 use std::net::TcpStream;
@@ -107,7 +107,10 @@ fn handle_relay(net: VNet, cfg: InnerConfig, stats: Arc<ProxyStats>, mut from_ou
     match Msg::read_from(&mut from_outer) {
         Ok(Msg::RelayReq { host, port }) => match net.dial(&cfg.host, &host, port) {
             Ok(client) => {
-                if (Msg::RelayRep { ok: true }).write_to(&mut from_outer).is_ok() {
+                if (Msg::RelayRep { ok: true })
+                    .write_to(&mut from_outer)
+                    .is_ok()
+                {
                     ProxyStats::bump(&stats.relays_ok);
                     pump_detached(from_outer, client, cfg.chunk, stats);
                 }

@@ -23,6 +23,7 @@
 //!   with an explicit relay cost model, used for the wide-area
 //!   experiments.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod client;
 pub mod inner;
 pub mod outer;

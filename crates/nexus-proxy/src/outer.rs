@@ -11,9 +11,8 @@
 
 use crate::protocol::Msg;
 use crate::pump::{pump_detached, DEFAULT_CHUNK};
-use crate::stats::{ProxyStats, ProxySnapshot};
+use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
@@ -21,6 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use wacs_sync::OrderedMutex;
 
 /// Outer server configuration.
 #[derive(Debug, Clone)]
@@ -60,7 +60,7 @@ pub struct OuterServer {
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
     /// Rendezvous registry: rdv port → client private endpoint.
-    rdv: Arc<Mutex<HashMap<u16, (String, u16)>>>,
+    rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -71,7 +71,7 @@ impl OuterServer {
         listener.set_nonblocking(true)?;
         let stats = Arc::new(ProxyStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let rdv = Arc::new(Mutex::new(HashMap::new()));
+        let rdv = Arc::new(OrderedMutex::new("nexus.outer.rdv", HashMap::new()));
 
         let ctx = ServerCtx {
             net,
@@ -145,7 +145,7 @@ struct ServerCtx {
     cfg: OuterConfig,
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
-    rdv: Arc<Mutex<HashMap<u16, (String, u16)>>>,
+    rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
 }
 
 impl ServerCtx {
@@ -255,28 +255,27 @@ impl ServerCtx {
     /// inner server (or directly when no inner server is configured).
     fn bridge_peer(&self, peer: TcpStream, client_host: &str, client_port: u16) {
         let inward = match &self.cfg.inner {
-            Some((inner_host, nxport)) => {
-                self.net
-                    .dial(&self.cfg.host, inner_host, *nxport)
-                    .and_then(|mut inner| {
-                        Msg::RelayReq {
-                            host: client_host.to_string(),
-                            port: client_port,
-                        }
-                        .write_to(&mut inner)?;
-                        match Msg::read_from(&mut inner)? {
-                            Msg::RelayRep { ok: true } => Ok(inner),
-                            Msg::RelayRep { ok: false } => Err(io::Error::new(
-                                io::ErrorKind::ConnectionRefused,
-                                "inner server could not reach client",
-                            )),
-                            _ => Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                "unexpected inner reply",
-                            )),
-                        }
-                    })
-            }
+            Some((inner_host, nxport)) => self
+                .net
+                .dial(&self.cfg.host, inner_host, *nxport)
+                .and_then(|mut inner| {
+                    Msg::RelayReq {
+                        host: client_host.to_string(),
+                        port: client_port,
+                    }
+                    .write_to(&mut inner)?;
+                    match Msg::read_from(&mut inner)? {
+                        Msg::RelayRep { ok: true } => Ok(inner),
+                        Msg::RelayRep { ok: false } => Err(io::Error::new(
+                            io::ErrorKind::ConnectionRefused,
+                            "inner server could not reach client",
+                        )),
+                        _ => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "unexpected inner reply",
+                        )),
+                    }
+                }),
             None => self.net.dial(&self.cfg.host, client_host, client_port),
         };
         match inward {

@@ -46,14 +46,23 @@ impl SimProxyEnv {
 #[derive(Debug)]
 pub enum NxEvent {
     /// Your `connect(dst, token)` completed; talk on `flow`.
-    Connected { flow: FlowId, token: u64 },
+    Connected {
+        flow: FlowId,
+        token: u64,
+    },
     /// Your `connect(dst, token)` failed.
-    Refused { token: u64 },
+    Refused {
+        token: u64,
+    },
     /// Your `bind()` completed; peers should connect to `advertised`.
-    Bound { advertised: (NodeId, u16) },
+    Bound {
+        advertised: (NodeId, u16),
+    },
     BindFailed,
     /// A peer reached your bound endpoint (possibly via the relay).
-    Accepted { flow: FlowId },
+    Accepted {
+        flow: FlowId,
+    },
 }
 
 /// Result of feeding a raw event through the client machine.
@@ -77,8 +86,8 @@ enum Pending {
     OuterForConnect { user_token: u64, dst: (NodeId, u16) },
     /// Plain connect (direct, or straight to a rendezvous address).
     Direct { user_token: u64 },
-    /// Dialing the outer server to register a bind.
-    OuterForBind,
+    /// Dialing the outer server to register a bind of `client_port`.
+    OuterForBind { client_port: u16 },
 }
 
 /// The embedded client state machine.
@@ -151,13 +160,17 @@ impl NxClient {
     /// immediately in direct mode; in proxied mode the answer arrives
     /// later as [`NxEvent::Bound`].
     pub fn bind(&mut self, ctx: &mut Ctx<'_>) -> Option<(NodeId, u16)> {
-        let port = ctx.listen(0).expect("ephemeral listen failed");
+        // Listening on port 0 draws from the ephemeral allocator, which
+        // only fails if the whole port space is exhausted — a harness bug.
+        #[allow(clippy::expect_used)]
+        let port = ctx.listen(0).expect("ephemeral listen failed"); // lint:allow(unwrap-panic)
         self.private_port = Some(port);
         match self.env.outer {
             None => Some((ctx.host(), port)),
             Some(outer) => {
                 let tok = self.itoken();
-                self.pending.insert(tok, Pending::OuterForBind);
+                self.pending
+                    .insert(tok, Pending::OuterForBind { client_port: port });
                 ctx.connect(outer, tok);
                 None
             }
@@ -207,11 +220,8 @@ impl NxClient {
                         self.await_rep.insert(flow, user_token);
                         NxHandled::Consumed
                     }
-                    Some(Pending::OuterForBind) => {
-                        let client = (
-                            ctx.host(),
-                            self.private_port.expect("bind() sets private_port"),
-                        );
+                    Some(Pending::OuterForBind { client_port }) => {
+                        let client = (ctx.host(), client_port);
                         let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindReq { client });
                         self.bind_await = Some(flow);
                         NxHandled::Consumed
@@ -225,7 +235,7 @@ impl NxClient {
                     | Some(Pending::OuterForConnect { user_token, .. }) => {
                         NxHandled::Event(NxEvent::Refused { token: user_token })
                     }
-                    Some(Pending::OuterForBind) => NxHandled::Event(NxEvent::BindFailed),
+                    Some(Pending::OuterForBind { .. }) => NxHandled::Event(NxEvent::BindFailed),
                     None => NxHandled::Consumed,
                 }
             }
@@ -276,13 +286,20 @@ impl NxClient {
         if self.bind_await == Some(flow) {
             self.bind_await = None;
             return match msg.expect::<ProxyMsg>() {
-                ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => {
-                    self.bind_ctrl = Some(flow);
-                    let outer = self.env.outer.expect("bind_await only set in proxied mode");
-                    NxHandled::Event(NxEvent::Bound {
-                        advertised: (outer.0, rdv_port),
-                    })
-                }
+                ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => match self.env.outer {
+                    Some(outer) => {
+                        self.bind_ctrl = Some(flow);
+                        NxHandled::Event(NxEvent::Bound {
+                            advertised: (outer.0, rdv_port),
+                        })
+                    }
+                    // bind_await is only set in proxied mode; if the env
+                    // lost its outer address, fail the bind cleanly.
+                    None => {
+                        ctx.close(flow);
+                        NxHandled::Event(NxEvent::BindFailed)
+                    }
+                },
                 _ => {
                     ctx.close(flow);
                     NxHandled::Event(NxEvent::BindFailed)

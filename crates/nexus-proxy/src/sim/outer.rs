@@ -74,21 +74,18 @@ impl SimOuterServer {
                 self.dials.insert(tok, Dial::Target { client: flow });
                 ctx.connect(dst, tok);
             }
-            ProxyMsg::BindReq { client } => {
-                match ctx.listen(0) {
-                    Ok(port) => {
-                        ctx.trace(|| {
-                            format!("outer: BindReq client={client:?} -> rdv port {port}")
-                        });
-                        self.rdv.insert(port, client);
-                        self.roles.insert(flow, Role::BindControl { rdv_port: port });
-                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
-                    }
-                    Err(_) => {
-                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
-                    }
+            ProxyMsg::BindReq { client } => match ctx.listen(0) {
+                Ok(port) => {
+                    ctx.trace(|| format!("outer: BindReq client={client:?} -> rdv port {port}"));
+                    self.rdv.insert(port, client);
+                    self.roles
+                        .insert(flow, Role::BindControl { rdv_port: port });
+                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
                 }
-            }
+                Err(_) => {
+                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
+                }
+            },
             other => {
                 ctx.trace(|| format!("outer: unexpected request {other:?}"));
                 ctx.close(flow);
@@ -102,9 +99,12 @@ impl Actor for SimOuterServer {
         "outer-server"
     }
 
+    // A taken control port means the DMZ host is misconfigured; abort
+    // loudly rather than run a proxy nobody can reach.
+    #[allow(clippy::expect_used)]
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.listen(self.ctrl_port)
-            .expect("outer server control port in use");
+            .expect("outer server control port in use"); // lint:allow(unwrap-panic)
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

@@ -3,6 +3,8 @@
 //! paper's Figure 5 topology, with the deny-based policy actually
 //! enforced on every dial.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use firewall::vnet::VNet;
 use firewall::{Policy, NXPORT, OUTER_PORT};
 use nexus_proxy::{
@@ -144,13 +146,8 @@ fn inside_to_inside_through_both_servers() {
     });
     // compas0 connects via NXProxyConnect; the destination names the
     // outer server, so the client connects straight to the rendezvous.
-    let mut s = nx_proxy_connect(
-        &tb.net,
-        &proxy_env(),
-        "compas0",
-        (adv.0.as_str(), adv.1),
-    )
-    .unwrap();
+    let mut s =
+        nx_proxy_connect(&tb.net, &proxy_env(), "compas0", (adv.0.as_str(), adv.1)).unwrap();
     let data: Vec<u8> = (0..65536u32).map(|i| (i % 255) as u8).collect();
     s.write_all(&data).unwrap();
     let mut back = vec![0u8; 65536];

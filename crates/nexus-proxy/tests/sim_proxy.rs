@@ -1,13 +1,15 @@
 //! Virtual-time tests of the Nexus Proxy actors on a firewalled
 //! two-site topology.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use firewall::Policy;
 use netsim::prelude::*;
 use nexus_proxy::sim::{
     NxClient, NxEvent, NxHandled, RelayModel, SimInnerServer, SimOuterServer, SimProxyEnv,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 const CTRL_PORT: u16 = 5678;
 const NXPORT: u16 = 911;
@@ -47,11 +49,8 @@ fn build() -> Net {
     topo.add_link(gw, etl_sw, SimDuration::from_millis(3), 170e3); // 1.5 Mbps IMnet
     topo.add_link(etl_sw, etl_sun, us(100), lan);
     // Deny-in policy with the single nxport hole to the inner host.
-    topo.sites[rwcp.0 as usize].policy = Some(Policy::typical_with_nxport(
-        "rwcp",
-        inner_host.0,
-        NXPORT,
-    ));
+    topo.sites[rwcp.0 as usize].policy =
+        Some(Policy::typical_with_nxport("rwcp", inner_host.0, NXPORT));
     Net {
         topo,
         rwcp_sun,
@@ -221,7 +220,12 @@ fn sim_trace_records_protocol_steps() {
     sim.run();
     // Fig. 4 step 1-2: the bind request reached the outer server and a
     // rendezvous port was allocated.
-    assert_eq!(sim.trace().grep("BindReq").len(), 1, "{}", sim.trace().render());
+    assert_eq!(
+        sim.trace().grep("BindReq").len(),
+        1,
+        "{}",
+        sim.trace().render()
+    );
     // Step 3: the remote peer hit the rendezvous port.
     assert!(!sim.trace().grep("peer flow").is_empty());
     // Step 4: the inner server completed the relay toward the client.
@@ -383,5 +387,8 @@ fn proxy_latency_gap_matches_paper_shape() {
 
     // The paper: 0.41ms → 25ms one-way (~60x). Accept a broad band.
     let factor = indirect as f64 / direct as f64;
-    assert!(factor > 20.0, "factor {factor} (direct {direct}us, indirect {indirect}us)");
+    assert!(
+        factor > 20.0,
+        "factor {factor} (direct {direct}us, indirect {indirect}us)"
+    );
 }

@@ -1,13 +1,18 @@
 //! Property: the relay is byte-transparent. Whatever is written into
 //! one end of a relayed connection — any content, any write-chunking,
 //! either direction, active or passive open — comes out identically.
+//!
+//! Cases are generated from a seeded [`netsim::SimRng`] stream, so the
+//! sweep is deterministic and reproducible offline.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use firewall::vnet::VNet;
 use firewall::{Policy, NXPORT, OUTER_PORT};
+use netsim::SimRng;
 use nexus_proxy::{
     nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
 };
-use proptest::prelude::*;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
@@ -40,6 +45,15 @@ fn world() -> World {
     }
 }
 
+/// One random test case: payload plus a write-chunking schedule.
+fn random_case(rng: &mut SimRng) -> (Vec<u8>, Vec<usize>) {
+    let len = 1 + rng.below(20_000) as usize;
+    let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+    let nchunks = 1 + rng.below(5) as usize;
+    let chunks: Vec<usize> = (0..nchunks).map(|_| 1 + rng.below(4095) as usize).collect();
+    (data, chunks)
+}
+
 /// Write `data` in the given chunk sizes (cycled), then shutdown-write.
 fn chunked_write(mut s: TcpStream, data: Vec<u8>, chunks: Vec<usize>) {
     std::thread::spawn(move || {
@@ -63,18 +77,14 @@ fn read_all(mut s: TcpStream) -> Vec<u8> {
     out
 }
 
-proptest! {
-    // Socket-heavy: keep the case count modest.
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
-
-    /// Passive relay (peer → outer → inner → client): arbitrary bytes
-    /// with arbitrary write chunking arrive intact, and the echoed
-    /// reverse direction too.
-    #[test]
-    fn prop_passive_relay_is_transparent(
-        data in proptest::collection::vec(any::<u8>(), 1..20_000),
-        chunks in proptest::collection::vec(1usize..4096, 1..6),
-    ) {
+/// Passive relay (peer → outer → inner → client): arbitrary bytes with
+/// arbitrary write chunking arrive intact, and the echoed reverse
+/// direction too. Socket-heavy: keep the case count modest.
+#[test]
+fn passive_relay_is_transparent() {
+    let mut rng = SimRng::seed_from_u64(0x9a55);
+    for _ in 0..8 {
+        let (data, chunks) = random_case(&mut rng);
         let w = world();
         let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
         let listener = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
@@ -95,16 +105,17 @@ proptest! {
         let mut r = reader;
         r.read_exact(&mut echoed).unwrap();
         let received = srv.join().unwrap();
-        prop_assert_eq!(&received, &data);
-        prop_assert_eq!(&echoed, &data);
+        assert_eq!(received, data);
+        assert_eq!(echoed, data);
     }
+}
 
-    /// Active relay (client → outer → target): ditto.
-    #[test]
-    fn prop_active_relay_is_transparent(
-        data in proptest::collection::vec(any::<u8>(), 1..20_000),
-        chunks in proptest::collection::vec(1usize..4096, 1..6),
-    ) {
+/// Active relay (client → outer → target): ditto.
+#[test]
+fn active_relay_is_transparent() {
+    let mut rng = SimRng::seed_from_u64(0xac71);
+    for _ in 0..8 {
+        let (data, chunks) = random_case(&mut rng);
         let w = world();
         let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
         let l = w.net.bind("etl-sun", 0).unwrap();
@@ -116,6 +127,6 @@ proptest! {
         let s = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", port)).unwrap();
         chunked_write(s, data.clone(), chunks);
         let received = srv.join().unwrap();
-        prop_assert_eq!(&received, &data);
+        assert_eq!(received, data);
     }
 }

@@ -8,13 +8,13 @@
 use crate::context::NexusContext;
 use crate::msg::recv_frame;
 use crate::ports::PortPolicy;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use nexus_proxy::{nx_proxy_bind, NxListener};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use wacs_sync::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 /// Queue depth before senders block (struggling consumers exert
 /// backpressure on readers, as a real socket buffer would).

@@ -125,14 +125,30 @@ mod tests {
         PortPolicy::range(10, 9);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_range_allocations_stay_in_range(min in 1024u16..60000, span in 0u16..500, n in 1usize..64) {
-            let max = min.saturating_add(span);
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Allocations from any configured range stay inside it.
+    #[test]
+    fn random_range_allocations_stay_in_range() {
+        let mut r = test_rng(0x9087);
+        for _ in 0..100 {
+            let min = 1024 + (r() % 58976) as u16;
+            let max = min.saturating_add((r() % 500) as u16);
             let a = PortAllocator::new(PortPolicy::range(min, max));
+            let n = 1 + (r() % 64) as usize;
             for _ in 0..n {
                 let p = a.next();
-                proptest::prop_assert!(p >= min && p <= max);
+                assert!(p >= min && p <= max, "{p} outside [{min}, {max}]");
             }
         }
     }

@@ -3,13 +3,13 @@
 
 use crate::context::NexusContext;
 use crate::msg::send_frame;
-use crossbeam::channel::Sender;
 use nexus_proxy::nx_proxy_connect;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
 use std::sync::Arc;
+use wacs_sync::Mutex;
+use wacs_sync::Sender;
 
 /// Map from advertised logical address to the endpoint's queue sender.
 type ExchangeMap = HashMap<(String, u16), Sender<Vec<u8>>>;

@@ -6,12 +6,12 @@
 use crate::job::FlowTrace;
 use crate::wire::Record;
 use firewall::vnet::VNet;
-use parking_lot::Mutex;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use wacs_sync::OrderedMutex;
 
 /// Well-known allocator port (a fixed inbound hole in the firewall,
 /// like the paper's Q-system channels).
@@ -55,14 +55,14 @@ pub struct Allocation {
 /// front-end, for unit tests).
 #[derive(Clone)]
 pub struct AllocatorState {
-    entries: Arc<Mutex<Vec<Entry>>>,
+    entries: Arc<OrderedMutex<Vec<Entry>>>,
     policy: SelectPolicy,
 }
 
 impl AllocatorState {
     pub fn new(policy: SelectPolicy) -> Self {
         AllocatorState {
-            entries: Arc::new(Mutex::new(Vec::new())),
+            entries: Arc::new(OrderedMutex::new("rmf.allocator.entries", Vec::new())),
             policy,
         }
     }
@@ -102,12 +102,10 @@ impl AllocatorState {
     /// request.
     pub fn select(&self, count: u32, explicit: &[String]) -> io::Result<Vec<Allocation>> {
         if explicit.is_empty() && count > self.total_cpus() {
-            return Err(io::Error::other(
-                format!(
-                    "insufficient capacity permanently: {count} procs requested, {} managed",
-                    self.total_cpus()
-                ),
-            ));
+            return Err(io::Error::other(format!(
+                "insufficient capacity permanently: {count} procs requested, {} managed",
+                self.total_cpus()
+            )));
         }
         let mut entries = self.entries.lock();
         let order: Vec<usize> = if explicit.is_empty() {
@@ -116,7 +114,7 @@ impl AllocatorState {
                 idx.sort_by(|&a, &b| {
                     let fa = f64::from(entries[a].load) / f64::from(entries[a].info.cpus.max(1));
                     let fb = f64::from(entries[b].load) / f64::from(entries[b].info.cpus.max(1));
-                    fa.partial_cmp(&fb).unwrap()
+                    fa.total_cmp(&fb)
                 });
             }
             idx
@@ -127,10 +125,7 @@ impl AllocatorState {
                     .iter()
                     .position(|e| &e.info.name == name)
                     .ok_or_else(|| {
-                        io::Error::new(
-                            io::ErrorKind::NotFound,
-                            format!("unknown resource {name}"),
-                        )
+                        io::Error::new(io::ErrorKind::NotFound, format!("unknown resource {name}"))
                     })?;
                 idx.push(pos);
             }
@@ -163,9 +158,9 @@ impl AllocatorState {
             }
         }
         if remaining > 0 {
-            return Err(io::Error::other(
-                format!("insufficient capacity: {remaining} of {count} unplaced (resources busy)"),
-            ));
+            return Err(io::Error::other(format!(
+                "insufficient capacity: {remaining} of {count} unplaced (resources busy)"
+            )));
         }
         // Book the load now; Q servers report decrements on completion.
         for a in &out {
@@ -256,7 +251,7 @@ fn handle(state: &AllocatorState, trace: &FlowTrace, req: &Record) -> Record {
             let explicit: Vec<String> = req
                 .get_all("resource")
                 .iter()
-                .map(|s| s.to_string())
+                .map(ToString::to_string)
                 .collect();
             trace.record(3, format!("Q client inquires allocator for {count} procs"));
             match state.select(count, &explicit) {
@@ -305,7 +300,10 @@ pub fn parse_allocation(rec: &Record) -> io::Result<Vec<Allocation>> {
     for a in rec.get_all("alloc") {
         let mut parts = a.split('|');
         let (Some(r), Some(h), Some(c)) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad alloc entry"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad alloc entry",
+            ));
         };
         out.push(Allocation {
             resource: r.to_string(),
@@ -418,7 +416,10 @@ mod tests {
         ];
         let mut rec = Record::new("allocation");
         for a in &allocs {
-            rec.push("alloc", format!("{}|{}|{}", a.resource, a.qserver_host, a.count));
+            rec.push(
+                "alloc",
+                format!("{}|{}|{}", a.resource, a.qserver_host, a.count),
+            );
         }
         assert_eq!(parse_allocation(&rec).unwrap(), allocs);
         let err = Record::new("error").with("detail", "nope");

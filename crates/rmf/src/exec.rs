@@ -8,9 +8,9 @@
 //! virtual network.
 
 use crate::gass::GassStore;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 /// Execution context handed to a job process.
 pub struct ExecCtx {
@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn worst_exit_code_wins() {
         let reg = ExecRegistry::new();
-        reg.register("flaky", |ctx: ExecCtx| if ctx.proc_index == 1 { 7 } else { 0 });
+        reg.register(
+            "flaky",
+            |ctx: ExecCtx| if ctx.proc_index == 1 { 7 } else { 0 },
+        );
         let gass = GassStore::new();
         let code = run_processes(
             reg.lookup("flaky").unwrap(),
@@ -179,7 +182,7 @@ mod tests {
         let reg = ExecRegistry::new();
         reg.register("cat", |ctx: ExecCtx| {
             let name = &ctx.args[0];
-            ctx.write(ctx.files.get(name).map(|f| f.as_slice()).unwrap_or(b"?"));
+            ctx.write(ctx.files.get(name).map_or(&b"?"[..], Vec::as_slice));
             0
         });
         let gass = GassStore::new();

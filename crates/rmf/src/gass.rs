@@ -6,10 +6,10 @@
 //! `gass://host/path` URLs; the Q system copies staged inputs to the
 //! executing resource and captured stdout back.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use wacs_sync::Mutex;
 
 /// A parsed `gass://host/path` URL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,10 +21,16 @@ pub struct GassUrl {
 impl GassUrl {
     pub fn parse(url: &str) -> io::Result<GassUrl> {
         let rest = url.strip_prefix("gass://").ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, format!("not a gass url: {url}"))
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("not a gass url: {url}"),
+            )
         })?;
         let (host, path) = rest.split_once('/').ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, format!("gass url needs a path: {url}"))
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("gass url needs a path: {url}"),
+            )
         })?;
         if host.is_empty() || path.is_empty() {
             return Err(io::Error::new(
@@ -80,8 +86,7 @@ impl GassStore {
     pub fn exists(&self, url: &str) -> bool {
         GassUrl::parse(url)
             .ok()
-            .map(|u| self.files.lock().contains_key(&(u.host, u.path)))
-            .unwrap_or(false)
+            .is_some_and(|u| self.files.lock().contains_key(&(u.host, u.path)))
     }
 
     /// Copy a file from one host's store to another (the Q system's

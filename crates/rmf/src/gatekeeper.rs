@@ -13,13 +13,13 @@ use crate::rsl::{self, JobRequest};
 use crate::wire::Record;
 use firewall::vnet::VNet;
 use firewall::GATEKEEPER_PORT;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use wacs_sync::Mutex;
 
 /// Tracked status of one job.
 #[derive(Debug, Clone)]
@@ -287,7 +287,11 @@ pub fn job_status(
     let state = JobState::parse(rep.get("state").unwrap_or(""))
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad state"))?;
     let exit: i32 = rep.get("exit").and_then(|e| e.parse().ok()).unwrap_or(-1);
-    let stdout = rep.get_all("stdout").iter().map(|s| s.to_string()).collect();
+    let stdout = rep
+        .get_all("stdout")
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     Ok((state, exit, stdout))
 }
 
@@ -306,7 +310,10 @@ pub fn wait_job(
             return Ok((state, exit, stdout));
         }
         if std::time::Instant::now() > deadline {
-            return Err(io::Error::new(io::ErrorKind::TimedOut, "job never finished"));
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "job never finished",
+            ));
         }
         thread::sleep(Duration::from_millis(5));
     }

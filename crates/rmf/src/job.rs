@@ -1,10 +1,9 @@
 //! Job identity and lifecycle.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique job identifier (issued by the gatekeeper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {
@@ -14,7 +13,7 @@ impl fmt::Display for JobId {
 }
 
 /// GRAM-style job states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     /// Accepted by the gatekeeper, not yet placed.
     Pending,
@@ -63,7 +62,7 @@ pub struct FlowEventRec {
 /// Shared, append-only trace of flow events.
 #[derive(Debug, Default, Clone)]
 pub struct FlowTrace {
-    inner: std::sync::Arc<parking_lot::Mutex<Vec<FlowEventRec>>>,
+    inner: std::sync::Arc<wacs_sync::Mutex<Vec<FlowEventRec>>>,
 }
 
 impl FlowTrace {
@@ -103,7 +102,12 @@ mod tests {
 
     #[test]
     fn state_strings_roundtrip() {
-        for s in [JobState::Pending, JobState::Active, JobState::Done, JobState::Failed] {
+        for s in [
+            JobState::Pending,
+            JobState::Active,
+            JobState::Done,
+            JobState::Failed,
+        ] {
             assert_eq!(JobState::parse(s.as_str()), Some(s));
         }
         assert_eq!(JobState::parse("nope"), None);

@@ -21,6 +21,7 @@
 //! The six-step execution flow of the paper's Figure 2 is recorded in
 //! a [`job::FlowTrace`] and asserted by the integration tests.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod allocator;
 pub mod exec;
 pub mod gass;

@@ -10,13 +10,13 @@ use crate::job::{FlowTrace, JobId, JobState};
 use crate::rsl::JobRequest;
 use crate::wire::Record;
 use firewall::vnet::VNet;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use wacs_sync::OrderedMutex;
 
 /// Well-known Q server port (one fixed inbound hole per resource).
 pub const QSERVER_PORT: u16 = 2121;
@@ -32,7 +32,7 @@ struct SubJob {
 pub struct QServer {
     host: String,
     resource: String,
-    jobs: Arc<Mutex<HashMap<(JobId, u32), SubJob>>>,
+    jobs: Arc<OrderedMutex<HashMap<(JobId, u32), SubJob>>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
@@ -43,7 +43,7 @@ struct QServerCtx {
     resource: String,
     registry: ExecRegistry,
     gass: GassStore,
-    jobs: Arc<Mutex<HashMap<(JobId, u32), SubJob>>>,
+    jobs: Arc<OrderedMutex<HashMap<(JobId, u32), SubJob>>>,
     allocator_host: String,
     trace: FlowTrace,
 }
@@ -62,7 +62,7 @@ impl QServer {
         let resource = resource.into();
         let listener = net.bind(&host, QSERVER_PORT)?;
         listener.set_nonblocking(true)?;
-        let jobs = Arc::new(Mutex::new(HashMap::new()));
+        let jobs = Arc::new(OrderedMutex::new("rmf.qsys.jobs", HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let ctx = Arc::new(QServerCtx {
             net,
@@ -147,7 +147,7 @@ fn handle(ctx: &Arc<QServerCtx>, req: &Record) -> Record {
             };
             let executable = executable.to_string();
             let count = req.require_u64("count").unwrap_or(1) as u32;
-            let args: Vec<String> = req.get_all("arg").iter().map(|s| s.to_string()).collect();
+            let args: Vec<String> = req.get_all("arg").iter().map(ToString::to_string).collect();
             // Staged files live in this host's GASS store already (the
             // Q client transferred them); the record names them.
             let mut files = HashMap::new();
@@ -195,13 +195,17 @@ fn handle(ctx: &Arc<QServerCtx>, req: &Record) -> Record {
                 let mut jobs = ctx2.jobs.lock();
                 if let Some(sj) = jobs.get_mut(&(job, part)) {
                     sj.exit = code;
-                    sj.state = if code == 0 { JobState::Done } else { JobState::Failed };
+                    sj.state = if code == 0 {
+                        JobState::Done
+                    } else {
+                        JobState::Failed
+                    };
                 }
                 drop(jobs);
                 // Release the booked load at the allocator.
-                if let Ok(mut s) =
-                    ctx2.net
-                        .dial(&ctx2.host, &ctx2.allocator_host, ALLOCATOR_PORT)
+                if let Ok(mut s) = ctx2
+                    .net
+                    .dial(&ctx2.host, &ctx2.allocator_host, ALLOCATOR_PORT)
                 {
                     let _ = Record::new("report")
                         .with("resource", &ctx2.resource)
@@ -366,7 +370,14 @@ impl QClient {
             }
         }
         if all_done {
-            Ok((if worst == 0 { JobState::Done } else { JobState::Failed }, worst))
+            Ok((
+                if worst == 0 {
+                    JobState::Done
+                } else {
+                    JobState::Failed
+                },
+                worst,
+            ))
         } else {
             Ok((JobState::Active, 0))
         }
@@ -381,7 +392,10 @@ impl QClient {
                 return Ok((st, code));
             }
             if std::time::Instant::now() > deadline {
-                return Err(io::Error::new(io::ErrorKind::TimedOut, "job wait timed out"));
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "job wait timed out",
+                ));
             }
             thread::sleep(Duration::from_millis(5));
         }

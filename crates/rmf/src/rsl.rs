@@ -179,11 +179,11 @@ impl JobRequest {
     pub fn from_record(r: &Record) -> std::io::Result<JobRequest> {
         let executable = r.require("executable")?.to_string();
         let count = r.require_u64("count")? as u32;
-        let arguments = r.get_all("arg").iter().map(|s| s.to_string()).collect();
+        let arguments = r.get_all("arg").iter().map(ToString::to_string).collect();
         let resources = r
             .get_all("resource")
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         let stage_in = r
             .get_all("stage_in")
@@ -230,11 +230,14 @@ mod tests {
 
     #[test]
     fn stage_in_and_extras() {
-        let r = parse("&(executable=x)(stage_in=data.txt<gass://rwcp-sun/inputs/d1)(env=A=1)")
-            .unwrap();
+        let r =
+            parse("&(executable=x)(stage_in=data.txt<gass://rwcp-sun/inputs/d1)(env=A=1)").unwrap();
         assert_eq!(
             r.stage_in,
-            vec![("data.txt".to_string(), "gass://rwcp-sun/inputs/d1".to_string())]
+            vec![(
+                "data.txt".to_string(),
+                "gass://rwcp-sun/inputs/d1".to_string()
+            )]
         );
         assert_eq!(r.extras, vec![("env".to_string(), "A=1".to_string())]);
     }
@@ -247,13 +250,28 @@ mod tests {
     #[test]
     fn errors() {
         assert!(matches!(parse("(executable=x)"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse("&(count=4)"), Err(RslError::MissingExecutable)));
-        assert!(matches!(parse("&(executable=x)(count=0)"), Err(RslError::BadCount(_))));
-        assert!(matches!(parse("&(executable=x)(count=zz)"), Err(RslError::BadCount(_))));
+        assert!(matches!(
+            parse("&(count=4)"),
+            Err(RslError::MissingExecutable)
+        ));
+        assert!(matches!(
+            parse("&(executable=x)(count=0)"),
+            Err(RslError::BadCount(_))
+        ));
+        assert!(matches!(
+            parse("&(executable=x)(count=zz)"),
+            Err(RslError::BadCount(_))
+        ));
         assert!(matches!(parse("&(executable=x"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse(r#"&(executable="x"#), Err(RslError::Syntax(_))));
+        assert!(matches!(
+            parse(r#"&(executable="x"#),
+            Err(RslError::Syntax(_))
+        ));
         assert!(matches!(parse("&(=v)"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse("&(executable=x)(stage_in=nope)"), Err(RslError::Syntax(_))));
+        assert!(matches!(
+            parse("&(executable=x)(stage_in=nope)"),
+            Err(RslError::Syntax(_))
+        ));
     }
 
     #[test]
@@ -264,10 +282,28 @@ mod tests {
         assert_eq!(back, r);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_parser_total(s in "[ -~]{0,64}") {
-            let _ = parse(&s); // must never panic
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The parser is total: printable-ASCII noise never panics it.
+    #[test]
+    fn parser_total_on_random_text() {
+        let mut r = test_rng(0x51);
+        for _ in 0..2000 {
+            let len = (r() % 64) as usize;
+            let s: String = (0..len)
+                .map(|_| (0x20 + (r() % 95) as u8) as char)
+                .collect();
+            let _ = parse(&s);
         }
     }
 }

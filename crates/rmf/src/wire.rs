@@ -4,11 +4,74 @@
 //! lists, status reports). They are encoded as a count-prefixed list
 //! of length-prefixed UTF-8 `key`/`value` pairs inside one
 //! `nexus::msg` frame — simple, explicit, endian-fixed.
+//!
+//! Decoding is total: every malformed input maps to a
+//! [`RecordError`] variant, never a panic. The gatekeeper and queue
+//! daemons parse bytes that crossed a firewall; a crash on bad input
+//! would be a remote denial of service.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
-fn bad(m: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, m.to_string())
+/// Why a record failed to decode or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Input ended before the announced structure did.
+    Truncated,
+    /// Field count exceeds the sanity cap (corrupt prefix).
+    AbsurdFieldCount(u32),
+    /// A string length exceeds the sanity cap (corrupt prefix).
+    AbsurdStringLength(u32),
+    /// A key or value is not valid UTF-8.
+    NonUtf8,
+    /// Bytes remain after the announced structure ended.
+    TrailingBytes,
+    /// A required field is absent.
+    MissingField(String),
+    /// A field exists but is not parseable as the expected type.
+    BadField(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "truncated record"),
+            RecordError::AbsurdFieldCount(n) => write!(f, "absurd field count {n}"),
+            RecordError::AbsurdStringLength(n) => write!(f, "absurd string length {n}"),
+            RecordError::NonUtf8 => write!(f, "non-utf8 field"),
+            RecordError::TrailingBytes => write!(f, "trailing bytes after record"),
+            RecordError::MissingField(k) => write!(f, "missing field {k}"),
+            RecordError::BadField(k) => write!(f, "field {k} is not a number"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<RecordError> for io::Error {
+    fn from(e: RecordError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Read a big-endian `u32` at `*pos`, advancing it.
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, RecordError> {
+    let end = pos.checked_add(4).ok_or(RecordError::Truncated)?;
+    let Some(chunk) = bytes.get(*pos..end) else {
+        return Err(RecordError::Truncated);
+    };
+    *pos = end;
+    Ok(u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+}
+
+/// Read `n` raw bytes at `*pos`, advancing it.
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], RecordError> {
+    let end = pos.checked_add(n).ok_or(RecordError::Truncated)?;
+    let Some(chunk) = bytes.get(*pos..end) else {
+        return Err(RecordError::Truncated);
+    };
+    *pos = end;
+    Ok(chunk)
 }
 
 /// An ordered key/value record. Keys may repeat (e.g. one `resource`
@@ -56,15 +119,15 @@ impl Record {
         self.get("kind").unwrap_or("")
     }
 
-    pub fn require(&self, key: &str) -> io::Result<&str> {
+    pub fn require(&self, key: &str) -> Result<&str, RecordError> {
         self.get(key)
-            .ok_or_else(|| bad(&format!("missing field {key}")))
+            .ok_or_else(|| RecordError::MissingField(key.to_string()))
     }
 
-    pub fn require_u64(&self, key: &str) -> io::Result<u64> {
+    pub fn require_u64(&self, key: &str) -> Result<u64, RecordError> {
         self.require(key)?
             .parse()
-            .map_err(|_| bad(&format!("field {key} is not a number")))
+            .map_err(|_| RecordError::BadField(key.to_string()))
     }
 
     pub fn encode(&self) -> Vec<u8> {
@@ -79,36 +142,28 @@ impl Record {
         buf
     }
 
-    pub fn decode(bytes: &[u8]) -> io::Result<Record> {
+    pub fn decode(bytes: &[u8]) -> Result<Record, RecordError> {
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
-            if bytes.len() < *pos + n {
-                return Err(bad("truncated record"));
-            }
-            let s = &bytes[*pos..*pos + n];
-            *pos += n;
-            Ok(s)
-        };
-        let count = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let count = take_u32(bytes, &mut pos)?;
         if count > 4096 {
-            return Err(bad("absurd field count"));
+            return Err(RecordError::AbsurdFieldCount(count));
         }
         let mut pairs = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let mut strs = [String::new(), String::new()];
             for slot in &mut strs {
-                let len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = take_u32(bytes, &mut pos)?;
                 if len > 1 << 20 {
-                    return Err(bad("absurd string length"));
+                    return Err(RecordError::AbsurdStringLength(len));
                 }
-                *slot = String::from_utf8(take(&mut pos, len)?.to_vec())
-                    .map_err(|_| bad("non-utf8 field"))?;
+                let body = take(bytes, &mut pos, len as usize)?;
+                *slot = String::from_utf8(body.to_vec()).map_err(|_| RecordError::NonUtf8)?;
             }
             let [k, v] = strs;
             pairs.push((k, v));
         }
         if pos != bytes.len() {
-            return Err(bad("trailing bytes"));
+            return Err(RecordError::TrailingBytes);
         }
         Ok(Record { pairs })
     }
@@ -121,7 +176,7 @@ impl Record {
     /// Read one record frame; `Ok(None)` on clean EOF.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Record>> {
         match nexus::msg::recv_frame(r)? {
-            Some(frame) => Ok(Some(Record::decode(&frame)?)),
+            Some(frame) => Ok(Some(Record::decode(&frame).map_err(io::Error::from)?)),
             None => Ok(None),
         }
     }
@@ -144,8 +199,14 @@ mod tests {
         assert_eq!(d.get("count"), Some("8"));
         assert_eq!(d.get_all("resource"), vec!["compas", "o2k"]);
         assert_eq!(d.require_u64("count").unwrap(), 8);
-        assert!(d.require("missing").is_err());
-        assert!(d.require_u64("executable").is_err());
+        assert_eq!(
+            d.require("missing"),
+            Err(RecordError::MissingField("missing".into()))
+        );
+        assert_eq!(
+            d.require_u64("executable"),
+            Err(RecordError::BadField("executable".into()))
+        );
     }
 
     #[test]
@@ -161,27 +222,77 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(Record::decode(&[]).is_err());
-        assert!(Record::decode(&[0, 0, 0, 1]).is_err()); // count 1, no data
+    fn rejects_garbage_with_typed_errors() {
+        assert_eq!(Record::decode(&[]), Err(RecordError::Truncated));
+        // count 1, no data
+        assert_eq!(Record::decode(&[0, 0, 0, 1]), Err(RecordError::Truncated));
         let mut ok = Record::new("x").encode();
         ok.push(0xFF); // trailing byte
-        assert!(Record::decode(&ok).is_err());
+        assert_eq!(Record::decode(&ok), Err(RecordError::TrailingBytes));
+        // Absurd field count.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            Record::decode(&huge),
+            Err(RecordError::AbsurdFieldCount(u32::MAX))
+        );
+        // Absurd string length.
+        let mut long = Vec::new();
+        long.extend_from_slice(&1u32.to_be_bytes());
+        long.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert_eq!(
+            Record::decode(&long),
+            Err(RecordError::AbsurdStringLength(u32::MAX))
+        );
+        // Non-UTF-8 key.
+        let mut bad_utf8 = Vec::new();
+        bad_utf8.extend_from_slice(&1u32.to_be_bytes());
+        bad_utf8.extend_from_slice(&1u32.to_be_bytes());
+        bad_utf8.push(0xFF);
+        bad_utf8.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(Record::decode(&bad_utf8), Err(RecordError::NonUtf8));
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip(pairs in proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,32}"), 0..16)) {
-            let mut r = Record::default();
-            for (k, v) in &pairs {
-                r.push(k, v.clone());
-            }
-            let d = Record::decode(&r.encode()).unwrap();
-            proptest::prop_assert_eq!(d, r);
+    /// SplitMix64 — a local deterministic stream for randomized tests.
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
+    }
 
-        #[test]
-        fn prop_decoder_total(bytes in proptest::collection::vec(0u8..=255, 0..96)) {
+    #[test]
+    fn random_records_roundtrip() {
+        let mut r = test_rng(0x5ec0);
+        for _ in 0..200 {
+            let npairs = (r() % 16) as usize;
+            let mut rec = Record::default();
+            for _ in 0..npairs {
+                let klen = 1 + (r() % 8) as usize;
+                let vlen = (r() % 33) as usize;
+                let k: String = (0..klen)
+                    .map(|_| (b'a' + (r() % 26) as u8) as char)
+                    .collect();
+                let v: String = (0..vlen)
+                    .map(|_| (b' ' + (r() % 95) as u8) as char)
+                    .collect();
+                rec.push(&k, v);
+            }
+            let d = Record::decode(&rec.encode()).unwrap();
+            assert_eq!(d, rec);
+        }
+    }
+
+    #[test]
+    fn decoder_total_on_random_bytes() {
+        let mut r = test_rng(0xdead_0001);
+        for round in 0..2000 {
+            let len = (round % 96) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| r() as u8).collect();
             let _ = Record::decode(&bytes);
         }
     }

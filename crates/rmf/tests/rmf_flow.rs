@@ -2,12 +2,13 @@
 //! the paper's Figure 2 flow, driven over real (guarded loopback)
 //! sockets.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use firewall::vnet::VNet;
 use firewall::Policy;
 use rmf::{
-    rmf_site_policy, submit_job, wait_job, ExecCtx, ExecRegistry, FlowTrace, Gatekeeper,
-    GassStore, JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy, ALLOCATOR_PORT,
-    QSERVER_PORT,
+    rmf_site_policy, submit_job, wait_job, ExecCtx, ExecRegistry, FlowTrace, GassStore, Gatekeeper,
+    JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy, ALLOCATOR_PORT, QSERVER_PORT,
 };
 use std::time::Duration;
 
@@ -370,7 +371,11 @@ fn jobs_queue_when_resources_are_busy() {
         Duration::from_secs(60),
     )
     .unwrap();
-    assert_eq!(s2, JobState::Done, "queued job should run after capacity frees");
+    assert_eq!(
+        s2,
+        JobState::Done,
+        "queued job should run after capacity frees"
+    );
     let (s1, _, _) = wait_job(
         &d.net,
         "user-host",

@@ -1,0 +1,122 @@
+//! Workspace lint analyzer (`cargo run -p xtask -- lint`).
+//!
+//! A dependency-free static pass over every library source file in the
+//! workspace, enforcing the project conventions that rustc and clippy
+//! cannot express:
+//!
+//! * **`unwrap-panic`** — no `.unwrap()`, `.expect(...)`, or `panic!`
+//!   in non-test library code. Daemon code (gatekeeper, proxy pumps,
+//!   MPI progress loops) must degrade via `Result`, not abort: the
+//!   paper's wide-area runs go through firewalls, and remote bytes
+//!   must never be able to kill a process.
+//! * **`std-sync`** — no direct `std::sync::Mutex`/`RwLock` outside
+//!   `wacs-sync`. The workspace lock standard is `wacs_sync::{Mutex,
+//!   RwLock}` (poison-transparent) and `wacs_sync::Ordered*` (lock-
+//!   order checked) so the deadlock detector sees every acquisition.
+//! * **`port-literal`** — the well-known service ports (NXPORT 911,
+//!   OUTER_PORT 5678, GATEKEEPER_PORT 2119) may appear as literals
+//!   only at their canonical definition sites; everything else must
+//!   name the constant, so changing a port is a one-line edit.
+//! * **`todo`** — no `todo!()`/`unimplemented!()` in library crates.
+//!
+//! The analyzer masks comments, strings, and char literals before
+//! matching (a doc-comment mentioning `.unwrap()` is fine) and skips
+//! `#[cfg(test)]`/`#[test]` regions by brace tracking. A finding on a
+//! line carrying `// lint:allow(<rule>)` is suppressed — the escape
+//! hatch for the rare justified exception, greppable by design.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod mask;
+mod rules;
+mod scan;
+
+pub use rules::{Rule, Violation};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    eprintln!("       cargo run -p xtask -- rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.iter().position(|a| a == "--root") {
+                Some(i) => match args.get(i + 1) {
+                    Some(dir) => PathBuf::from(dir),
+                    None => return usage(),
+                },
+                None => workspace_root(),
+            };
+            run_lint(&root)
+        }
+        Some("rules") => {
+            for rule in rules::ALL {
+                println!("{:<14} {}", rule.name(), rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// The workspace root: xtask always runs via `cargo run -p xtask`, so
+/// the manifest dir of this crate is `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let files = scan::library_sources(root);
+    if files.is_empty() {
+        eprintln!("xtask lint: no sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("xtask lint: unreadable file {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        violations.extend(rules::analyze(&rel.to_string_lossy(), &text));
+        scanned += 1;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xtask lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) in {scanned} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Shared display impl lives here so `main` stays the only printer.
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}

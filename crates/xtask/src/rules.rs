@@ -1,0 +1,430 @@
+//! The rule set and the per-file analysis driver.
+
+use crate::mask::mask;
+
+/// One enforced convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+    UnwrapPanic,
+    /// `std::sync::Mutex`/`RwLock` outside the `wacs-sync` wrappers.
+    StdSync,
+    /// Well-known service port literal outside its definition site.
+    PortLiteral,
+    /// `todo!` / `unimplemented!` anywhere in library code.
+    Todo,
+}
+
+pub const ALL: &[Rule] = &[
+    Rule::UnwrapPanic,
+    Rule::StdSync,
+    Rule::PortLiteral,
+    Rule::Todo,
+];
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnwrapPanic => "unwrap-panic",
+            Rule::StdSync => "std-sync",
+            Rule::PortLiteral => "port-literal",
+            Rule::Todo => "todo",
+        }
+    }
+
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnwrapPanic => "no .unwrap()/.expect()/panic! outside #[cfg(test)] code",
+            Rule::StdSync => "use wacs_sync::{Mutex, RwLock} instead of std::sync locks",
+            Rule::PortLiteral => {
+                "well-known ports (911/5678/2119) must reference the named constants"
+            }
+            Rule::Todo => "no todo!()/unimplemented!() in library crates",
+        }
+    }
+}
+
+/// A single diagnostic.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+/// The well-known service ports of the system (NXPORT, OUTER_PORT,
+/// GATEKEEPER_PORT) — flagged as raw literals anywhere else.
+const KNOWN_PORTS: &[&str] = &["911", "5678", "2119"];
+
+/// Files allowed to spell the well-known ports as literals: their
+/// canonical definition sites.
+const PORT_DEFINITION_SITES: &[&str] = &["crates/firewall/src/lib.rs", "crates/nexus/src/ports.rs"];
+
+/// The crate allowed to touch `std::sync` locks directly (it wraps
+/// them), plus this analyzer itself (it names them in diagnostics).
+const STD_SYNC_EXEMPT: &[&str] = &["crates/wacs-sync/", "crates/xtask/"];
+
+/// Analyze one file; `path` is workspace-relative with `/` separators.
+pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
+    let masked = mask(source);
+    let test_lines = test_region_lines(&masked.code);
+    let originals: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let port_site = PORT_DEFINITION_SITES.contains(&path);
+    let sync_exempt = STD_SYNC_EXEMPT.iter().any(|p| path.starts_with(p));
+
+    for (idx, line) in masked.code.lines().enumerate() {
+        let lineno = idx + 1;
+        let in_test = test_lines.get(idx).copied().unwrap_or(false);
+        let original = originals.get(idx).copied().unwrap_or("");
+        // rustfmt may float a trailing marker onto its own line, so a
+        // marker directly above or below the flagged line counts too.
+        let above = idx.checked_sub(1).and_then(|i| originals.get(i)).copied();
+        let below = originals.get(idx + 1).copied();
+        let mut push = |rule: Rule, message: String| {
+            let marked = allowed(original, rule)
+                || above.is_some_and(|l| l.trim_start().starts_with("//") && allowed(l, rule))
+                || below.is_some_and(|l| l.trim_start().starts_with("//") && allowed(l, rule));
+            if !marked {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if !in_test {
+            if line.contains(".unwrap()") {
+                push(
+                    Rule::UnwrapPanic,
+                    "`.unwrap()` in library code; return a Result or use unwrap_or_*".into(),
+                );
+            }
+            if line.contains(".expect(") {
+                push(
+                    Rule::UnwrapPanic,
+                    "`.expect(...)` in library code; return a Result".into(),
+                );
+            }
+            if has_macro(line, "panic") {
+                push(
+                    Rule::UnwrapPanic,
+                    "`panic!` in library code; return an error".into(),
+                );
+            }
+            if !port_site {
+                for port in KNOWN_PORTS {
+                    if has_bare_number(line, port) {
+                        push(
+                            Rule::PortLiteral,
+                            format!("raw well-known port {port}; name the constant"),
+                        );
+                    }
+                }
+            }
+        }
+        if !sync_exempt
+            && (line.contains("std::sync::Mutex")
+                || line.contains("std::sync::RwLock")
+                || std_sync_use_names_lock(line))
+        {
+            push(
+                Rule::StdSync,
+                "std::sync lock; use wacs_sync::{Mutex, RwLock} (or Ordered*)".into(),
+            );
+        }
+        if has_macro(line, "todo") {
+            push(Rule::Todo, "`todo!` left in source".into());
+        }
+        if has_macro(line, "unimplemented") {
+            push(Rule::Todo, "`unimplemented!` left in source".into());
+        }
+    }
+    out
+}
+
+/// `// lint:allow(rule)` on the line suppresses that rule there.
+fn allowed(original_line: &str, rule: Rule) -> bool {
+    original_line
+        .split("lint:allow(")
+        .nth(1)
+        .and_then(|rest| rest.split(')').next())
+        .is_some_and(|list| list.split(',').any(|r| r.trim() == rule.name()))
+}
+
+/// Match `name!` as a macro invocation: preceding byte must not be
+/// part of an identifier (so `dont_panic!` doesn't match `panic!`),
+/// and the `!` must directly follow the name.
+fn has_macro(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let pre_ok = start == 0 || {
+            let p = bytes[start - 1];
+            !(p.is_ascii_alphanumeric() || p == b'_')
+        };
+        if pre_ok && bytes.get(end) == Some(&b'!') {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Match a number as a standalone token: neither neighbour may be an
+/// identifier or digit byte, nor `.` (so `5678.0`, `x5678`, `0x5678`
+/// and `15678` don't match).
+fn has_bare_number(line: &str, num: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(num) {
+        let start = from + pos;
+        let end = start + num.len();
+        let pre_ok = start == 0 || {
+            let p = bytes[start - 1];
+            !(p.is_ascii_alphanumeric() || p == b'_' || p == b'.')
+        };
+        let post_ok = end >= bytes.len() || {
+            let n = bytes[end];
+            !(n.is_ascii_alphanumeric() || n == b'_' || n == b'.')
+        };
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// `use std::sync::{...}` pulling in `Mutex` or `RwLock` by name.
+fn std_sync_use_names_lock(line: &str) -> bool {
+    let Some(rest) = line
+        .trim_start()
+        .strip_prefix("use std::sync::")
+        .or_else(|| line.trim_start().strip_prefix("pub use std::sync::"))
+    else {
+        return false;
+    };
+    rest.contains("Mutex") || rest.contains("RwLock")
+}
+
+/// Per-line flags: is this line inside a `#[cfg(test)]` / `#[test]`
+/// region? Determined by brace tracking on the masked source: a test
+/// attribute arms the tracker; the next `{` opens a region that ends
+/// when depth returns to its opening level.
+fn test_region_lines(masked: &str) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut depth: i32 = 0;
+    let mut armed = false;
+    // Depth at which each active test region opened.
+    let mut regions: Vec<i32> = Vec::new();
+    for line in masked.lines() {
+        let armed_at_line_start = armed;
+        if is_test_attr(line) {
+            armed = true;
+        }
+        let mut line_in_test = !regions.is_empty() || armed || armed_at_line_start;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        regions.push(depth);
+                        armed = false;
+                        line_in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        flags.push(line_in_test || !regions.is_empty());
+    }
+    flags
+}
+
+/// Attribute lines that mark the following item as test-only.
+fn is_test_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("#[test]")
+        || t.starts_with("#[cfg(test)]")
+        || t.starts_with("#[cfg(all(test")
+        || t.starts_with("#[cfg(any(test")
+        || t.starts_with("#[should_panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(usize, Rule)> {
+        analyze(path, src)
+            .into_iter()
+            .map(|v| (v.line, v.rule))
+            .collect()
+    }
+
+    /// The seeded violation of the acceptance criteria: a bare
+    /// `.unwrap()` in library code is flagged with its line number.
+    #[test]
+    fn seeded_unwrap_violation_is_flagged() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(2, Rule::UnwrapPanic)]
+        );
+    }
+
+    #[test]
+    fn expect_and_panic_flagged() {
+        let src = "fn f() {\n    g().expect(\"boom\");\n    panic!(\"no\");\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(2, Rule::UnwrapPanic), (3, Rule::UnwrapPanic)]
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+pub fn lib() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::lib_result().unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_doctests_are_exempt() {
+        let src = "\
+/// Call `.unwrap()` — documented panics are fine:
+/// ```
+/// demo::f().unwrap();
+/// ```
+pub fn f() -> Option<u32> {
+    let msg = \"do not panic!(now)\"; // .unwrap() here neither
+    Some(msg.len() as u32)
+}
+";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src =
+            "fn f(v: Option<u32>) -> u32 {\n    v.unwrap_or(0).max(v.unwrap_or_default())\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_sync_flagged_outside_wacs_sync() {
+        let src = "use std::sync::Mutex;\nfn f() { let _ = std::sync::RwLock::new(1); }\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(1, Rule::StdSync), (2, Rule::StdSync)]
+        );
+        assert!(rules_hit("crates/wacs-sync/src/mutex.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_sync_other_items_are_fine() {
+        let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn port_literals_flagged_outside_definition_sites() {
+        let src = "fn f() -> u16 { 5678 }\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(1, Rule::PortLiteral)]
+        );
+        assert!(rules_hit("crates/firewall/src/lib.rs", src).is_empty());
+        // Substrings of larger numbers don't count.
+        assert!(rules_hit("crates/demo/src/lib.rs", "const X: u32 = 15678;\n").is_empty());
+        assert!(rules_hit("crates/demo/src/lib.rs", "const X: f64 = 5678.5;\n").is_empty());
+    }
+
+    #[test]
+    fn todo_and_unimplemented_flagged_even_in_tests() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { todo!() }\n}\nfn g() { unimplemented!() }\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(3, Rule::Todo), (5, Rule::Todo)]
+        );
+    }
+
+    #[test]
+    fn lint_allow_suppresses_named_rule_only() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // lint:allow(unwrap-panic)\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+        let wrong = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // lint:allow(std-sync)\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", wrong),
+            vec![(2, Rule::UnwrapPanic)]
+        );
+    }
+
+    #[test]
+    fn lint_allow_works_from_an_adjacent_comment_line() {
+        // rustfmt floats long trailing comments onto their own line;
+        // a comment-only marker directly above or below still counts.
+        let above =
+            "fn f(v: Option<u32>) -> u32 {\n    // lint:allow(unwrap-panic)\n    v.unwrap()\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", above).is_empty());
+        let below =
+            "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n    // lint:allow(unwrap-panic)\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", below).is_empty());
+        // A marker on a *code* line above must not bleed downward.
+        let code_above =
+            "fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n    a.unwrap() // lint:allow(unwrap-panic)\n    + b.unwrap()\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", code_above),
+            vec![(3, Rule::UnwrapPanic)]
+        );
+    }
+
+    #[test]
+    fn macro_name_must_match_exactly() {
+        let src = "fn f() { dont_panic!(); my_todo!(); }\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_test_mod_unwinds_correctly() {
+        // After the test mod closes, violations count again.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x().unwrap(); }
+}
+
+pub fn late(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(7, Rule::UnwrapPanic)]
+        );
+    }
+}

@@ -5,6 +5,8 @@
 //! Run with: `cargo run --release --example knapsack_wan -- [items]`
 //! (default 22 items ≈ 8M-node search space).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wacs::prelude::*;
 
 fn main() {
@@ -12,7 +14,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(22);
-    println!("0-1 knapsack, no-pruning instance, n = {items} (2^{} nodes)\n", items + 1);
+    println!(
+        "0-1 knapsack, no-pruning instance, n = {items} (2^{} nodes)\n",
+        items + 1
+    );
 
     let seq = sequential_baseline(items);
     println!(
@@ -21,7 +26,10 @@ fn main() {
         seq.total_traversed()
     );
 
-    println!("\n{:<22} {:>5} {:>12} {:>9}", "System", "procs", "time (vs)", "speedup");
+    println!(
+        "\n{:<22} {:>5} {:>12} {:>9}",
+        "System", "procs", "time (vs)", "speedup"
+    );
     for system in System::ALL {
         let rr = run_knapsack(&KnapsackRun::paper_default(system, items));
         println!(
@@ -49,7 +57,10 @@ fn main() {
     let rr = run_knapsack(&KnapsackRun::paper_default(System::WideArea, items));
     println!("\nWide-area run detail (master + per-cluster max/min/avg):");
     let m = rr.master().unwrap();
-    println!("  master on {}: {} steals served, {} nodes", m.host, m.steals, m.traversed);
+    println!(
+        "  master on {}: {} steals served, {} nodes",
+        m.host, m.steals, m.traversed
+    );
     for group in rr.groups() {
         let s = rr.group_summary(&group, |r| r.steals).unwrap();
         let t = rr.group_summary(&group, |r| r.traversed).unwrap();

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example mpi_across_firewall`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::sync::Arc;
 use wacs::prelude::*;
 

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::io::{Read, Write};
 use std::time::Duration;
 use wacs::prelude::*;
@@ -92,7 +94,10 @@ fn main() -> std::io::Result<()> {
     let gass = GassStore::new();
     let registry = ExecRegistry::new();
     registry.register("hello", |ctx: rmf::ExecCtx| {
-        ctx.println(format!("hello from process {} on {}", ctx.proc_index, ctx.host));
+        ctx.println(format!(
+            "hello from process {} on {}",
+            ctx.proc_index, ctx.host
+        ));
         0
     });
     let alloc = ResourceAllocator::start(

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example rmf_knapsack`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::time::Duration;
 use wacs::prelude::*;
 
@@ -21,7 +23,10 @@ fn main() -> std::io::Result<()> {
         rwcp,
         rmf_site_policy(
             "rwcp",
-            &[(alloc_ref, rmf::ALLOCATOR_PORT), (fe_ref, rmf::QSERVER_PORT)],
+            &[
+                (alloc_ref, rmf::ALLOCATOR_PORT),
+                (fe_ref, rmf::QSERVER_PORT),
+            ],
         ),
     );
 
@@ -52,11 +57,7 @@ fn main() -> std::io::Result<()> {
             knapsack::seq_solve(&inst, knapsack::SolveMode::Prune { sorted: true });
         ctx.println(format!(
             "proc {}/{}: instance '{}' optimum = {best} ({} nodes, {} pruned)",
-            ctx.proc_index,
-            ctx.proc_count,
-            inst.name,
-            counters.traversed,
-            counters.pruned
+            ctx.proc_index, ctx.proc_count, inst.name, counters.traversed, counters.pruned
         ));
         if ctx.proc_index == 0 {
             let dp = knapsack::dp::solve(&inst);

@@ -47,6 +47,7 @@
 //! See `examples/` for the proxy, RMF, and wide-area MPI in action,
 //! and `crates/bench` for the table-regeneration harness.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub use firewall;
 pub use gridmpi;
 pub use knapsack;
@@ -68,7 +69,7 @@ pub mod prelude {
         ProxyEnv,
     };
     pub use rmf::{
-        rmf_site_policy, submit_job, wait_job, ExecRegistry, FlowTrace, Gatekeeper, GassStore,
+        rmf_site_policy, submit_job, wait_job, ExecRegistry, FlowTrace, GassStore, Gatekeeper,
         JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy,
     };
     pub use wacs_core::{

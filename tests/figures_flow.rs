@@ -9,6 +9,8 @@
 //! The real-socket servers execute the protocol; the assertions walk
 //! the observable side effects in order.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::io::{Read, Write};
 use wacs::prelude::*;
 

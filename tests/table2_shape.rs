@@ -4,6 +4,8 @@
 //! factor, and where the crossovers sit — the claims quoted below are
 //! the paper's own sentences.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wacs::prelude::*;
 
 fn oneway_ms(pair: PpPair, mode: PpMode, size: u64) -> f64 {
@@ -83,10 +85,7 @@ fn wan_bulk_bandwidth_converges_to_direct() {
         gaps.push((direct - indirect) / direct);
     }
     // Gap shrinks monotonically with size and ends small.
-    assert!(
-        gaps[0] > gaps[2],
-        "gap should shrink with size: {gaps:?}"
-    );
+    assert!(gaps[0] > gaps[2], "gap should shrink with size: {gaps:?}");
     assert!(gaps[2] < 0.30, "bulk gap {:.2} too large", gaps[2]);
 }
 
@@ -94,9 +93,15 @@ fn wan_bulk_bandwidth_converges_to_direct() {
 fn direct_absolute_anchors() {
     // Direct rows of Table 2, within calibration tolerance.
     let lan_lat = oneway_ms(PpPair::RwcpSunCompas, PpMode::Direct, 1);
-    assert!((0.25..0.62).contains(&lan_lat), "LAN direct latency {lan_lat} ms (paper 0.41)");
+    assert!(
+        (0.25..0.62).contains(&lan_lat),
+        "LAN direct latency {lan_lat} ms (paper 0.41)"
+    );
     let wan_lat = oneway_ms(PpPair::RwcpSunEtlSun, PpMode::Direct, 1);
-    assert!((2.7..5.1).contains(&wan_lat), "WAN direct latency {wan_lat} ms (paper 3.9)");
+    assert!(
+        (2.7..5.1).contains(&wan_lat),
+        "WAN direct latency {wan_lat} ms (paper 3.9)"
+    );
     let lan_bulk = bw(PpPair::RwcpSunCompas, PpMode::Direct, 1 << 20);
     assert!(
         (4.0e6..9.0e6).contains(&lan_bulk),

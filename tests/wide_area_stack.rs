@@ -3,6 +3,8 @@
 //! ranks spanning both sites, and the actual knapsack solver — the
 //! whole paper running as threads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::sync::Arc;
 use wacs::prelude::*;
 
@@ -78,7 +80,7 @@ fn knapsack_over_real_sockets_across_the_firewall() {
     let groups: Arc<Vec<String>> = Arc::new(
         ["RWCP-Sun", "COMPaS", "COMPaS", "ETL", "ETL", "ETL"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect(),
     );
     let inst2 = inst.clone();
@@ -107,8 +109,7 @@ fn knapsack_with_pruning_matches_dp_across_sites() {
         sorted: true,
         ..ParParams::default()
     };
-    let groups: Arc<Vec<String>> =
-        Arc::new((0..4).map(|i| format!("g{}", i % 2)).collect());
+    let groups: Arc<Vec<String>> = Arc::new((0..4).map(|i| format!("g{}", i % 2)).collect());
     let inst2 = inst.clone();
     let results = gridmpi::run_world(mixed_specs(&w, 2, 2), move |comm| {
         knapsack::par_run(comm, &inst2, &params, &groups).unwrap()
@@ -153,6 +154,15 @@ fn collectives_span_the_proxy() {
     for (len, sum) in results {
         assert_eq!(len, 4096);
         assert_eq!(sum, 1.0 + 2.0 + 3.0 + 4.0);
+    }
+    // The run above exercised every migrated OrderedMutex hot spot
+    // (allocator entries, qserver jobs, gridmpi peer/stash/counter
+    // locks, the outer server's rendezvous table); the global
+    // lock-order graph must have stayed acyclic.
+    for needle in ["rmf.", "gridmpi.", "nexus."] {
+        if let Err(v) = wacs_sync::lock_order::check_clean(needle) {
+            panic!("lock-order inversions under {needle}: {v:?}");
+        }
     }
 }
 
