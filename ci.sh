@@ -22,4 +22,7 @@ cargo run -q -p xtask -- lint
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== fault-seed recovery sweep"
+cargo test -q --test fault_recovery
+
 echo "ci.sh: all gates passed"

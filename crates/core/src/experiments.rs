@@ -144,6 +144,11 @@ impl Actor for PpServer {
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
         if token == POLL && self.pong_flow.is_none() {
             let adv = self.shared.lock().client_adv;
             match adv {
@@ -244,6 +249,11 @@ impl Actor for PpClient {
         ctx.set_timer(SimDuration::from_millis(1), POLL);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
         if token == POLL && self.ping_flow.is_none() {
             let adv = self.shared.lock().server_adv;
             match adv {
@@ -464,6 +474,162 @@ pub fn run_knapsack_with_mode(cfg: &KnapsackRun, fw_mode: FirewallMode) -> RunRe
     // in the master/slave protocol and deserves the abort.
     #[allow(clippy::expect_used)]
     result.expect("knapsack simulation did not finish") // lint:allow(unwrap-panic)
+}
+
+/// Fault-injection configuration for a knapsack run: the scenarios the
+/// fault ablation sweeps (WAN chunk loss, outer-proxy crash/restart).
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed of the fault RNG (independent of the run's traffic seed, so
+    /// the same workload can be replayed under different fault draws).
+    pub seed: u64,
+    /// Per-chunk drop probability on inter-site (WAN) links.
+    pub wan_drop: f64,
+    /// Crash the outer proxy server at this virtual offset (only
+    /// meaningful for proxied runs).
+    pub outer_crash_at: Option<SimDuration>,
+    /// Revive the outer proxy this long after the crash.
+    pub outer_restart_after: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 7,
+            wan_drop: 0.0,
+            outer_crash_at: None,
+            outer_restart_after: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Outcome of a knapsack run under fault injection: the workload result
+/// plus the recovery-path counters the ablation reports.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    pub result: RunResult,
+    /// Proxy-layer retries observed by the ranks (dial retries,
+    /// endpoint re-binds after an outer restart).
+    pub nx_retries: u64,
+    /// Chunks lost to fault injection.
+    pub chunks_dropped: u64,
+    /// End-to-end retransmissions those losses triggered.
+    pub retransmits: u64,
+    pub actor_crashes: u64,
+    pub actor_restarts: u64,
+}
+
+/// [`run_knapsack`] under a [`FaultConfig`]: same testbed and actors,
+/// with the fault plan installed before the run. Deterministic — the
+/// same `(cfg, faults)` pair always produces the same virtual-time
+/// trace, retry counts included.
+///
+/// # Panics
+/// Panics if the workload fails to complete within the one-hour
+/// virtual-time horizon (an unsurvivable fault plan).
+pub fn run_knapsack_with_faults(cfg: &KnapsackRun, faults: &FaultConfig) -> FaultRun {
+    let fw_mode = if cfg.use_proxy {
+        FirewallMode::DenyInWithNxport
+    } else {
+        FirewallMode::TemporarilyOpen
+    };
+    let tb = PaperTestbed::build(fw_mode);
+    let ranks = cfg.system.ranks(&tb);
+    let inst = Arc::new(Instance::no_pruning(cfg.items));
+    let shared: Shared = Arc::default();
+    let mut sim = Simulator::new(tb.topo.clone(), NetConfig::default(), cfg.seed);
+
+    let mut outer_id = None;
+    if cfg.use_proxy {
+        outer_id = Some(sim.spawn(
+            tb.rwcp_outer,
+            Box::new(SimOuterServer::new(
+                OUTER_CTRL_PORT,
+                Some((tb.rwcp_inner, NXPORT)),
+                cal::relay_model(),
+            )),
+        ));
+        sim.spawn(
+            tb.rwcp_inner,
+            Box::new(SimInnerServer::new(NXPORT, cal::relay_model())),
+        );
+    }
+
+    let env_for = |host: NodeId| -> SimProxyEnv {
+        if cfg.use_proxy && tb.topo.site_of(host) == tb.rwcp_site {
+            SimProxyEnv::via((tb.rwcp_outer, OUTER_CTRL_PORT))
+        } else {
+            SimProxyEnv::direct()
+        }
+    };
+
+    let master = &ranks[0];
+    sim.spawn(
+        master.host,
+        Box::new(MasterActor::new(
+            inst.clone(),
+            cfg.params,
+            env_for(master.host),
+            shared.clone(),
+            master.group.clone(),
+            ranks.len() - 1,
+        )),
+    );
+    for (i, place) in ranks.iter().enumerate().skip(1) {
+        sim.spawn(
+            place.host,
+            Box::new(SlaveActor::new(
+                inst.clone(),
+                cfg.params,
+                env_for(place.host),
+                shared.clone(),
+                i as u32,
+                place.group.clone(),
+            )),
+        );
+    }
+
+    let mut plan = FaultPlan::new(faults.seed);
+    if faults.wan_drop > 0.0 {
+        plan = plan.drop_messages(faults.wan_drop, true);
+    }
+    if let (Some(at), Some(outer)) = (faults.outer_crash_at, outer_id) {
+        let inner = (tb.rwcp_inner, NXPORT);
+        plan = plan.crash_restart(outer, at, faults.outer_restart_after, move || {
+            Box::new(SimOuterServer::new(
+                OUTER_CTRL_PORT,
+                Some(inner),
+                cal::relay_model(),
+            ))
+        });
+    }
+    sim.install_faults(plan);
+
+    // Virtual-time safety cap: with the retry layer in place a run
+    // survives transient faults, but an unsurvivable plan (e.g. a
+    // crash with no restart) would otherwise retry forever.
+    sim.run_until(SimTime(SimDuration::from_secs(3600).nanos()));
+    let stats = sim.stats();
+    let (chunks_dropped, retransmits, actor_crashes, actor_restarts) = (
+        stats.chunks_dropped,
+        stats.retransmits,
+        stats.actor_crashes,
+        stats.actor_restarts,
+    );
+    let st = shared.lock();
+    let result = st.result.clone();
+    // With a survivable fault plan the retry layer always completes the
+    // workload; running out the horizon means the plan was not.
+    #[allow(clippy::expect_used)]
+    let result = result.expect("knapsack run did not survive the fault plan"); // lint:allow(unwrap-panic)
+    FaultRun {
+        result,
+        nx_retries: st.nx_retries,
+        chunks_dropped,
+        retransmits,
+        actor_crashes,
+        actor_restarts,
+    }
 }
 
 /// Sequential baseline: "we ran the sequential version of the 0-1

@@ -10,7 +10,7 @@ pub mod experiments;
 pub mod testbed;
 
 pub use experiments::{
-    pingpong, pingpong_with_model, run_knapsack, run_knapsack_with_mode, sequential_baseline,
-    KnapsackRun, Mode, Pair, PingPongResult,
+    pingpong, pingpong_with_model, run_knapsack, run_knapsack_with_faults, run_knapsack_with_mode,
+    sequential_baseline, FaultConfig, FaultRun, KnapsackRun, Mode, Pair, PingPongResult,
 };
 pub use testbed::{FirewallMode, PaperTestbed, RankPlace, System};

@@ -18,12 +18,26 @@ pub const ANY_SOURCE: Option<u32> = None;
 /// Receive any tag.
 pub const ANY_TAG: Option<i32> = None;
 
+/// Per-peer send-side state: the lazily attached startpoint plus the
+/// sequence number of the next frame to that peer.
+struct PeerLink {
+    sp: Option<Startpoint>,
+    next_seq: u64,
+}
+
 /// Per-rank communicator handle (the `MPI_COMM_WORLD` analogue).
 ///
 /// One `Comm` lives on each rank's thread. Sends lazily attach a
 /// startpoint to the destination's advertised endpoint — through the
 /// Nexus Proxy whenever the rank's [`NexusContext`] says so — exactly
 /// how the paper's MPICH-G ranks communicate across the firewall.
+///
+/// Sends survive one relay reconnect: if the cached startpoint fails
+/// mid-send (outer proxy restarted, connection reset), the frame is
+/// retransmitted once on a fresh attachment with the *same* sequence
+/// number, and receivers drop any frame whose sequence they have
+/// already accepted — so a frame that made it through both the dying
+/// and the fresh connection is delivered exactly once, in order.
 pub struct Comm {
     rank: u32,
     size: u32,
@@ -31,15 +45,23 @@ pub struct Comm {
     ep: Endpoint,
     /// Advertised endpoint addresses of all ranks (index = rank).
     addrs: Arc<Vec<(String, u16)>>,
-    /// Lazily attached startpoints to peers.
-    peers: Vec<OrderedMutex<Option<Startpoint>>>,
+    /// Lazily attached startpoints + send sequence, per peer.
+    peers: Vec<OrderedMutex<PeerLink>>,
     /// Messages received but not yet matched (MPI's unexpected-message
     /// queue).
     stash: OrderedMutex<VecDeque<Packet>>,
+    /// Highest sequence accepted from each source (dedup after a
+    /// sender-side retransmit). Valid because per-pair sends are
+    /// sequential and each connection is FIFO.
+    last_seq: OrderedMutex<Vec<u64>>,
     epoch: Instant,
     /// Diagnostics.
     sent: OrderedMutex<u64>,
     received: OrderedMutex<u64>,
+    /// Frames dropped as duplicates of an already-accepted sequence.
+    dup_dropped: OrderedMutex<u64>,
+    /// Sends that needed the reconnect-and-retransmit path.
+    resends: OrderedMutex<u64>,
 }
 
 impl Comm {
@@ -51,7 +73,15 @@ impl Comm {
         addrs: Arc<Vec<(String, u16)>>,
     ) -> Comm {
         let peers = (0..size)
-            .map(|peer| OrderedMutex::new(&format!("gridmpi.comm.peer{peer}"), None))
+            .map(|peer| {
+                OrderedMutex::new(
+                    &format!("gridmpi.comm.peer{peer}"),
+                    PeerLink {
+                        sp: None,
+                        next_seq: 1,
+                    },
+                )
+            })
             .collect();
         Comm {
             rank,
@@ -61,9 +91,12 @@ impl Comm {
             addrs,
             peers,
             stash: OrderedMutex::new("gridmpi.comm.stash", VecDeque::new()),
+            last_seq: OrderedMutex::new("gridmpi.comm.dedup", vec![0; size as usize]),
             epoch: Instant::now(),
             sent: OrderedMutex::new("gridmpi.comm.sent", 0),
             received: OrderedMutex::new("gridmpi.comm.received", 0),
+            dup_dropped: OrderedMutex::new("gridmpi.comm.dup_dropped", 0),
+            resends: OrderedMutex::new("gridmpi.comm.resends", 0),
         }
     }
 
@@ -93,6 +126,24 @@ impl Comm {
         *self.received.lock()
     }
 
+    /// Frames dropped as retransmit duplicates (diagnostics).
+    pub fn duplicates_dropped(&self) -> u64 {
+        *self.dup_dropped.lock()
+    }
+
+    /// Sends that took the reconnect-and-retransmit path (diagnostics).
+    pub fn resends(&self) -> u64 {
+        *self.resends.lock()
+    }
+
+    /// Drop the cached startpoint to `dest`, as if its connection had
+    /// been torn down by a relay failure: the next send to `dest` must
+    /// re-attach. Test hook for the reconnect path.
+    #[doc(hidden)]
+    pub fn reset_peer_link(&self, dest: u32) {
+        self.peers[dest as usize].lock().sp = None;
+    }
+
     /// Send `payload` to `dest` with `tag` (tags < 0 are reserved).
     pub fn send(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
         assert!(tag >= USER_TAG_MIN, "negative tags are reserved");
@@ -102,21 +153,57 @@ impl Comm {
     pub(crate) fn send_internal(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
         assert!(dest < self.size, "rank {dest} out of range");
         assert_ne!(dest, self.rank, "self-sends are not supported");
-        let frame = Packet::encode(self.rank, tag, payload);
-        let mut slot = self.peers[dest as usize].lock();
-        let sp = match slot.as_ref() {
+        let mut link = self.peers[dest as usize].lock();
+        let frame = Packet::encode(self.rank, tag, link.next_seq, payload);
+        let sp = match link.sp.take() {
             Some(sp) => sp,
-            None => {
-                let (host, port) = &self.addrs[dest as usize];
-                let sp = self
-                    .ctx
-                    .attach_retry((host, *port), 200, Duration::from_millis(5))?;
-                slot.insert(sp)
-            }
+            None => self.attach(dest)?,
         };
-        sp.send(&frame)?;
+        match sp.send(&frame) {
+            Ok(()) => link.sp = Some(sp),
+            Err(_) => {
+                // The cached attachment died (relay restart, reset).
+                // We cannot know whether the frame survived, so
+                // reconnect once and retransmit the *same* frame — the
+                // receiver's per-source dedup discards the extra copy
+                // if both made it through.
+                let fresh = self.attach(dest)?;
+                fresh.send(&frame)?;
+                link.sp = Some(fresh);
+                *self.resends.lock() += 1;
+            }
+        }
+        link.next_seq += 1;
         *self.sent.lock() += 1;
         Ok(())
+    }
+
+    fn attach(&self, dest: u32) -> io::Result<Startpoint> {
+        let (host, port) = &self.addrs[dest as usize];
+        self.ctx
+            .attach_retry((host, *port), 200, Duration::from_millis(5))
+    }
+
+    /// Decode an arrived frame and apply per-source dedup. Returns
+    /// `None` for a retransmit duplicate (already accepted).
+    fn ingest(&self, frame: Vec<u8>) -> io::Result<Option<Packet>> {
+        let p = Packet::decode(frame)?;
+        let mut last = self.last_seq.lock();
+        let slot = last.get_mut(p.src as usize).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("packet from out-of-range rank {}", p.src),
+            )
+        })?;
+        if p.seq <= *slot {
+            drop(last);
+            *self.dup_dropped.lock() += 1;
+            return Ok(None);
+        }
+        *slot = p.seq;
+        drop(last);
+        *self.received.lock() += 1;
+        Ok(Some(p))
     }
 
     /// Blocking receive with matching. Returns `(src, tag, payload)`.
@@ -128,8 +215,9 @@ impl Comm {
         // 2. Drain the endpoint until a match arrives.
         loop {
             let frame = self.ep.recv()?;
-            let p = Packet::decode(frame)?;
-            *self.received.lock() += 1;
+            let Some(p) = self.ingest(frame)? else {
+                continue;
+            };
             if p.matches(src, tag) {
                 return Ok((p.src, p.tag, p.payload));
             }
@@ -155,8 +243,9 @@ impl Comm {
             }
             match self.ep.recv_timeout(deadline - now)? {
                 Some(frame) => {
-                    let p = Packet::decode(frame)?;
-                    *self.received.lock() += 1;
+                    let Some(p) = self.ingest(frame)? else {
+                        continue;
+                    };
                     if p.matches(src, tag) {
                         return Ok(Some((p.src, p.tag, p.payload)));
                     }
@@ -173,9 +262,9 @@ impl Comm {
     /// requests between branch operations.
     pub fn iprobe(&self, src: Option<u32>, tag: Option<i32>) -> io::Result<bool> {
         while let Some(frame) = self.ep.try_recv()? {
-            let p = Packet::decode(frame)?;
-            *self.received.lock() += 1;
-            self.stash.lock().push_back(p);
+            if let Some(p) = self.ingest(frame)? {
+                self.stash.lock().push_back(p);
+            }
         }
         Ok(self.stash.lock().iter().any(|p| p.matches(src, tag)))
     }

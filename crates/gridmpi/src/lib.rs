@@ -357,4 +357,130 @@ mod tests {
         })
         .unwrap();
     }
+
+    /// A relay reconnect mid-stream (the cached startpoint torn down
+    /// between sends) must not reorder, drop, or duplicate messages:
+    /// the proxied sender re-attaches through the outer server and the
+    /// receiver sees every payload exactly once, in order.
+    #[test]
+    fn reconnect_mid_stream_preserves_order() {
+        let w = world();
+        let results = run_world(specs(&w, 1, 1), |comm| {
+            if comm.rank() == 0 {
+                for i in 0u8..5 {
+                    comm.send(1, 0, &[i]).unwrap();
+                }
+                // Tear down the cached relay attachment, as a proxy
+                // restart would; the next send must re-attach.
+                comm.reset_peer_link(1);
+                for i in 5u8..10 {
+                    comm.send(1, 0, &[i]).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..10 {
+                    let (_, _, data) = comm.recv(Some(0), Some(0)).unwrap();
+                    got.extend_from_slice(&data);
+                }
+                assert_eq!(comm.duplicates_dropped(), 0);
+                got
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], (0u8..10).collect::<Vec<u8>>());
+    }
+
+    /// A retransmitted frame that survives on *both* the dying and the
+    /// fresh connection is delivered once: the receiver's per-source
+    /// sequence dedup drops the duplicate copy.
+    #[test]
+    fn duplicate_frames_are_dropped_by_sequence() {
+        let w = world();
+        let net = w.net.clone();
+        let results = run_world(specs(&w, 0, 2), move |comm| {
+            if comm.rank() == 0 {
+                // Normal send: seq 1 on the (0 -> 1) pair.
+                comm.send(1, 5, b"dup").unwrap();
+                // Learn rank 1's endpoint address from rank 1 itself.
+                let (_, _, addr) = comm.recv(Some(1), Some(9)).unwrap();
+                let addr = String::from_utf8(addr).unwrap();
+                let (host, port) = addr.rsplit_once(':').unwrap();
+                // Replay the same frame on a fresh raw connection, as
+                // a sender that could not tell whether the original
+                // survived a dying relay would.
+                let raw = NexusContext::direct(net.clone(), "etl2");
+                let sp = raw.attach((host, port.parse().unwrap())).unwrap();
+                sp.send(&packet::Packet::encode(0, 5, 1, b"dup")).unwrap();
+                // Hold the connection open until rank 1 confirms.
+                let (_, _, ok) = comm.recv(Some(1), Some(6)).unwrap();
+                assert_eq!(ok, b"seen");
+                0
+            } else {
+                let (h, p) = comm.advertised();
+                let addr = format!("{h}:{p}");
+                comm.send(0, 9, addr.as_bytes()).unwrap();
+                let (_, _, data) = comm.recv(Some(0), Some(5)).unwrap();
+                assert_eq!(data, b"dup");
+                // Drain until the replayed copy arrives and is dropped.
+                for _ in 0..2000 {
+                    comm.iprobe(None, None).unwrap();
+                    if comm.duplicates_dropped() >= 1 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                assert_eq!(comm.duplicates_dropped(), 1);
+                // No second copy of the payload was delivered.
+                assert!(!comm.iprobe(Some(0), Some(5)).unwrap());
+                comm.send(0, 6, b"seen").unwrap();
+                comm.duplicates_dropped()
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], 1);
+    }
+
+    /// The send path itself retransmits when the cached attachment
+    /// errors mid-send: kill the receiving endpoint between sends and
+    /// rebind it at the same address — the sender's cached startpoint
+    /// fails, and the frame goes out again on a fresh attachment.
+    #[test]
+    fn dead_attachment_triggers_reconnect_and_resend() {
+        use nexus::{InProcExchange, PortPolicy};
+        let w = world();
+        const PORT: u16 = 47_000;
+        let ex = InProcExchange::new();
+        let ctx1 = NexusContext::direct(w.net.clone(), "etl1")
+            .with_port_policy(PortPolicy::range(PORT, PORT))
+            .with_shared_inproc(ex.clone());
+        let ctx0 = NexusContext::direct(w.net.clone(), "etl0").with_shared_inproc(ex);
+        let ep1a = ctx1.endpoint().unwrap();
+        assert_eq!(ep1a.advertised().1, PORT);
+        let ep0 = ctx0.endpoint().unwrap();
+        let addrs = std::sync::Arc::new(vec![
+            (ep0.advertised().0.to_string(), ep0.advertised().1),
+            ("etl1".to_string(), PORT),
+        ]);
+        let comm = comm::Comm::new(0, 2, ctx0, ep0, addrs);
+
+        comm.send(1, 0, b"before").unwrap();
+        let first = packet::Packet::decode(ep1a.recv().unwrap()).unwrap();
+        assert_eq!((first.seq, &first.payload[..]), (1, &b"before"[..]));
+
+        // Kill the endpoint, then bring a new one up at the same
+        // address (the old listener needs a moment to release it).
+        drop(ep1a);
+        let ep1b = loop {
+            match ctx1.endpoint() {
+                Ok(ep) => break ep,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        };
+
+        comm.send(1, 0, b"after").unwrap();
+        assert_eq!(comm.resends(), 1, "cached startpoint death must resend");
+        let second = packet::Packet::decode(ep1b.recv().unwrap()).unwrap();
+        assert_eq!((second.seq, &second.payload[..]), (2, &b"after"[..]));
+    }
 }

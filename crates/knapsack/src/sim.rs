@@ -14,6 +14,7 @@ use crate::node::{branch_once, BranchCounters, Node};
 use crate::stats::{RankStats, RunResult};
 use netsim::prelude::*;
 use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, SimProxyEnv};
+use std::collections::HashMap;
 use std::sync::Arc;
 use wacs_sync::Mutex;
 
@@ -58,6 +59,9 @@ impl KMsg {
 pub struct SimShared {
     master_addr: Option<(NodeId, u16)>,
     pub result: Option<RunResult>,
+    /// Proxy-layer retries observed across all ranks (dial retries,
+    /// re-binds) — nonzero only when faults actually bit.
+    pub nx_retries: u64,
 }
 
 pub type Shared = Arc<Mutex<SimShared>>;
@@ -79,6 +83,17 @@ pub struct MasterActor {
     steals_served: u64,
     pending: Vec<FlowId>,
     slave_flows: Vec<FlowId>,
+    /// Batches shipped but not yet known-received, per flow. A slave
+    /// only sends again after it has the batch (its Steal/Back traffic
+    /// is FIFO-ordered behind our Nodes send), so any message from the
+    /// flow confirms receipt; a `Closed` before that re-queues the
+    /// batch (at-least-once — a little duplicate traversal beats a
+    /// silently pruned subtree).
+    outstanding: HashMap<FlowId, Vec<Node>>,
+    /// A bind has succeeded at least once (distinguishes a
+    /// misconfigured rig from a re-bind that failed because the relay
+    /// stayed dead).
+    ever_bound: bool,
     working: bool,
     finished: bool,
     reports: Vec<RankStats>,
@@ -108,6 +123,8 @@ impl MasterActor {
             steals_served: 0,
             pending: Vec::new(),
             slave_flows: Vec::new(),
+            outstanding: HashMap::new(),
+            ever_bound: false,
             working: false,
             finished: false,
             reports: Vec::new(),
@@ -130,11 +147,31 @@ impl MasterActor {
             let shipped: Vec<Node> = self.stack.split_off(at);
             let msg = KMsg::Nodes {
                 best: self.best,
-                nodes: shipped,
+                nodes: shipped.clone(),
             };
             let size = msg.wire_size();
-            let _ = ctx.send(flow, size, msg);
+            if ctx.send(flow, size, msg).is_err() {
+                // Flow already severed (its Closed event is still in
+                // flight): keep the work; the slave will re-steal.
+                self.stack.extend(shipped);
+                continue;
+            }
+            self.outstanding.insert(flow, shipped);
             self.steals_served += 1;
+        }
+    }
+
+    /// A slave's flow died (proxy crash, WAN loss). Re-queue any batch
+    /// it may never have received and forget the flow; the slave will
+    /// reconnect and resume stealing on a fresh flow.
+    fn on_slave_gone(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        self.pending.retain(|&f| f != flow);
+        self.slave_flows.retain(|&f| f != flow);
+        if let Some(nodes) = self.outstanding.remove(&flow) {
+            self.stack.extend(nodes);
+        }
+        if !self.stack.is_empty() {
+            self.schedule_work(ctx, SimDuration::ZERO);
         }
     }
 
@@ -171,19 +208,33 @@ impl MasterActor {
         ranks.append(&mut self.reports);
         ranks.sort_by_key(|r| r.rank);
         let best = ranks.iter().map(|r| r.local_best).max().unwrap_or(0);
-        self.shared.lock().result = Some(RunResult {
+        let mut sh = self.shared.lock();
+        sh.nx_retries += self.nx.retries();
+        sh.result = Some(RunResult {
             best,
             elapsed_secs: ctx.now().since(self.started_at).as_secs_f64(),
             ranks,
         });
+        drop(sh);
         ctx.stop_simulation();
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_>, d: Delivery) {
         let flow = d.flow;
+        // Any message from a flow proves its last shipped batch landed.
+        self.outstanding.remove(&flow);
         match d.expect::<KMsg>() {
             KMsg::Steal { best } => {
                 self.best = self.best.max(best);
+                if self.finished {
+                    // A slave that lost its flow after the broadcast
+                    // reconnected and is still asking; re-answer Done
+                    // so it ships its Stats.
+                    let msg = KMsg::Done;
+                    let size = msg.wire_size();
+                    let _ = ctx.send(flow, size, msg);
+                    return;
+                }
                 self.pending.push(flow);
                 self.serve_pending(ctx);
                 self.maybe_finish(ctx);
@@ -197,6 +248,10 @@ impl MasterActor {
                 }
             }
             KMsg::Stats(rs) => {
+                // A slave may resend Stats after a post-Done reconnect.
+                if self.reports.iter().any(|r| r.rank == rs.rank) {
+                    return;
+                }
                 self.reports.push(*rs);
                 if self.reports.len() == self.nslaves {
                     self.publish(ctx);
@@ -211,13 +266,26 @@ impl MasterActor {
     fn handle_nx(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
         match h {
             NxHandled::Event(NxEvent::Bound { advertised }) => {
+                self.ever_bound = true;
                 self.shared.lock().master_addr = Some(advertised);
+            }
+            NxHandled::Event(NxEvent::BindLost) => {
+                // Outer server crashed: the advertised rendezvous is
+                // dead. Withdraw it so polling slaves wait for the
+                // fresh Bound instead of dialing a stale port.
+                self.shared.lock().master_addr = None;
             }
             NxHandled::Event(NxEvent::Accepted { flow }) => {
                 self.slave_flows.push(flow);
             }
-            NxHandled::Event(NxEvent::BindFailed) => sim_bug("master bind failed", ()),
+            // An *initial* bind failure is a rig bug; a failed
+            // *re*-bind means the relay never came back — degrade
+            // (keep any local work going) rather than panic.
+            NxHandled::Event(NxEvent::BindFailed) if !self.ever_bound => {
+                sim_bug("master bind failed", ());
+            }
             NxHandled::Data(d) => self.handle_data(ctx, d),
+            NxHandled::Flow(FlowEvent::Closed { flow, .. }) => self.on_slave_gone(ctx, flow),
             _ => {}
         }
     }
@@ -231,12 +299,18 @@ impl Actor for MasterActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.started_at = ctx.now();
         if let Some(adv) = self.nx.bind(ctx) {
+            self.ever_bound = true;
             self.shared.lock().master_addr = Some(adv);
         }
         self.schedule_work(ctx, SimDuration::ZERO);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle_nx(ctx, h);
+            return;
+        }
         if token != WORK {
             return;
         }
@@ -289,6 +363,14 @@ pub struct SlaveActor {
     steal_requests: u64,
     back_sends: u64,
     master: Option<FlowId>,
+    /// A dial is in flight (don't start another from a POLL tick).
+    connecting: bool,
+    /// Copies of every node shipped Back on the current flow: if the
+    /// flow dies we cannot know whether the master got them, so they
+    /// are re-added locally (at-least-once). Cleared on `Done`.
+    retained: Vec<Node>,
+    /// `Done` received — only Stats remain to be (re-)sent.
+    done: bool,
     working: bool,
 }
 
@@ -314,18 +396,43 @@ impl SlaveActor {
             steal_requests: 0,
             back_sends: 0,
             master: None,
+            connecting: false,
+            retained: Vec::new(),
+            done: false,
             working: false,
         }
     }
 
+    fn schedule_poll(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), POLL);
+    }
+
     fn send_steal(&mut self, ctx: &mut Ctx<'_>) {
         let Some(flow) = self.master else {
-            sim_bug("steal before connect", self.rank)
+            // Not connected (master restarting): re-poll for its
+            // (possibly new) address instead of crashing the harness.
+            self.schedule_poll(ctx);
+            return;
         };
         let msg = KMsg::Steal { best: self.best };
         let size = msg.wire_size();
         let _ = ctx.send(flow, size, msg);
         self.steal_requests += 1;
+    }
+
+    fn send_stats(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let rs = RankStats {
+            rank: self.rank,
+            host: ctx.host_name().to_string(),
+            group: self.group.clone(),
+            traversed: self.counters.traversed,
+            steals: self.steal_requests,
+            back_sends: self.back_sends,
+            local_best: self.best,
+        };
+        let msg = KMsg::Stats(Box::new(rs));
+        let size = msg.wire_size();
+        let _ = ctx.send(flow, size, msg);
     }
 }
 
@@ -339,11 +446,22 @@ impl Actor for SlaveActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle_nx(ctx, h);
+            return;
+        }
         match token {
             POLL => {
+                if self.master.is_some() || self.connecting {
+                    return;
+                }
                 let addr = self.shared.lock().master_addr;
                 match addr {
-                    Some(dst) => self.nx.connect(ctx, dst, 0),
+                    Some(dst) => {
+                        self.connecting = true;
+                        self.nx.connect(ctx, dst, 0);
+                    }
                     None => ctx.set_timer(SimDuration::from_millis(1), POLL),
                 }
             }
@@ -372,18 +490,21 @@ impl Actor for SlaveActor {
                     threshold,
                     self.params.back_unit,
                 );
+                // Only ship surplus while connected; during a master
+                // outage the nodes stay on the local stack (correct,
+                // just less balanced until the flow is back).
                 if take > 0 {
-                    let surplus: Vec<Node> = self.stack.drain(..take).collect();
-                    let msg = KMsg::Back {
-                        best: self.best,
-                        nodes: surplus,
-                    };
-                    let size = msg.wire_size();
-                    let Some(master) = self.master else {
-                        sim_bug("back-send before connect", self.rank)
-                    };
-                    let _ = ctx.send(master, size, msg);
-                    self.back_sends += 1;
+                    if let Some(master) = self.master {
+                        let surplus: Vec<Node> = self.stack.drain(..take).collect();
+                        self.retained.extend(surplus.iter().cloned());
+                        let msg = KMsg::Back {
+                            best: self.best,
+                            nodes: surplus,
+                        };
+                        let size = msg.wire_size();
+                        let _ = ctx.send(master, size, msg);
+                        self.back_sends += 1;
+                    }
                 }
                 let cost = SimDuration::from_secs_f64(f64::from(ops.max(1)) / rate);
                 if self.stack.is_empty() {
@@ -414,12 +535,37 @@ impl SlaveActor {
     fn handle_nx(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
         let d = match h {
             NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                self.connecting = false;
                 self.master = Some(flow);
-                self.send_steal(ctx);
+                if self.done {
+                    // Reconnected after the broadcast: only our report
+                    // is owed.
+                    self.send_stats(ctx, flow);
+                } else {
+                    self.send_steal(ctx);
+                }
                 return;
             }
             NxHandled::Event(NxEvent::Refused { .. }) => {
-                sim_bug("slave could not reach the master", self.rank)
+                // The relay chain (or the master) is down even after
+                // the proxy layer's own retries. Fall back to polling:
+                // a recovering master re-publishes a fresh address.
+                self.connecting = false;
+                self.schedule_poll(ctx);
+                return;
+            }
+            NxHandled::Flow(FlowEvent::Closed { flow, .. }) if self.master == Some(flow) => {
+                // The master flow died mid-run. Reclaim every node we
+                // shipped Back on it (the master may never have seen
+                // them), then rediscover the master and reconnect.
+                self.master = None;
+                self.stack.append(&mut self.retained);
+                if !self.stack.is_empty() && !self.working {
+                    self.working = true;
+                    ctx.set_timer(SimDuration::ZERO, WORK);
+                }
+                self.schedule_poll(ctx);
+                return;
             }
             NxHandled::Data(d) => d,
             _ => return,
@@ -435,18 +581,12 @@ impl SlaveActor {
                 }
             }
             KMsg::Done => {
-                let rs = RankStats {
-                    rank: self.rank,
-                    host: ctx.host_name().to_string(),
-                    group: self.group.clone(),
-                    traversed: self.counters.traversed,
-                    steals: self.steal_requests,
-                    back_sends: self.back_sends,
-                    local_best: self.best,
-                };
-                let msg = KMsg::Stats(Box::new(rs));
-                let size = msg.wire_size();
-                let _ = ctx.send(master_flow, size, msg);
+                if !self.done {
+                    self.done = true;
+                    self.retained.clear();
+                    self.shared.lock().nx_retries += self.nx.retries();
+                }
+                self.send_stats(ctx, master_flow);
             }
             other => sim_bug("slave got an unexpected message", other),
         }

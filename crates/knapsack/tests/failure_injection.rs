@@ -1,7 +1,13 @@
 //! Failure injection for the simulated wide-area knapsack: what
-//! happens when infrastructure dies or the firewall flips mid-run.
-//! The system must degrade observably (severed flows, no result) —
-//! never hang the virtual clock or panic.
+//! happens when infrastructure dies *permanently* or the firewall
+//! flips mid-run. Since the retry/backoff layer, survivors keep
+//! probing for the lost piece (bounded-backoff dials, address
+//! re-polls), so the event queue no longer drains — the invariant is
+//! that the run degrades observably (severed flows, no result) and
+//! the virtual clock stays bounded by the caller's horizon without a
+//! panic or wall-clock livelock. Recovery from *transient* failures
+//! (crash + restart) is covered by `netsim::fault` and the
+//! `fault_recovery` integration suite.
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
@@ -128,15 +134,12 @@ fn outer_server_death_severs_the_cluster_without_hanging() {
     r.sim.run_until(SimTime(SimDuration::from_secs(2).nanos()));
     let flows_before = r.sim.stats().flows_closed;
     r.sim.kill_actor(r.outer_id);
-    // The virtual clock must drain (no livelock) within a bounded
-    // horizon; the run cannot produce a result.
-    let end = r
-        .sim
-        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
-    assert!(
-        end < SimTime(SimDuration::from_secs(600).nanos()),
-        "event queue should drain after the relay dies"
-    );
+    // Survivors retry forever (the relay never comes back), so the
+    // clock runs to the horizon — but the run cannot produce a result
+    // and every relayed flow must have been reset.
+    let horizon = SimTime(SimDuration::from_secs(30).nanos());
+    let end = r.sim.run_until(horizon);
+    assert!(end <= horizon, "clock must stay bounded by the horizon");
     assert!(
         r.shared.lock().result.is_none(),
         "no result without the relay"
@@ -152,10 +155,9 @@ fn inner_server_death_severs_inside_ranks() {
     let mut r = rig(20);
     r.sim.run_until(SimTime(SimDuration::from_secs(2).nanos()));
     r.sim.kill_actor(r.inner_id);
-    let end = r
-        .sim
-        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
-    assert!(end < SimTime(SimDuration::from_secs(600).nanos()));
+    let horizon = SimTime(SimDuration::from_secs(30).nanos());
+    let end = r.sim.run_until(horizon);
+    assert!(end <= horizon);
     assert!(r.shared.lock().result.is_none());
 }
 
@@ -169,10 +171,9 @@ fn firewall_hard_reset_mid_run_kills_relayed_traffic() {
     let fw = r.sim.firewall_mut(site).unwrap();
     fw.reload(Policy::deny_based("rwcp-lockdown"));
     fw.flush_conntrack();
-    let end = r
-        .sim
-        .run_until(SimTime(SimDuration::from_secs(600).nanos()));
-    assert!(end < SimTime(SimDuration::from_secs(600).nanos()));
+    let horizon = SimTime(SimDuration::from_secs(30).nanos());
+    let end = r.sim.run_until(horizon);
+    assert!(end <= horizon);
     assert!(r.shared.lock().result.is_none());
     // The audit log recorded the drops.
     let dropped = r.sim.firewall(site).unwrap().audit().dropped();

@@ -22,6 +22,7 @@
 
 use crate::actor::{Actor, ActorId, Delivery, FlowEvent, Payload, SendError};
 use crate::event::EventQueue;
+use crate::fault::{ChunkFate, FaultPlan, FaultState, RestartFactory};
 use crate::flow::{
     CloseReason, Flow, FlowEnd, FlowId, FlowState, PortError, PortTable, RefuseReason,
 };
@@ -99,6 +100,9 @@ struct Transit {
     msg: Option<MsgDesc>,
     /// Index of the path node the chunk has just arrived at.
     hop: usize,
+    /// End-to-end transmission attempts already lost to fault
+    /// injection (0 on first send).
+    attempt: u32,
 }
 
 enum Event {
@@ -111,6 +115,10 @@ enum Event {
         flow: FlowId,
         msg: MsgDesc,
     },
+    /// Fault injection: kill an actor abruptly.
+    FaultCrash(ActorId),
+    /// Fault injection: revive a crashed actor from its restart factory.
+    FaultRestart(ActorId),
 }
 
 /// Everything except the actors themselves (split so actor callbacks
@@ -128,6 +136,8 @@ pub struct World {
     link_free: Vec<[SimTime; 2]>,
     pub stats: Stats,
     rng: SimRng,
+    /// Installed fault-injection state (None = fault-free run).
+    faults: Option<FaultState>,
     pub trace: Trace,
     stop_requested: bool,
     pending_spawns: Vec<(NodeId, Box<dyn Actor>)>,
@@ -159,6 +169,7 @@ impl World {
             link_free,
             stats,
             rng: SimRng::seed_from_u64(seed),
+            faults: None,
             trace: Trace::default(),
             stop_requested: false,
             pending_spawns: Vec::new(),
@@ -248,6 +259,7 @@ impl World {
                     bytes: chunk.min(size - i * chunk),
                     msg: None,
                     hop: 0,
+                    attempt: 0,
                 }),
             );
         }
@@ -260,6 +272,7 @@ impl World {
                 bytes: last_bytes,
                 msg: Some(msg),
                 hop: 0,
+                attempt: 0,
             }),
         );
         self.stats.messages_sent += 1;
@@ -651,6 +664,8 @@ struct Slot {
 pub struct Simulator {
     world: World,
     actors: Vec<Slot>,
+    /// Restart factories for crash/restart fault specs.
+    restarts: HashMap<ActorId, (SimDuration, RestartFactory)>,
 }
 
 impl Simulator {
@@ -658,7 +673,24 @@ impl Simulator {
         Simulator {
             world: World::new(topo, config, seed),
             actors: Vec::new(),
+            restarts: HashMap::new(),
         }
+    }
+
+    /// Install a fault-injection plan. Offsets in the plan are
+    /// relative to the current virtual time. Installing a second plan
+    /// replaces the steady-state faults (drops, windows) but keeps any
+    /// already-scheduled crashes.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let now = self.world.now;
+        let (crashes, state) = plan.into_parts(now);
+        for c in crashes {
+            self.world.queue.schedule(c.at, Event::FaultCrash(c.actor));
+            if let Some(restart) = c.restart {
+                self.restarts.insert(c.actor, restart);
+            }
+        }
+        self.world.faults = Some(state);
     }
 
     /// Install an actor on a host; its `on_start` runs when the
@@ -850,6 +882,91 @@ impl Simulator {
                 });
             }
             Event::Chunk(t) => self.handle_chunk(t),
+            Event::FaultCrash(id) => {
+                let now = self.world.now;
+                self.world.stats.actor_crashes += 1;
+                self.world
+                    .trace
+                    .log(now, || format!("FAULT crash actor {id}"));
+                self.kill_actor(id);
+                if let Some((after, _)) = self.restarts.get(&id) {
+                    let at = now + *after;
+                    self.world.queue.schedule(at, Event::FaultRestart(id));
+                }
+            }
+            Event::FaultRestart(id) => {
+                if id < self.actors.len() && !self.actors[id].alive {
+                    if let Some((_, factory)) = self.restarts.get_mut(&id) {
+                        let fresh = factory();
+                        self.actors[id].alive = true;
+                        self.actors[id].actor = Some(fresh);
+                        self.world.stats.actor_restarts += 1;
+                        let now = self.world.now;
+                        self.world
+                            .trace
+                            .log(now, || format!("FAULT restart actor {id}"));
+                        self.world.queue.schedule(now, Event::Start(id));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close a flow from inside the engine (transport gave up) and
+    /// notify both endpoint actors immediately.
+    fn sever_flow(&mut self, fid: FlowId, reason: CloseReason) {
+        let now = self.world.now;
+        let Some(f) = self.world.flows.get_mut(&fid) else {
+            return;
+        };
+        if f.state == FlowState::Closed {
+            return;
+        }
+        f.state = FlowState::Closed;
+        let ends = [f.a.actor, f.b.actor];
+        let fc = f.clone();
+        self.world.teardown_conntrack(&fc);
+        self.world.stats.flows_closed += 1;
+        for act in ends {
+            self.world.queue.schedule(
+                now,
+                Event::Flow(act, FlowEvent::Closed { flow: fid, reason }),
+            );
+        }
+    }
+
+    /// A chunk was lost to fault injection: retransmit end-to-end after
+    /// the RTO, or sever the flow once the attempt budget is exhausted.
+    fn drop_chunk(&mut self, t: Transit) {
+        self.world.stats.chunks_dropped += 1;
+        let Some(policy) = self.world.faults.as_ref().map(|f| f.retransmit) else {
+            return;
+        };
+        let now = self.world.now;
+        if t.attempt + 1 < policy.max_attempts {
+            self.world.stats.retransmits += 1;
+            let flow = t.flow;
+            self.world.trace.log(now, || {
+                format!(
+                    "FAULT drop flow={} attempt={} (retransmit)",
+                    flow.0, t.attempt
+                )
+            });
+            self.world.queue.schedule(
+                now + policy.rto,
+                Event::Chunk(Transit {
+                    hop: 0,
+                    attempt: t.attempt + 1,
+                    ..t
+                }),
+            );
+        } else {
+            self.world.stats.messages_lost += 1;
+            let flow = t.flow;
+            self.world.trace.log(now, || {
+                format!("FAULT drop flow={} attempt={} (give up)", flow.0, t.attempt)
+            });
+            self.sever_flow(flow, CloseReason::Lost);
         }
     }
 
@@ -905,10 +1022,29 @@ impl Simulator {
         // Forward over the next link.
         let lid = link_at(t.hop);
         let from = node_at(t.hop);
-        let (bandwidth, latency, link_a) = {
+        let (bandwidth, latency, link_a, inter_site) = {
             let link = self.world.topo.link(lid);
-            (link.bandwidth, link.latency, link.a)
+            let inter = self.world.topo.site_of(link.a) != self.world.topo.site_of(link.b);
+            (link.bandwidth, link.latency, link.a, inter)
         };
+        let mut extra_latency = SimDuration::ZERO;
+        if self.world.faults.is_some() {
+            let now = self.world.now;
+            // Split borrow: fate needs &mut faults only.
+            let fate = self
+                .world
+                .faults
+                .as_mut()
+                .map(|f| f.chunk_fate(lid, now, inter_site));
+            match fate {
+                Some(ChunkFate::Drop) => {
+                    self.drop_chunk(t);
+                    return;
+                }
+                Some(ChunkFate::Pass { extra }) => extra_latency = extra,
+                None => {}
+            }
+        }
         let dir = if link_a == from { 0 } else { 1 };
         let wire = self.world.config.wire_bytes(t.bytes);
         let ser = SimDuration::from_secs_f64(wire as f64 / bandwidth);
@@ -920,7 +1056,7 @@ impl Simulator {
         };
         let finish = depart + ser;
         self.world.link_free[lid.0 as usize][dir] = finish;
-        let arrive = finish + latency;
+        let arrive = finish + latency + extra_latency;
         self.world.stats.record_chunk(lid, dir, wire, ser);
         self.world.queue.schedule(
             arrive,
@@ -1220,6 +1356,239 @@ mod tests {
         let echoes_after = final_log.iter().filter(|l| l.starts_with("echo")).count();
         assert!(echoes_after > echoes_before, "{final_log:?}");
         assert!(!final_log.iter().any(|l| l == "closed Filtered"));
+    }
+
+    #[test]
+    fn lossy_link_delivers_via_retransmit() {
+        // 10% per-traversal loss (~27% per 3-hop transmission): the
+        // ping-pong still completes, the extra time shows up as
+        // retransmits, and the run stays deterministic.
+        let run = || {
+            let (t, ha, hb) = two_host_topo(None);
+            let mut sim = Simulator::new(t, NetConfig::default(), 1);
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            sim.spawn(
+                hb,
+                Box::new(Echo {
+                    log: log.clone(),
+                    port: 5000,
+                }),
+            );
+            sim.spawn(
+                ha,
+                Box::new(Pinger {
+                    log: log.clone(),
+                    peer: (hb, 5000),
+                    size: 100_000,
+                    sent_at: None,
+                    flow: None,
+                }),
+            );
+            sim.install_faults(
+                FaultPlan::new(0xD0)
+                    .drop_messages(0.1, false)
+                    .retransmit(SimDuration::from_millis(20), 8),
+            );
+            sim.run();
+            let out = log.lock().clone();
+            (out, sim.stats().clone())
+        };
+        let (log, stats) = run();
+        assert!(log.iter().any(|l| l.starts_with("rtt_ns")), "{log:?}");
+        assert!(stats.chunks_dropped > 0);
+        assert!(stats.retransmits > 0);
+        assert_eq!(stats.messages_lost, 0, "budget should not exhaust");
+        let (log2, stats2) = run();
+        assert_eq!(log, log2);
+        assert_eq!(stats.retransmits, stats2.retransmits);
+    }
+
+    #[test]
+    fn retransmit_exhaustion_severs_flow_with_lost() {
+        // A link that stays down longer than the whole retransmit
+        // budget: the transport gives up and both ends see `Lost`.
+        let (t, ha, hb) = two_host_topo(None);
+        let mut sim = Simulator::new(t, NetConfig::default(), 1);
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
+        sim.spawn(
+            hb,
+            Box::new(Echo {
+                log: log.clone(),
+                port: 5000,
+            }),
+        );
+        sim.spawn(
+            ha,
+            Box::new(Streamer {
+                log: log.clone(),
+                peer: (hb, 5000),
+                flow: None,
+            }),
+        );
+        // WAN link is index 1 (swa<->swb). Down "forever" relative to
+        // 3 x 10ms retransmits.
+        sim.install_faults(
+            FaultPlan::new(2)
+                .link_down(
+                    LinkId(1),
+                    SimDuration::from_millis(5),
+                    SimDuration::from_secs(3600),
+                )
+                .retransmit(SimDuration::from_millis(10), 3),
+        );
+        sim.run_until(SimTime(SimDuration::from_secs(2).nanos()));
+        let final_log = log.lock().clone();
+        assert!(
+            final_log.iter().any(|l| l == "closed Lost"),
+            "{final_log:?}"
+        );
+        assert!(sim.stats().messages_lost > 0);
+    }
+
+    #[test]
+    fn crash_restart_revives_actor_in_place() {
+        // Echo crashes at 30ms and is revived at 80ms. The streamer
+        // sees PeerCrashed, reconnects, and gets echoes again.
+        struct Redialer {
+            log: Log,
+            peer: (NodeId, u16),
+            flow: Option<FlowId>,
+        }
+        impl Actor for Redialer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.peer, 0);
+            }
+            fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+                match ev {
+                    FlowEvent::Connected { flow, .. } => {
+                        self.flow = Some(flow);
+                        ctx.set_timer(SimDuration::from_millis(10), 1);
+                    }
+                    FlowEvent::Closed { reason, .. } => {
+                        self.log.lock().push(format!("closed {reason:?}"));
+                        self.flow = None;
+                        ctx.set_timer(SimDuration::from_millis(25), 2);
+                    }
+                    FlowEvent::Refused { .. } => {
+                        // Server still down: keep retrying.
+                        ctx.set_timer(SimDuration::from_millis(25), 2);
+                    }
+                    _ => {}
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                match token {
+                    1 => {
+                        if let Some(f) = self.flow {
+                            ctx.send(f, 100, ()).ok();
+                            ctx.set_timer(SimDuration::from_millis(10), 1);
+                        }
+                    }
+                    _ => {
+                        if self.flow.is_none() {
+                            ctx.connect(self.peer, 0);
+                        }
+                    }
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Delivery) {
+                self.log.lock().push(format!("pong at {}", ctx.now()));
+            }
+        }
+
+        let (t, ha, hb) = two_host_topo(None);
+        let mut sim = Simulator::new(t, NetConfig::default(), 1);
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
+        let echo_id = sim.spawn(
+            hb,
+            Box::new(Echo {
+                log: log.clone(),
+                port: 5000,
+            }),
+        );
+        sim.spawn(
+            ha,
+            Box::new(Redialer {
+                log: log.clone(),
+                peer: (hb, 5000),
+                flow: None,
+            }),
+        );
+        let restart_log = log.clone();
+        sim.install_faults(FaultPlan::new(7).crash_restart(
+            echo_id,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(50),
+            move || {
+                Box::new(Echo {
+                    log: restart_log.clone(),
+                    port: 5000,
+                })
+            },
+        ));
+        sim.run_until(SimTime(SimDuration::from_millis(300).nanos()));
+        let final_log = log.lock().clone();
+        assert!(
+            final_log.iter().any(|l| l == "closed PeerCrashed"),
+            "{final_log:?}"
+        );
+        // Two separate accepts: original and post-restart reconnect.
+        let accepts = final_log.iter().filter(|l| *l == "accepted").count();
+        assert_eq!(accepts, 2, "{final_log:?}");
+        let crash_pos = final_log
+            .iter()
+            .position(|l| l == "closed PeerCrashed")
+            .unwrap();
+        assert!(
+            final_log[crash_pos..].iter().any(|l| l.starts_with("pong")),
+            "no echo after restart: {final_log:?}"
+        );
+        assert_eq!(sim.stats().actor_crashes, 1);
+        assert_eq!(sim.stats().actor_restarts, 1);
+    }
+
+    #[test]
+    fn delay_spike_slows_round_trip() {
+        let rtt_with = |spike: Option<SimDuration>| {
+            let (t, ha, hb) = two_host_topo(None);
+            let mut sim = Simulator::new(t, NetConfig::default(), 1);
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            sim.spawn(
+                hb,
+                Box::new(Echo {
+                    log: log.clone(),
+                    port: 5000,
+                }),
+            );
+            sim.spawn(
+                ha,
+                Box::new(Pinger {
+                    log: log.clone(),
+                    peer: (hb, 5000),
+                    size: 100,
+                    sent_at: None,
+                    flow: None,
+                }),
+            );
+            if let Some(extra) = spike {
+                sim.install_faults(FaultPlan::new(1).delay_spike(
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(10),
+                    extra,
+                ));
+            }
+            sim.run();
+            let rtt = log
+                .lock()
+                .iter()
+                .find_map(|l| l.strip_prefix("rtt_ns ").map(|v| v.parse::<u64>().unwrap()))
+                .unwrap();
+            rtt
+        };
+        let base = rtt_with(None);
+        let spiked = rtt_with(Some(SimDuration::from_millis(5)));
+        // 6 link traversals gain >= 5ms each.
+        assert!(spiked > base + 29_000_000, "base {base} spiked {spiked}");
     }
 
     #[test]

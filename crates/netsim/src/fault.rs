@@ -1,0 +1,314 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded script of adverse conditions installed
+//! into a [`crate::engine::Simulator`] before (or between) runs:
+//!
+//! * **link down/up windows** — chunks attempting a dead link are
+//!   dropped for the duration of the window;
+//! * **probabilistic chunk drops** — each link traversal loses the
+//!   chunk with probability `p`, optionally restricted to inter-site
+//!   (WAN) links;
+//! * **delay spikes** — extra one-way latency added to every link
+//!   traversal inside a time window;
+//! * **process crash/restart** — an actor is killed abruptly at a
+//!   scheduled instant ([`crate::engine::Simulator::kill_actor`]
+//!   semantics: listeners vanish, flows reset) and optionally revived
+//!   in the same slot from a factory closure after a delay.
+//!
+//! Dropped chunks are retransmitted end-to-end by the sim-TCP layer
+//! after [`RetransmitPolicy::rto`]; after
+//! [`RetransmitPolicy::max_attempts`] consecutive losses of the same
+//! chunk the transport gives up and severs the flow with
+//! [`crate::flow::CloseReason::Lost`], which is the application's cue
+//! to reconnect. Loss therefore manifests as *delay* below the
+//! exhaustion threshold and as a typed flow error above it — never as
+//! silent message disappearance on a live flow.
+//!
+//! Fault randomness draws from a private [`SimRng`] stream forked from
+//! the plan seed, so installing a plan does not perturb the world's
+//! main RNG stream: a faulted run stays a pure function of
+//! `(topology, actors, seed, plan)`.
+
+use crate::actor::{Actor, ActorId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkId;
+
+/// Recreates a crashed actor for in-place restart (same `ActorId`,
+/// fresh state — a process supervisor respawning a daemon).
+pub type RestartFactory = Box<dyn FnMut() -> Box<dyn Actor>>;
+
+/// Transport-level recovery knobs for dropped chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct RetransmitPolicy {
+    /// Delay before a lost chunk is resent from the source.
+    pub rto: SimDuration,
+    /// Consecutive losses of one chunk tolerated before the transport
+    /// gives up and severs the flow.
+    pub max_attempts: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            rto: SimDuration::from_millis(150),
+            max_attempts: 6,
+        }
+    }
+}
+
+/// Per-traversal chunk loss.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DropSpec {
+    pub probability: f64,
+    /// Restrict losses to links whose endpoints are in different sites.
+    pub wan_only: bool,
+}
+
+struct CrashSpec {
+    actor: ActorId,
+    at: SimDuration,
+    restart: Option<(SimDuration, RestartFactory)>,
+}
+
+/// A seeded script of faults. Times are offsets from the moment the
+/// plan is installed. Builder-style: chain the methods, then pass to
+/// [`crate::engine::Simulator::install_faults`].
+pub struct FaultPlan {
+    seed: u64,
+    link_downs: Vec<(LinkId, SimDuration, SimDuration)>,
+    spikes: Vec<(SimDuration, SimDuration, SimDuration)>,
+    drop: Option<DropSpec>,
+    crashes: Vec<CrashSpec>,
+    retransmit: RetransmitPolicy,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            link_downs: Vec::new(),
+            spikes: Vec::new(),
+            drop: None,
+            crashes: Vec::new(),
+            retransmit: RetransmitPolicy::default(),
+        }
+    }
+
+    /// Take `link` down during `[from, until)` (both offsets from
+    /// install time). Chunks attempting the link are dropped.
+    #[must_use]
+    pub fn link_down(mut self, link: LinkId, from: SimDuration, until: SimDuration) -> Self {
+        self.link_downs.push((link, from, until));
+        self
+    }
+
+    /// Add `extra` one-way latency to every link traversal during
+    /// `[from, until)`.
+    #[must_use]
+    pub fn delay_spike(
+        mut self,
+        from: SimDuration,
+        until: SimDuration,
+        extra: SimDuration,
+    ) -> Self {
+        self.spikes.push((from, until, extra));
+        self
+    }
+
+    /// Drop each chunk with `probability` per link traversal. With
+    /// `wan_only`, only inter-site links lose traffic.
+    #[must_use]
+    pub fn drop_messages(mut self, probability: f64, wan_only: bool) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "bad drop probability");
+        self.drop = Some(DropSpec {
+            probability,
+            wan_only,
+        });
+        self
+    }
+
+    /// Kill `actor` abruptly at offset `at` (no restart).
+    #[must_use]
+    pub fn crash(mut self, actor: ActorId, at: SimDuration) -> Self {
+        self.crashes.push(CrashSpec {
+            actor,
+            at,
+            restart: None,
+        });
+        self
+    }
+
+    /// Kill `actor` at offset `at` and revive it in the same slot
+    /// `after` later, constructing the fresh instance with `factory`.
+    #[must_use]
+    pub fn crash_restart(
+        mut self,
+        actor: ActorId,
+        at: SimDuration,
+        after: SimDuration,
+        factory: impl FnMut() -> Box<dyn Actor> + 'static,
+    ) -> Self {
+        self.crashes.push(CrashSpec {
+            actor,
+            at,
+            restart: Some((after, Box::new(factory))),
+        });
+        self
+    }
+
+    /// Override the transport retransmit policy.
+    #[must_use]
+    pub fn retransmit(mut self, rto: SimDuration, max_attempts: u32) -> Self {
+        self.retransmit = RetransmitPolicy { rto, max_attempts };
+        self
+    }
+
+    /// Split into the engine-resident pieces: scheduled crashes and the
+    /// steady-state [`FaultState`]. `now` anchors the plan's offsets.
+    pub(crate) fn into_parts(self, now: SimTime) -> (Vec<ScheduledCrash>, FaultState) {
+        let crashes = self
+            .crashes
+            .into_iter()
+            .map(|c| ScheduledCrash {
+                actor: c.actor,
+                at: now + c.at,
+                restart: c.restart,
+            })
+            .collect();
+        let state = FaultState {
+            rng: SimRng::seed_from_u64(self.seed).fork(0xFA17),
+            link_downs: self
+                .link_downs
+                .into_iter()
+                .map(|(l, f, u)| (l, now + f, now + u))
+                .collect(),
+            spikes: self
+                .spikes
+                .into_iter()
+                .map(|(f, u, e)| (now + f, now + u, e))
+                .collect(),
+            drop: self.drop,
+            retransmit: self.retransmit,
+        };
+        (crashes, state)
+    }
+}
+
+pub(crate) struct ScheduledCrash {
+    pub actor: ActorId,
+    pub at: SimTime,
+    pub restart: Option<(SimDuration, RestartFactory)>,
+}
+
+/// What happened to a chunk attempting a link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChunkFate {
+    Pass { extra: SimDuration },
+    Drop,
+}
+
+/// Installed fault state, consulted by the engine per chunk-hop.
+pub(crate) struct FaultState {
+    rng: SimRng,
+    link_downs: Vec<(LinkId, SimTime, SimTime)>,
+    spikes: Vec<(SimTime, SimTime, SimDuration)>,
+    drop: Option<DropSpec>,
+    pub(crate) retransmit: RetransmitPolicy,
+}
+
+impl FaultState {
+    pub(crate) fn chunk_fate(&mut self, link: LinkId, now: SimTime, inter_site: bool) -> ChunkFate {
+        for &(l, from, until) in &self.link_downs {
+            if l == link && now >= from && now < until {
+                return ChunkFate::Drop;
+            }
+        }
+        if let Some(d) = self.drop {
+            if (!d.wan_only || inter_site) && self.rng.f64() < d.probability {
+                return ChunkFate::Drop;
+            }
+        }
+        let mut extra = SimDuration::ZERO;
+        for &(from, until, e) in &self.spikes {
+            if now >= from && now < until {
+                extra = extra + e;
+            }
+        }
+        ChunkFate::Pass { extra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_down_window_drops_then_passes() {
+        let plan = FaultPlan::new(1).link_down(
+            LinkId(0),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+        let (crashes, mut fs) = plan.into_parts(SimTime::ZERO);
+        assert!(crashes.is_empty());
+        let at = |ms| SimTime(SimDuration::from_millis(ms).nanos());
+        assert_eq!(
+            fs.chunk_fate(LinkId(0), at(5), false),
+            ChunkFate::Pass {
+                extra: SimDuration::ZERO
+            }
+        );
+        assert_eq!(fs.chunk_fate(LinkId(0), at(15), false), ChunkFate::Drop);
+        // Other links unaffected; window end is exclusive.
+        assert_ne!(fs.chunk_fate(LinkId(1), at(15), false), ChunkFate::Drop);
+        assert_ne!(fs.chunk_fate(LinkId(0), at(20), false), ChunkFate::Drop);
+    }
+
+    #[test]
+    fn wan_only_drop_spares_lan_links() {
+        let (_, mut fs) = FaultPlan::new(3)
+            .drop_messages(1.0, true)
+            .into_parts(SimTime::ZERO);
+        assert_ne!(fs.chunk_fate(LinkId(0), SimTime(0), false), ChunkFate::Drop);
+        assert_eq!(fs.chunk_fate(LinkId(0), SimTime(0), true), ChunkFate::Drop);
+    }
+
+    #[test]
+    fn delay_spike_adds_latency_inside_window() {
+        let (_, mut fs) = FaultPlan::new(4)
+            .delay_spike(
+                SimDuration::ZERO,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(7),
+            )
+            .into_parts(SimTime::ZERO);
+        assert_eq!(
+            fs.chunk_fate(LinkId(0), SimTime(0), false),
+            ChunkFate::Pass {
+                extra: SimDuration::from_millis(7)
+            }
+        );
+        let after = SimTime(SimDuration::from_millis(2).nanos());
+        assert_eq!(
+            fs.chunk_fate(LinkId(0), after, false),
+            ChunkFate::Pass {
+                extra: SimDuration::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn drop_stream_is_deterministic_per_seed() {
+        let fates = |seed| {
+            let (_, mut fs) = FaultPlan::new(seed)
+                .drop_messages(0.5, false)
+                .into_parts(SimTime::ZERO);
+            (0..64)
+                .map(|_| fs.chunk_fate(LinkId(0), SimTime(0), false) == ChunkFate::Drop)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(fates(9), fates(9));
+        assert_ne!(fates(9), fates(10));
+    }
+}

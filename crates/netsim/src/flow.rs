@@ -47,6 +47,9 @@ pub enum CloseReason {
     Filtered,
     /// The peer actor was stopped/crashed.
     PeerCrashed,
+    /// The transport gave up after repeated chunk loss (fault
+    /// injection exhausted the retransmit budget).
+    Lost,
 }
 
 /// A flow record kept by the engine.

@@ -11,6 +11,9 @@
 //!   chunked store-and-forward transfers, per-link FIFO contention and
 //!   firewall filtering at every site boundary ([`engine`], [`flow`]);
 //! * an actor model for simulated processes ([`actor`]);
+//! * seeded fault injection — link outages, probabilistic loss with
+//!   transport retransmit, delay spikes, actor crash/restart
+//!   ([`fault`]);
 //! * statistics ([`stats`]) and protocol traces ([`trace`]).
 //!
 //! Every run is a pure function of `(topology, actors, seed)`; the
@@ -41,6 +44,7 @@
 pub mod actor;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod rng;
 pub mod stats;
@@ -52,6 +56,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::actor::{Actor, ActorId, Delivery, FlowEvent, Payload, SendError};
     pub use crate::engine::{Ctx, NetConfig, Simulator};
+    pub use crate::fault::{FaultPlan, RestartFactory, RetransmitPolicy};
     pub use crate::flow::{CloseReason, FlowId, PortError, RefuseReason};
     pub use crate::rng::SimRng;
     pub use crate::stats::Stats;

@@ -40,6 +40,17 @@ pub struct Stats {
     pub flows_opened: u64,
     pub flows_refused: u64,
     pub flows_closed: u64,
+    /// Chunks lost to fault injection (drop probability, link-down).
+    pub chunks_dropped: u64,
+    /// End-to-end retransmissions triggered by lost chunks.
+    pub retransmits: u64,
+    /// Chunks abandoned after the retransmit budget ran out (the
+    /// owning flow was severed with `CloseReason::Lost`).
+    pub messages_lost: u64,
+    /// Actors killed by fault injection.
+    pub actor_crashes: u64,
+    /// Actors revived by fault injection.
+    pub actor_restarts: u64,
     /// Sum of message delivery latencies, for a quick mean.
     pub latency_sum: SimDuration,
 }

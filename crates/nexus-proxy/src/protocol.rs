@@ -53,13 +53,53 @@ const T_BIND_REP: u8 = 4;
 const T_RELAY_REQ: u8 = 5;
 const T_RELAY_REP: u8 = 6;
 
+/// Encoding failure: a message field cannot be represented on the wire.
+///
+/// The wire format length-prefixes strings with a `u16`; a longer
+/// string used to be silently truncated to `len % 65536` via an `as`
+/// cast, producing a frame whose prefix disagreed with its body — the
+/// peer would then mis-parse or reject it with no hint of the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A string field exceeds the `u16` wire-length limit.
+    StringTooLong {
+        /// Which field overflowed (e.g. `"host"`).
+        field: &'static str,
+        /// Actual byte length of the offending string.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::StringTooLong { field, len } => write!(
+                f,
+                "{field} is {len} bytes; wire format caps strings at {} bytes",
+                u16::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<EncodeError> for io::Error {
+    fn from(e: EncodeError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u16(buf, s.len() as u16);
+fn put_str(buf: &mut Vec<u8>, field: &'static str, s: &str) -> Result<(), EncodeError> {
+    let len = s.len();
+    let wire_len = u16::try_from(len).map_err(|_| EncodeError::StringTooLong { field, len })?;
+    put_u16(buf, wire_len);
     buf.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Byte-slice cursor for decoding (the `bytes::Buf` subset we need,
@@ -100,22 +140,25 @@ fn bad(msg: &str) -> io::Error {
 
 impl Msg {
     /// Encode into a framed byte buffer.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails (rather than truncating) if a string field exceeds the
+    /// `u16` wire-length limit.
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut body = Vec::with_capacity(64);
         match self {
             Msg::ConnectReq { host, port } => {
                 body.push(T_CONNECT_REQ);
-                put_str(&mut body, host);
+                put_str(&mut body, "host", host)?;
                 put_u16(&mut body, *port);
             }
             Msg::ConnectRep { ok, detail } => {
                 body.push(T_CONNECT_REP);
                 body.push(u8::from(*ok));
-                put_str(&mut body, detail);
+                put_str(&mut body, "detail", detail)?;
             }
             Msg::BindReq { host, port } => {
                 body.push(T_BIND_REQ);
-                put_str(&mut body, host);
+                put_str(&mut body, "host", host)?;
                 put_u16(&mut body, *port);
             }
             Msg::BindRep { rdv_port } => {
@@ -124,7 +167,7 @@ impl Msg {
             }
             Msg::RelayReq { host, port } => {
                 body.push(T_RELAY_REQ);
-                put_str(&mut body, host);
+                put_str(&mut body, "host", host)?;
                 put_u16(&mut body, *port);
             }
             Msg::RelayRep { ok } => {
@@ -135,7 +178,7 @@ impl Msg {
         let mut framed = Vec::with_capacity(4 + body.len());
         framed.extend_from_slice(&(body.len() as u32).to_be_bytes());
         framed.extend_from_slice(&body);
-        framed
+        Ok(framed)
     }
 
     /// Decode one frame body (without the length prefix).
@@ -190,7 +233,7 @@ impl Msg {
 
     /// Write one framed message to a stream.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        let framed = self.encode();
+        let framed = self.encode()?;
         w.write_all(&framed)?;
         w.flush()
     }
@@ -214,7 +257,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(m: Msg) {
-        let framed = m.encode();
+        let framed = m.encode().unwrap();
         let len = u32::from_be_bytes(framed[0..4].try_into().unwrap());
         assert_eq!(len as usize, framed.len() - 4);
         let decoded = Msg::decode(&framed[4..]).unwrap();
@@ -276,7 +319,7 @@ mod tests {
         // Truncated string.
         assert!(Msg::decode(&[T_CONNECT_REQ, 0, 5, b'a']).is_err());
         // Trailing bytes.
-        let mut f = Msg::RelayRep { ok: true }.encode();
+        let mut f = Msg::RelayRep { ok: true }.encode().unwrap();
         f.push(0xFF);
         assert!(Msg::decode(&f[4..]).is_err());
         // Oversized frame length.
@@ -309,6 +352,35 @@ mod tests {
             });
             roundtrip(Msg::RelayReq { host, port });
         }
+    }
+
+    /// Oversized strings are rejected with a typed error instead of
+    /// silently truncating the u16 length prefix (regression: the old
+    /// `s.len() as u16` cast wrapped and produced corrupt frames).
+    #[test]
+    fn oversized_string_is_rejected_not_truncated() {
+        let host = "h".repeat(usize::from(u16::MAX) + 1);
+        let err = Msg::ConnectReq { host, port: 80 }.encode().unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::StringTooLong {
+                field: "host",
+                len: usize::from(u16::MAX) + 1,
+            }
+        );
+        // The io::Error mapping used by write_to classifies it as
+        // InvalidData and keeps the message.
+        let detail = "x".repeat(70_000);
+        let m = Msg::ConnectRep { ok: false, detail };
+        let io_err = m.write_to(&mut Vec::new()).unwrap_err();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("detail is 70000 bytes"));
+        // Exactly u16::MAX bytes still fits.
+        let edge = Msg::ConnectReq {
+            host: "h".repeat(usize::from(u16::MAX)),
+            port: 80,
+        };
+        roundtrip(edge);
     }
 
     /// Random bytes never panic the decoder (totality).

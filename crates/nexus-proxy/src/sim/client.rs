@@ -3,10 +3,24 @@
 //!
 //! Simulation actors are event-driven state machines, so the client
 //! library is an *embedded* state machine: the owning actor funnels
-//! all its `on_flow` / `on_message` events through [`NxClient`], which
-//! consumes proxy-internal traffic and hands everything else back.
-//! This mirrors how the paper patched Globus: the application still
-//! sees connect/accept semantics; the proxy plumbing is hidden below.
+//! all its `on_flow` / `on_message` / `on_timer` events through
+//! [`NxClient`], which consumes proxy-internal traffic and hands
+//! everything else back. This mirrors how the paper patched Globus:
+//! the application still sees connect/accept semantics; the proxy
+//! plumbing is hidden below.
+//!
+//! ## Recovery
+//!
+//! The relay chain can fail independently of the endpoints (outer
+//! server crash, WAN loss). The client machine therefore retries
+//! failed dials and unanswered control requests with bounded
+//! exponential backoff + jitter ([`RetryPolicy`], seeded via the
+//! world's [`netsim::rng::SimRng`], so recovery is deterministic), and
+//! re-issues its `BindReq` when the bind control flow drops — the
+//! owner sees [`NxEvent::BindLost`] (withdraw the advertised address)
+//! followed by a fresh [`NxEvent::Bound`] once the outer server is
+//! back. Owners must forward unrecognized timer tokens through
+//! [`NxClient::on_timer`] (gate on [`NxClient::owns_timer`]).
 
 use super::{ProxyMsg, CTRL_MSG_BYTES};
 use netsim::prelude::*;
@@ -42,6 +56,33 @@ impl SimProxyEnv {
     }
 }
 
+/// Bounded-retry knobs for dials and control round trips. Backoff for
+/// attempt `n` (1-based) is uniform jitter in `[cap/2, cap]` with
+/// `cap = min(base_backoff << (n-1), max_backoff)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total dial attempts per logical operation before giving up.
+    pub max_attempts: u32,
+    /// Backoff cap after the first failure.
+    pub base_backoff: SimDuration,
+    /// Upper bound on the backoff cap.
+    pub max_backoff: SimDuration,
+    /// How long to wait for a `ConnectRep`/`BindRep` on an established
+    /// control flow before abandoning it and retrying.
+    pub reply_deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(40),
+            max_backoff: SimDuration::from_secs(1),
+            reply_deadline: SimDuration::from_secs(2),
+        }
+    }
+}
+
 /// High-level events produced by the client machine.
 #[derive(Debug)]
 pub enum NxEvent {
@@ -50,7 +91,7 @@ pub enum NxEvent {
         flow: FlowId,
         token: u64,
     },
-    /// Your `connect(dst, token)` failed.
+    /// Your `connect(dst, token)` failed (after retries).
     Refused {
         token: u64,
     },
@@ -59,6 +100,10 @@ pub enum NxEvent {
         advertised: (NodeId, u16),
     },
     BindFailed,
+    /// The bind control flow dropped (outer server crash): the old
+    /// rendezvous address is dead. Withdraw it; a re-bind is already
+    /// underway and will surface as a fresh [`NxEvent::Bound`].
+    BindLost,
     /// A peer reached your bound endpoint (possibly via the relay).
     Accepted {
         flow: FlowId,
@@ -77,44 +122,100 @@ pub enum NxHandled {
     Consumed,
 }
 
-/// Internal connect-token namespace (application tokens must stay
-/// below this).
+/// Internal connect/timer-token namespace (application tokens must
+/// stay below this).
 pub const NX_TOKEN_BASE: u64 = 1 << 62;
 
 enum Pending {
     /// Dialing the outer server to issue a ConnectReq toward `dst`.
-    OuterForConnect { user_token: u64, dst: (NodeId, u16) },
+    OuterForConnect {
+        user_token: u64,
+        dst: (NodeId, u16),
+        attempt: u32,
+    },
     /// Plain connect (direct, or straight to a rendezvous address).
-    Direct { user_token: u64 },
+    Direct {
+        user_token: u64,
+        dst: (NodeId, u16),
+        attempt: u32,
+    },
     /// Dialing the outer server to register a bind of `client_port`.
-    OuterForBind { client_port: u16 },
+    OuterForBind { client_port: u16, attempt: u32 },
+}
+
+/// Deferred work attached to a timer token.
+enum RetryAction {
+    Connect {
+        user_token: u64,
+        dst: (NodeId, u16),
+        attempt: u32,
+    },
+    Bind {
+        client_port: u16,
+        attempt: u32,
+    },
+    ConnectDeadline {
+        flow: FlowId,
+    },
+    BindDeadline {
+        flow: FlowId,
+    },
+}
+
+/// A control flow awaiting a `ConnectRep`.
+struct AwaitRep {
+    user_token: u64,
+    dst: (NodeId, u16),
+    attempt: u32,
+    deadline_token: u64,
+}
+
+/// The control flow awaiting a `BindRep`.
+struct BindAwait {
+    flow: FlowId,
+    client_port: u16,
+    attempt: u32,
+    deadline_token: u64,
 }
 
 /// The embedded client state machine.
 pub struct NxClient {
     env: SimProxyEnv,
+    policy: RetryPolicy,
     pending: HashMap<u64, Pending>,
-    /// Flows awaiting a `ConnectRep`, keyed to the user token.
-    await_rep: HashMap<FlowId, u64>,
+    /// Flows awaiting a `ConnectRep`.
+    await_rep: HashMap<FlowId, AwaitRep>,
     /// Control flow awaiting a `BindRep`.
-    bind_await: Option<FlowId>,
+    bind_await: Option<BindAwait>,
     /// Keeps the registration alive (closing it withdraws the
     /// rendezvous port).
     bind_ctrl: Option<FlowId>,
     private_port: Option<u16>,
+    /// Armed timer tokens and what to do when they fire.
+    timers: HashMap<u64, RetryAction>,
     next_itoken: u64,
+    retries: u64,
+    rebinds: u64,
 }
 
 impl NxClient {
     pub fn new(env: SimProxyEnv) -> Self {
+        Self::with_policy(env, RetryPolicy::default())
+    }
+
+    pub fn with_policy(env: SimProxyEnv, policy: RetryPolicy) -> Self {
         NxClient {
             env,
+            policy,
             pending: HashMap::new(),
             await_rep: HashMap::new(),
             bind_await: None,
             bind_ctrl: None,
             private_port: None,
+            timers: HashMap::new(),
             next_itoken: NX_TOKEN_BASE,
+            retries: 0,
+            rebinds: 0,
         }
     }
 
@@ -122,10 +223,150 @@ impl NxClient {
         self.env
     }
 
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Retry attempts scheduled so far (dial retries + re-binds).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Automatic re-binds after a lost bind control flow.
+    pub fn rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
     fn itoken(&mut self) -> u64 {
         let t = self.next_itoken;
         self.next_itoken += 1;
         t
+    }
+
+    /// Does a timer token belong to this machine? Owners route such
+    /// tokens to [`NxClient::on_timer`].
+    pub fn owns_timer(&self, token: u64) -> bool {
+        token >= NX_TOKEN_BASE
+    }
+
+    /// Jittered exponential backoff after failed attempt `attempt`
+    /// (1-based): uniform in `[cap/2, cap]`.
+    fn backoff_delay(&mut self, ctx: &mut Ctx<'_>, attempt: u32) -> SimDuration {
+        let base = self.policy.base_backoff.nanos().max(1);
+        let shift = attempt.saturating_sub(1).min(20);
+        let cap = (base << shift).min(self.policy.max_backoff.nanos().max(1));
+        let half = cap / 2;
+        SimDuration(half + ctx.rng().below(cap - half + 1))
+    }
+
+    fn schedule(&mut self, ctx: &mut Ctx<'_>, delay: SimDuration, action: RetryAction) {
+        let tok = self.itoken();
+        self.timers.insert(tok, action);
+        ctx.set_timer(delay, tok);
+    }
+
+    /// Retry a failed connect or give up with `Refused`.
+    fn retry_connect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        user_token: u64,
+        dst: (NodeId, u16),
+        attempt: u32,
+    ) -> NxHandled {
+        if attempt >= self.policy.max_attempts {
+            return NxHandled::Event(NxEvent::Refused { token: user_token });
+        }
+        self.retries += 1;
+        let delay = self.backoff_delay(ctx, attempt);
+        self.schedule(
+            ctx,
+            delay,
+            RetryAction::Connect {
+                user_token,
+                dst,
+                attempt: attempt + 1,
+            },
+        );
+        NxHandled::Consumed
+    }
+
+    /// Retry a failed bind registration or give up with `BindFailed`.
+    fn retry_bind(&mut self, ctx: &mut Ctx<'_>, client_port: u16, attempt: u32) -> NxHandled {
+        if attempt >= self.policy.max_attempts {
+            return NxHandled::Event(NxEvent::BindFailed);
+        }
+        self.retries += 1;
+        let delay = self.backoff_delay(ctx, attempt);
+        self.schedule(
+            ctx,
+            delay,
+            RetryAction::Bind {
+                client_port,
+                attempt: attempt + 1,
+            },
+        );
+        NxHandled::Consumed
+    }
+
+    fn start_connect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: (NodeId, u16),
+        user_token: u64,
+        attempt: u32,
+    ) {
+        let tok = self.itoken();
+        match self.env.outer {
+            // Direct mode, or the destination *is* the outer server (a
+            // rendezvous address): plain connect.
+            None => {
+                self.pending.insert(
+                    tok,
+                    Pending::Direct {
+                        user_token,
+                        dst,
+                        attempt,
+                    },
+                );
+                ctx.connect(dst, tok);
+            }
+            Some(outer) if dst.0 == outer.0 => {
+                self.pending.insert(
+                    tok,
+                    Pending::Direct {
+                        user_token,
+                        dst,
+                        attempt,
+                    },
+                );
+                ctx.connect(dst, tok);
+            }
+            Some(outer) => {
+                self.pending.insert(
+                    tok,
+                    Pending::OuterForConnect {
+                        user_token,
+                        dst,
+                        attempt,
+                    },
+                );
+                ctx.connect(outer, tok);
+            }
+        }
+    }
+
+    fn start_bind_dial(&mut self, ctx: &mut Ctx<'_>, client_port: u16, attempt: u32) {
+        if let Some(outer) = self.env.outer {
+            let tok = self.itoken();
+            self.pending.insert(
+                tok,
+                Pending::OuterForBind {
+                    client_port,
+                    attempt,
+                },
+            );
+            ctx.connect(outer, tok);
+        }
     }
 
     /// `NXProxyConnect`: connect to `dst`, directly or via the outer
@@ -136,24 +377,7 @@ impl NxClient {
             user_token < NX_TOKEN_BASE,
             "application tokens must be below NX_TOKEN_BASE"
         );
-        let tok = self.itoken();
-        match self.env.outer {
-            // Direct mode, or the destination *is* the outer server (a
-            // rendezvous address): plain connect.
-            None => {
-                self.pending.insert(tok, Pending::Direct { user_token });
-                ctx.connect(dst, tok);
-            }
-            Some(outer) if dst.0 == outer.0 => {
-                self.pending.insert(tok, Pending::Direct { user_token });
-                ctx.connect(dst, tok);
-            }
-            Some(outer) => {
-                self.pending
-                    .insert(tok, Pending::OuterForConnect { user_token, dst });
-                ctx.connect(outer, tok);
-            }
-        }
+        self.start_connect(ctx, dst, user_token, 1);
     }
 
     /// `NXProxyBind`: start listening. Returns `Some(advertised)`
@@ -167,11 +391,8 @@ impl NxClient {
         self.private_port = Some(port);
         match self.env.outer {
             None => Some((ctx.host(), port)),
-            Some(outer) => {
-                let tok = self.itoken();
-                self.pending
-                    .insert(tok, Pending::OuterForBind { client_port: port });
-                ctx.connect(outer, tok);
+            Some(_) => {
+                self.start_bind_dial(ctx, port, 1);
                 None
             }
         }
@@ -206,24 +427,98 @@ impl NxClient {
         )
     }
 
+    /// Feed a timer token through the machine (owners call this for
+    /// every token where [`NxClient::owns_timer`] is true).
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> NxHandled {
+        let Some(action) = self.timers.remove(&token) else {
+            return NxHandled::Consumed; // cancelled or stale
+        };
+        match action {
+            RetryAction::Connect {
+                user_token,
+                dst,
+                attempt,
+            } => {
+                self.start_connect(ctx, dst, user_token, attempt);
+                NxHandled::Consumed
+            }
+            RetryAction::Bind {
+                client_port,
+                attempt,
+            } => {
+                self.start_bind_dial(ctx, client_port, attempt);
+                NxHandled::Consumed
+            }
+            RetryAction::ConnectDeadline { flow } => {
+                if let Some(ar) = self.await_rep.remove(&flow) {
+                    ctx.close(flow);
+                    self.retry_connect(ctx, ar.user_token, ar.dst, ar.attempt)
+                } else {
+                    NxHandled::Consumed
+                }
+            }
+            RetryAction::BindDeadline { flow } => {
+                if self.bind_await.as_ref().is_some_and(|b| b.flow == flow) {
+                    let Some(b) = self.bind_await.take() else {
+                        return NxHandled::Consumed;
+                    };
+                    ctx.close(flow);
+                    self.retry_bind(ctx, b.client_port, b.attempt)
+                } else {
+                    NxHandled::Consumed
+                }
+            }
+        }
+    }
+
     /// Feed a raw flow event through the machine.
     pub fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) -> NxHandled {
         match ev {
             FlowEvent::Connected { flow, token, .. } if token >= NX_TOKEN_BASE => {
                 match self.pending.remove(&token) {
-                    Some(Pending::Direct { user_token }) => NxHandled::Event(NxEvent::Connected {
-                        flow,
-                        token: user_token,
-                    }),
-                    Some(Pending::OuterForConnect { user_token, dst }) => {
+                    Some(Pending::Direct { user_token, .. }) => {
+                        NxHandled::Event(NxEvent::Connected {
+                            flow,
+                            token: user_token,
+                        })
+                    }
+                    Some(Pending::OuterForConnect {
+                        user_token,
+                        dst,
+                        attempt,
+                    }) => {
                         let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::ConnectReq { dst });
-                        self.await_rep.insert(flow, user_token);
+                        let deadline_token = self.itoken();
+                        self.timers
+                            .insert(deadline_token, RetryAction::ConnectDeadline { flow });
+                        ctx.set_timer(self.policy.reply_deadline, deadline_token);
+                        self.await_rep.insert(
+                            flow,
+                            AwaitRep {
+                                user_token,
+                                dst,
+                                attempt,
+                                deadline_token,
+                            },
+                        );
                         NxHandled::Consumed
                     }
-                    Some(Pending::OuterForBind { client_port }) => {
+                    Some(Pending::OuterForBind {
+                        client_port,
+                        attempt,
+                    }) => {
                         let client = (ctx.host(), client_port);
                         let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindReq { client });
-                        self.bind_await = Some(flow);
+                        let deadline_token = self.itoken();
+                        self.timers
+                            .insert(deadline_token, RetryAction::BindDeadline { flow });
+                        ctx.set_timer(self.policy.reply_deadline, deadline_token);
+                        self.bind_await = Some(BindAwait {
+                            flow,
+                            client_port,
+                            attempt,
+                            deadline_token,
+                        });
                         NxHandled::Consumed
                     }
                     None => NxHandled::Consumed,
@@ -231,11 +526,20 @@ impl NxClient {
             }
             FlowEvent::Refused { token, .. } if token >= NX_TOKEN_BASE => {
                 match self.pending.remove(&token) {
-                    Some(Pending::Direct { user_token })
-                    | Some(Pending::OuterForConnect { user_token, .. }) => {
-                        NxHandled::Event(NxEvent::Refused { token: user_token })
-                    }
-                    Some(Pending::OuterForBind { .. }) => NxHandled::Event(NxEvent::BindFailed),
+                    Some(Pending::Direct {
+                        user_token,
+                        dst,
+                        attempt,
+                    })
+                    | Some(Pending::OuterForConnect {
+                        user_token,
+                        dst,
+                        attempt,
+                    }) => self.retry_connect(ctx, user_token, dst, attempt),
+                    Some(Pending::OuterForBind {
+                        client_port,
+                        attempt,
+                    }) => self.retry_bind(ctx, client_port, attempt),
                     None => NxHandled::Consumed,
                 }
             }
@@ -244,11 +548,38 @@ impl NxClient {
             } if Some(listen_port) == self.private_port => {
                 NxHandled::Event(NxEvent::Accepted { flow })
             }
-            FlowEvent::Closed { flow, .. } if self.await_rep.remove(&flow).is_some() => {
-                // Outer died before replying: surface nothing; the
-                // Refused timeout path handles user notification in
-                // practice via flow teardown.
-                NxHandled::Consumed
+            FlowEvent::Closed { flow, .. } if self.await_rep.contains_key(&flow) => {
+                // Outer died before replying to our ConnectReq: cancel
+                // the reply deadline and retry the whole dial.
+                let Some(ar) = self.await_rep.remove(&flow) else {
+                    return NxHandled::Consumed;
+                };
+                self.timers.remove(&ar.deadline_token);
+                self.retry_connect(ctx, ar.user_token, ar.dst, ar.attempt)
+            }
+            FlowEvent::Closed { flow, .. }
+                if self.bind_await.as_ref().is_some_and(|b| b.flow == flow) =>
+            {
+                let Some(b) = self.bind_await.take() else {
+                    return NxHandled::Consumed;
+                };
+                self.timers.remove(&b.deadline_token);
+                self.retry_bind(ctx, b.client_port, b.attempt)
+            }
+            FlowEvent::Closed { flow, .. } if self.bind_ctrl == Some(flow) => {
+                // The outer server crashed (or withdrew us): the
+                // rendezvous registration is gone. Re-register the same
+                // private port and tell the owner the old address died.
+                self.bind_ctrl = None;
+                match (self.env.outer, self.private_port) {
+                    (Some(_), Some(port)) => {
+                        self.rebinds += 1;
+                        self.retries += 1;
+                        self.start_bind_dial(ctx, port, 1);
+                        NxHandled::Event(NxEvent::BindLost)
+                    }
+                    _ => NxHandled::Event(NxEvent::BindLost),
+                }
             }
             other => NxHandled::Flow(other),
         }
@@ -271,20 +602,26 @@ impl NxClient {
                 }),
             };
         }
-        if let Some(user_token) = self.await_rep.remove(&flow) {
+        if let Some(ar) = self.await_rep.remove(&flow) {
+            self.timers.remove(&ar.deadline_token);
             return match msg.expect::<ProxyMsg>() {
                 ProxyMsg::ConnectRep { ok: true } => NxHandled::Event(NxEvent::Connected {
                     flow,
-                    token: user_token,
+                    token: ar.user_token,
                 }),
                 _ => {
+                    // Relay could not reach dst (stale rendezvous port
+                    // during an outer restart, dst not up yet): retry.
                     ctx.close(flow);
-                    NxHandled::Event(NxEvent::Refused { token: user_token })
+                    self.retry_connect(ctx, ar.user_token, ar.dst, ar.attempt)
                 }
             };
         }
-        if self.bind_await == Some(flow) {
-            self.bind_await = None;
+        if self.bind_await.as_ref().is_some_and(|b| b.flow == flow) {
+            let Some(b) = self.bind_await.take() else {
+                return NxHandled::Data(msg);
+            };
+            self.timers.remove(&b.deadline_token);
             return match msg.expect::<ProxyMsg>() {
                 ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => match self.env.outer {
                     Some(outer) => {
@@ -300,6 +637,8 @@ impl NxClient {
                         NxHandled::Event(NxEvent::BindFailed)
                     }
                 },
+                // `rdv_port: 0` is the server's explicit allocation
+                // failure — never a valid rendezvous. Reject it.
                 _ => {
                     ctx.close(flow);
                     NxHandled::Event(NxEvent::BindFailed)

@@ -13,7 +13,7 @@ pub mod client;
 pub mod inner;
 pub mod outer;
 
-pub use client::{NxClient, NxEvent, NxHandled, SimProxyEnv};
+pub use client::{NxClient, NxEvent, NxHandled, RetryPolicy, SimProxyEnv};
 pub use inner::SimInnerServer;
 pub use outer::SimOuterServer;
 

@@ -89,6 +89,12 @@ impl EchoServer {
             NxHandled::Event(NxEvent::BindFailed) => {
                 self.shared.lock().log.push("bind-failed".into());
             }
+            NxHandled::Event(NxEvent::BindLost) => {
+                // Old rendezvous address is dead; withdraw it until the
+                // automatic re-bind completes.
+                self.shared.lock().advertised = None;
+                self.shared.lock().log.push("bind-lost".into());
+            }
             NxHandled::Data(d) => {
                 self.shared.lock().log.push(format!("echo {}", d.size));
                 let _ = ctx.send_boxed(d.flow, d.size, d.payload);
@@ -102,6 +108,12 @@ impl Actor for EchoServer {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(adv) = self.nx.bind(ctx) {
             self.shared.lock().advertised = Some(adv);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
         }
     }
     fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
@@ -157,6 +169,11 @@ impl Actor for PingClient {
         ctx.set_timer(SimDuration::from_millis(1), Self::POLL);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
         if token == Self::POLL {
             let adv = self.shared.lock().advertised;
             match adv {
@@ -329,6 +346,118 @@ fn lan_indirect_roundtrip() {
     let rtt = rtt_us(&log).expect("no rtt");
     // Both directions pass outer+inner: ~4 service times plus copies.
     assert!(rtt > 48_000, "rtt {rtt}us");
+}
+
+/// Regression: a `BindRep { rdv_port: 0 }` (the outer server's
+/// explicit allocation-failure reply) must surface as `BindFailed`,
+/// never as a valid rendezvous at port 0.
+#[test]
+fn bind_rep_port_zero_is_rejected() {
+    use nexus_proxy::sim::ProxyMsg;
+
+    /// An outer server that answers every BindReq with rdv_port 0.
+    struct BrokenOuter;
+    impl Actor for BrokenOuter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.listen(CTRL_PORT).unwrap();
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+            let flow = msg.flow;
+            if let ProxyMsg::BindReq { .. } = msg.expect::<ProxyMsg>() {
+                let _ = ctx.send(flow, 32, ProxyMsg::BindRep { rdv_port: 0 });
+            }
+        }
+    }
+
+    let net = build();
+    let shared: Shared = Arc::default();
+    let mut sim = Simulator::new(net.topo.clone(), NetConfig::default(), 7);
+    sim.spawn(net.outer_host, Box::new(BrokenOuter));
+    sim.spawn(
+        net.rwcp_sun,
+        Box::new(EchoServer {
+            nx: NxClient::new(SimProxyEnv::via((net.outer_host, CTRL_PORT))),
+            shared: shared.clone(),
+        }),
+    );
+    sim.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    let s = shared.lock();
+    assert!(s.log.contains(&"bind-failed".to_string()), "{:?}", s.log);
+    assert!(!s.log.contains(&"bound".to_string()), "{:?}", s.log);
+    assert!(s.advertised.is_none());
+}
+
+/// Outer-server crash/restart: the bound server sees `BindLost`,
+/// automatically re-registers, and a late client still gets through on
+/// the fresh rendezvous address.
+#[test]
+fn outer_restart_triggers_rebind_and_recovery() {
+    let net = build();
+    let shared: Shared = Arc::default();
+    let mut sim = Simulator::new(net.topo.clone(), NetConfig::default(), 7);
+    let model = RelayModel::default();
+    let outer_id = sim.spawn(
+        net.outer_host,
+        Box::new(SimOuterServer::new(
+            CTRL_PORT,
+            Some((net.inner_host, NXPORT)),
+            model,
+        )),
+    );
+    sim.spawn(net.inner_host, Box::new(SimInnerServer::new(NXPORT, model)));
+    sim.spawn(
+        net.rwcp_sun,
+        Box::new(EchoServer {
+            nx: NxClient::new(SimProxyEnv::via((net.outer_host, CTRL_PORT))),
+            shared: shared.clone(),
+        }),
+    );
+    // Crash the outer server at 50ms, restart 100ms later.
+    sim.install_faults(FaultPlan::new(3).crash_restart(
+        outer_id,
+        SimDuration::from_millis(50),
+        SimDuration::from_millis(100),
+        move || {
+            Box::new(SimOuterServer::new(
+                CTRL_PORT,
+                Some((net.inner_host, NXPORT)),
+                model,
+            ))
+        },
+    ));
+    // The client shows up well after the crash and must still connect.
+    struct LatePing(PingClient);
+    impl Actor for LatePing {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(400), PingClient::POLL);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.0.on_timer(ctx, token);
+        }
+        fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+            self.0.on_flow(ctx, ev);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+            self.0.on_message(ctx, msg);
+        }
+    }
+    sim.spawn(
+        net.etl_sun,
+        Box::new(LatePing(PingClient {
+            nx: NxClient::new(SimProxyEnv::direct()),
+            shared: shared.clone(),
+            size: 64,
+            sent_at: None,
+        })),
+    );
+    sim.run_until(SimTime(SimDuration::from_secs(30).nanos()));
+    let log = shared.lock().log.clone();
+    assert!(log.contains(&"bind-lost".to_string()), "{log:?}");
+    let bounds = log.iter().filter(|l| *l == "bound").count();
+    assert_eq!(bounds, 2, "{log:?}");
+    assert!(rtt_us(&log).is_some(), "client never got through: {log:?}");
+    assert_eq!(sim.stats().actor_crashes, 1);
+    assert_eq!(sim.stats().actor_restarts, 1);
 }
 
 /// Direct LAN baseline is orders of magnitude faster than the proxied

@@ -3,6 +3,7 @@
 //! resources should execute a job (Fig. 2 steps 3-4); Q servers report
 //! load changes back.
 
+use crate::error::RmfError;
 use crate::job::FlowTrace;
 use crate::wire::Record;
 use firewall::vnet::VNet;
@@ -81,11 +82,28 @@ impl AllocatorState {
     }
 
     /// Apply a load delta reported by a Q server.
-    pub fn report(&self, name: &str, delta: i64) {
+    ///
+    /// A delta that would drive the ledger below zero (or above
+    /// `u32::MAX`) is an accounting bug — a double release or a missed
+    /// booking. It used to be clamped silently, which *hid* the bug
+    /// while leaving the load wrong; now the ledger is left untouched
+    /// and the corruption is reported as [`RmfError::Accounting`].
+    pub fn report(&self, name: &str, delta: i64) -> Result<(), RmfError> {
         let mut entries = self.entries.lock();
-        if let Some(e) = entries.iter_mut().find(|e| e.info.name == name) {
-            let new = i64::from(e.load) + delta;
-            e.load = new.max(0) as u32;
+        let Some(e) = entries.iter_mut().find(|e| e.info.name == name) else {
+            return Err(RmfError::Daemon(format!("unknown resource {name}")));
+        };
+        let new = i64::from(e.load) + delta;
+        match u32::try_from(new) {
+            Ok(load) => {
+                e.load = load;
+                Ok(())
+            }
+            Err(_) => Err(RmfError::Accounting {
+                resource: name.to_string(),
+                load: e.load,
+                delta,
+            }),
         }
     }
 
@@ -247,7 +265,14 @@ impl Drop for ResourceAllocator {
 fn handle(state: &AllocatorState, trace: &FlowTrace, req: &Record) -> Record {
     match req.kind() {
         "query" => {
-            let count = req.require_u64("count").unwrap_or(0) as u32;
+            // `count` is required: a query without it used to default
+            // to 0, which "succeeded" with an empty allocation and
+            // produced a zero-CPU job downstream.
+            let count = match req.require_u64("count") {
+                Ok(c) if c > 0 && c <= u64::from(u32::MAX) => c as u32,
+                Ok(c) => return Record::new("error").with("detail", format!("bad proc count {c}")),
+                Err(e) => return Record::new("error").with("detail", e.to_string()),
+            };
             let explicit: Vec<String> = req
                 .get_all("resource")
                 .iter()
@@ -280,10 +305,22 @@ fn handle(state: &AllocatorState, trace: &FlowTrace, req: &Record) -> Record {
             }
         }
         "report" => {
-            let name = req.get("resource").unwrap_or("");
-            let delta: i64 = req.get("delta").and_then(|d| d.parse().ok()).unwrap_or(0);
-            state.report(name, delta);
-            Record::new("ok")
+            // Both fields are required; a report that cannot be parsed
+            // used to become a silent no-op (delta 0 on resource "").
+            let name = match req.require("resource") {
+                Ok(n) => n.to_string(),
+                Err(e) => return Record::new("error").with("detail", e.to_string()),
+            };
+            let delta: i64 = match req.require("delta").map(str::parse) {
+                Ok(Ok(d)) => d,
+                Ok(Err(_)) | Err(_) => {
+                    return Record::new("error").with("detail", "missing or bad delta")
+                }
+            };
+            match state.report(&name, delta) {
+                Ok(()) => Record::new("ok"),
+                Err(e) => Record::new("error").with("detail", e.to_string()),
+            }
         }
         other => Record::new("error").with("detail", format!("unknown request {other}")),
     }
@@ -394,9 +431,70 @@ mod tests {
         let s = state_with(&[("A", 8)]);
         s.select(6, &[]).unwrap();
         assert_eq!(s.load_of("A"), Some(6));
-        s.report("A", -6);
+        s.report("A", -6).unwrap();
         assert_eq!(s.load_of("A"), Some(0));
-        s.report("A", -5); // clamps at zero
+    }
+
+    #[test]
+    fn report_underflow_is_an_accounting_error_not_a_clamp() {
+        let s = state_with(&[("A", 8)]);
+        s.select(3, &[]).unwrap();
+        // A double release: -5 against a load of 3. The old code
+        // clamped to zero, hiding the bug; now the ledger is left
+        // untouched and the corruption is typed.
+        let err = s.report("A", -5).unwrap_err();
+        match err {
+            RmfError::Accounting {
+                resource,
+                load,
+                delta,
+            } => {
+                assert_eq!(resource, "A");
+                assert_eq!(load, 3);
+                assert_eq!(delta, -5);
+            }
+            other => panic!("expected Accounting, got {other}"),
+        }
+        assert_eq!(s.load_of("A"), Some(3), "load must be unchanged");
+        assert!(matches!(s.report("nope", 1), Err(RmfError::Daemon(_))));
+    }
+
+    #[test]
+    fn wire_report_and_query_reject_missing_fields() {
+        let s = state_with(&[("A", 8)]);
+        let trace = FlowTrace::default();
+        // report without delta.
+        let rep = handle(&s, &trace, &Record::new("report").with("resource", "A"));
+        assert_eq!(rep.kind(), "error");
+        // report without resource.
+        let rep = handle(&s, &trace, &Record::new("report").with("delta", "1"));
+        assert_eq!(rep.kind(), "error");
+        // underflow surfaces over the wire too.
+        let rep = handle(
+            &s,
+            &trace,
+            &Record::new("report")
+                .with("resource", "A")
+                .with("delta", "-1"),
+        );
+        assert_eq!(rep.kind(), "error");
+        assert!(rep.get("detail").unwrap_or("").contains("accounting bug"));
+        // query without count (used to fabricate a 0-proc query).
+        let rep = handle(&s, &trace, &Record::new("query"));
+        assert_eq!(rep.kind(), "error");
+        // query with count 0 is equally meaningless.
+        let rep = handle(&s, &trace, &Record::new("query").with("count", "0"));
+        assert_eq!(rep.kind(), "error");
+        // a well-formed report still works.
+        s.select(2, &[]).unwrap();
+        let rep = handle(
+            &s,
+            &trace,
+            &Record::new("report")
+                .with("resource", "A")
+                .with("delta", "-2"),
+        );
+        assert_eq!(rep.kind(), "ok");
         assert_eq!(s.load_of("A"), Some(0));
     }
 

@@ -1,0 +1,150 @@
+//! Typed RMF failures.
+//!
+//! Historically every RMF failure was a stringly `io::Error`, and
+//! several paths papered over missing data instead of failing at all
+//! (`unwrap_or(0)` on required wire fields, silent clamping of load
+//! underflows). [`RmfError`] separates the cases callers genuinely
+//! treat differently:
+//!
+//! * transport trouble that retry can fix ([`RmfError::Io`], and the
+//!   give-up form [`RmfError::Timeout`]);
+//! * malformed wire data, which retry can never fix
+//!   ([`RmfError::Record`]);
+//! * the allocator's two refusal modes — transient exhaustion
+//!   ([`RmfError::Busy`], queue and retry) versus permanent
+//!   impossibility ([`RmfError::Capacity`], fail fast);
+//! * any other daemon-reported error ([`RmfError::Daemon`]);
+//! * internal accounting corruption ([`RmfError::Accounting`]), which
+//!   must surface as a bug rather than be clamped away.
+
+use crate::wire::RecordError;
+use std::io;
+use std::time::Duration;
+
+/// A typed RMF failure.
+#[derive(Debug)]
+pub enum RmfError {
+    /// An RPC kept failing transiently until its deadline expired.
+    Timeout {
+        /// What was being attempted (e.g. `"allocator query"`).
+        what: &'static str,
+        /// How long we retried before giving up.
+        elapsed: Duration,
+        /// The last transient error observed.
+        last: io::Error,
+    },
+    /// Transport-level failure (dial, read, write).
+    Io(io::Error),
+    /// Malformed or incomplete wire record.
+    Record(RecordError),
+    /// Resources are busy right now; retrying later can succeed.
+    Busy(String),
+    /// The request exceeds total managed capacity; retry is pointless.
+    Capacity(String),
+    /// Any other error reported by a daemon.
+    Daemon(String),
+    /// A load ledger would have gone out of range — an accounting bug
+    /// (double release, missed booking), never a valid state.
+    Accounting {
+        /// Resource whose ledger was about to be corrupted.
+        resource: String,
+        /// Load at the time of the bad report (left unchanged).
+        load: u32,
+        /// The delta that would have taken it out of range.
+        delta: i64,
+    },
+}
+
+impl std::fmt::Display for RmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmfError::Timeout {
+                what,
+                elapsed,
+                last,
+            } => write!(f, "{what} timed out after {elapsed:?} (last error: {last})"),
+            RmfError::Io(e) => write!(f, "{e}"),
+            RmfError::Record(e) => write!(f, "{e}"),
+            // Daemon-reported details are printed verbatim so callers
+            // (and logs) see exactly what the daemon said.
+            RmfError::Busy(detail) | RmfError::Capacity(detail) | RmfError::Daemon(detail) => {
+                write!(f, "{detail}")
+            }
+            RmfError::Accounting {
+                resource,
+                load,
+                delta,
+            } => write!(
+                f,
+                "accounting bug: load of {resource} is {load}, delta {delta} \
+                 would leave the valid range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RmfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmfError::Io(e) | RmfError::Timeout { last: e, .. } => Some(e),
+            RmfError::Record(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RmfError {
+    fn from(e: io::Error) -> Self {
+        RmfError::Io(e)
+    }
+}
+
+impl From<RecordError> for RmfError {
+    fn from(e: RecordError) -> Self {
+        RmfError::Record(e)
+    }
+}
+
+/// Classify a daemon `error` record's detail string into the refusal
+/// modes the allocator distinguishes (see `AllocatorState::select`).
+pub(crate) fn classify_daemon_error(detail: &str) -> RmfError {
+    if detail.contains("permanently") {
+        RmfError::Capacity(detail.to_string())
+    } else if detail.contains("insufficient capacity") {
+        RmfError::Busy(detail.to_string())
+    } else {
+        RmfError::Daemon(detail.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_details_print_verbatim() {
+        let e = classify_daemon_error("insufficient capacity permanently: 9 procs requested");
+        assert!(matches!(e, RmfError::Capacity(_)));
+        assert_eq!(
+            e.to_string(),
+            "insufficient capacity permanently: 9 procs requested"
+        );
+        let e = classify_daemon_error("insufficient capacity: 2 of 9 unplaced (resources busy)");
+        assert!(matches!(e, RmfError::Busy(_)));
+        let e = classify_daemon_error("unknown executable foo");
+        assert!(matches!(e, RmfError::Daemon(_)));
+    }
+
+    #[test]
+    fn accounting_message_names_the_ledger() {
+        let e = RmfError::Accounting {
+            resource: "COMPaS".into(),
+            load: 3,
+            delta: -5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("accounting bug"));
+        assert!(s.contains("COMPaS"));
+        assert!(s.contains("-5"));
+    }
+}

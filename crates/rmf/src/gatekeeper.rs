@@ -6,6 +6,7 @@
 //! the paper does not evaluate authentication) and forks a job manager
 //! (step 2), which creates a Q client to place and drive the job.
 
+use crate::error::RmfError;
 use crate::gass::GassStore;
 use crate::job::{FlowTrace, JobId, JobState};
 use crate::qsys::QClient;
@@ -159,7 +160,12 @@ fn handle(ctx: &Arc<GkCtx>, req: &Record) -> Record {
             Record::new("accepted").with("job", job.0.to_string())
         }
         "status" => {
-            let job = JobId(req.require_u64("job").unwrap_or(u64::MAX));
+            // A malformed job id is a protocol error, not an unknown
+            // job — don't fabricate a sentinel id for the lookup.
+            let job = match req.require_u64("job") {
+                Ok(j) => JobId(j),
+                Err(e) => return Record::new("error").with("detail", e.to_string()),
+            };
             match ctx.jobs.lock().get(&job) {
                 Some(info) => {
                     let mut r = Record::new("status")
@@ -200,16 +206,14 @@ fn job_manager(ctx: Arc<GkCtx>, job: JobId, req: JobRequest) {
     // The Q system is a *queuing* system: a job whose resources are
     // busy waits (state Pending) and retries placement until capacity
     // frees up. Requests that can never fit (beyond total capacity)
-    // fail immediately rather than queue forever.
+    // fail immediately rather than queue forever; transport-level
+    // retry lives inside `QClient::allocate` itself.
     let allocs = {
         let deadline = std::time::Instant::now() + Duration::from_secs(120);
         loop {
             match qc.allocate(&req) {
                 Ok(a) => break a,
-                Err(e) if e.to_string().contains("insufficient capacity") => {
-                    if e.to_string().contains("permanently") {
-                        return fail(format!("allocation failed: {e}"));
-                    }
+                Err(e @ RmfError::Busy(_)) => {
                     if std::time::Instant::now() > deadline {
                         return fail(format!("allocation timed out: {e}"));
                     }

@@ -23,6 +23,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod allocator;
+pub mod error;
 pub mod exec;
 pub mod gass;
 pub mod gatekeeper;
@@ -34,6 +35,7 @@ pub mod wire;
 pub use allocator::{
     Allocation, AllocatorState, ResourceAllocator, ResourceInfo, SelectPolicy, ALLOCATOR_PORT,
 };
+pub use error::RmfError;
 pub use exec::{ExecCtx, ExecRegistry};
 pub use gass::{GassStore, GassUrl};
 pub use gatekeeper::{job_status, submit_job, wait_job, Gatekeeper, JobInfo};

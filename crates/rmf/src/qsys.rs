@@ -4,6 +4,7 @@
 //! placement, staging and submission (Fig. 2 steps 2-6).
 
 use crate::allocator::{parse_allocation, Allocation, ALLOCATOR_PORT};
+use crate::error::{classify_daemon_error, RmfError};
 use crate::exec::{run_processes, ExecRegistry};
 use crate::gass::GassStore;
 use crate::job::{FlowTrace, JobId, JobState};
@@ -141,12 +142,23 @@ fn handle(ctx: &Arc<QServerCtx>, req: &Record) -> Record {
                 return Record::new("error").with("detail", "missing job id");
             };
             let job = JobId(job);
-            let part: u32 = req.require_u64("part").unwrap_or(0) as u32;
+            // `part` and `count` are required. Defaulting a missing
+            // part to 0 silently aliased it onto another sub-job, and
+            // defaulting count to 1 fabricated a process count the
+            // client never asked for.
+            let Ok(part) = req.require_u64("part") else {
+                return Record::new("error").with("detail", "missing part");
+            };
+            let part = part as u32;
             let Ok(executable) = req.require("executable") else {
                 return Record::new("error").with("detail", "missing executable");
             };
             let executable = executable.to_string();
-            let count = req.require_u64("count").unwrap_or(1) as u32;
+            let count = match req.require_u64("count") {
+                Ok(c) if c > 0 => c as u32,
+                Ok(_) => return Record::new("error").with("detail", "bad proc count 0"),
+                Err(e) => return Record::new("error").with("detail", e.to_string()),
+            };
             let args: Vec<String> = req.get_all("arg").iter().map(ToString::to_string).collect();
             // Staged files live in this host's GASS store already (the
             // Q client transferred them); the record names them.
@@ -219,8 +231,14 @@ fn handle(ctx: &Arc<QServerCtx>, req: &Record) -> Record {
                 .with("stdout", stdout_url)
         }
         "status" => {
-            let job = JobId(req.require_u64("job").unwrap_or(u64::MAX));
-            let part: u32 = req.require_u64("part").unwrap_or(0) as u32;
+            // Both keys are required: the old defaults (job u64::MAX,
+            // part 0) turned a malformed poll into a confident
+            // "unknown job" — or worse, a hit on someone else's part 0.
+            let (Ok(job), Ok(part)) = (req.require_u64("job"), req.require_u64("part")) else {
+                return Record::new("error").with("detail", "missing job or part");
+            };
+            let job = JobId(job);
+            let part = part as u32;
             match ctx.jobs.lock().get(&(job, part)) {
                 Some(sj) => Record::new("status")
                     .with("state", sj.state.as_str())
@@ -233,6 +251,27 @@ fn handle(ctx: &Arc<QServerCtx>, req: &Record) -> Record {
     }
 }
 
+/// Retry knobs for allocator RPCs: transient transport failures (the
+/// daemon restarting, a connection reset mid-exchange) are retried
+/// with a fixed backoff until `deadline`, then surface as
+/// [`RmfError::Timeout`] naming the last underlying error.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcRetry {
+    /// Total time budget across all attempts.
+    pub deadline: Duration,
+    /// Pause between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RpcRetry {
+    fn default() -> Self {
+        RpcRetry {
+            deadline: Duration::from_secs(2),
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
 /// The Q client: placement + staging + submission + status tracking.
 /// Created by a job manager; also usable standalone.
 pub struct QClient {
@@ -242,6 +281,7 @@ pub struct QClient {
     allocator_host: String,
     gass: GassStore,
     trace: FlowTrace,
+    rpc_retry: RpcRetry,
 }
 
 /// A placed job the client is tracking.
@@ -266,11 +306,48 @@ impl QClient {
             allocator_host: allocator_host.into(),
             gass,
             trace,
+            rpc_retry: RpcRetry::default(),
         }
     }
 
+    /// Override the allocator-RPC retry policy.
+    #[must_use]
+    pub fn with_rpc_retry(mut self, rpc_retry: RpcRetry) -> QClient {
+        self.rpc_retry = rpc_retry;
+        self
+    }
+
     /// Ask the allocator where to run (Fig. 2 steps 3-4).
-    pub fn allocate(&self, req: &JobRequest) -> io::Result<Vec<Allocation>> {
+    ///
+    /// Transient transport failures (refused dial while the daemon
+    /// restarts, reset mid-exchange, EOF before a reply) are retried
+    /// until the [`RpcRetry`] deadline, then reported as
+    /// [`RmfError::Timeout`]. Daemon refusals come back typed:
+    /// [`RmfError::Busy`] is worth re-asking later,
+    /// [`RmfError::Capacity`] never is.
+    pub fn allocate(&self, req: &JobRequest) -> Result<Vec<Allocation>, RmfError> {
+        let start = std::time::Instant::now();
+        loop {
+            let last = match self.try_allocate(req) {
+                Ok(allocs) => return Ok(allocs),
+                // Malformed data and daemon refusals are not transport
+                // flakes; retrying cannot change the answer.
+                Err(RmfError::Io(e)) if e.kind() != io::ErrorKind::InvalidData => e,
+                Err(e) => return Err(e),
+            };
+            if start.elapsed() >= self.rpc_retry.deadline {
+                return Err(RmfError::Timeout {
+                    what: "allocator query",
+                    elapsed: start.elapsed(),
+                    last,
+                });
+            }
+            thread::sleep(self.rpc_retry.backoff);
+        }
+    }
+
+    /// One allocator round trip.
+    fn try_allocate(&self, req: &JobRequest) -> Result<Vec<Allocation>, RmfError> {
         let mut s = self
             .net
             .dial(&self.host, &self.allocator_host, ALLOCATOR_PORT)?;
@@ -281,7 +358,12 @@ impl QClient {
         q.write_to(&mut s)?;
         let rep = Record::read_from(&mut s)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "allocator hung up"))?;
-        parse_allocation(&rep)
+        if rep.kind() == "error" {
+            return Err(classify_daemon_error(
+                rep.get("detail").unwrap_or("allocator error"),
+            ));
+        }
+        parse_allocation(&rep).map_err(RmfError::Io)
     }
 
     /// Stage inputs and submit every part (Fig. 2 steps 5-6). Returns

@@ -416,3 +416,120 @@ fn explicit_resource_placement() {
     let out = String::from_utf8(d.gass.get_url(&stdout_urls[0]).unwrap()).unwrap();
     assert!(out.lines().all(|l| l == "sun-fe"), "{out}");
 }
+
+/// The Q client's allocator RPC retries transient transport failures
+/// (daemon not up yet) and only then reports a typed timeout.
+#[test]
+fn allocator_rpc_retry_recovers_from_late_daemon_and_times_out_typed() {
+    use rmf::qsys::{QClient, RpcRetry};
+    use rmf::{JobRequest, RmfError};
+
+    let req = JobRequest {
+        executable: "noop".into(),
+        count: 2,
+        arguments: vec![],
+        resources: vec![],
+        stage_in: vec![],
+        extras: vec![],
+    };
+
+    // No allocator at all: every dial fails, the retry budget drains,
+    // and the caller gets Timeout carrying the last transport error —
+    // not a bare "connection refused" that looks like a daemon verdict.
+    let net = VNet::new();
+    let site = net.add_site("flat", None);
+    net.add_host("user-host", site);
+    net.add_host("alloc-host", site);
+    let qc = QClient::new(
+        net.clone(),
+        "user-host",
+        "alloc-host",
+        GassStore::new(),
+        FlowTrace::new(),
+    )
+    .with_rpc_retry(RpcRetry {
+        deadline: Duration::from_millis(120),
+        backoff: Duration::from_millis(5),
+    });
+    match qc.allocate(&req) {
+        Err(RmfError::Timeout { what, elapsed, .. }) => {
+            assert_eq!(what, "allocator query");
+            assert!(elapsed >= Duration::from_millis(120));
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    // Daemon comes up *after* the first attempts: the same call
+    // succeeds within the budget instead of failing on attempt one.
+    let net2 = net.clone();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        let alloc = ResourceAllocator::start(
+            net2,
+            "alloc-host",
+            SelectPolicy::LeastLoaded,
+            FlowTrace::new(),
+        )
+        .unwrap();
+        alloc.state.register(ResourceInfo {
+            name: "A".into(),
+            qserver_host: "a-fe".into(),
+            cpus: 4,
+        });
+        // Keep the daemon alive long enough for the client to land.
+        std::thread::sleep(Duration::from_millis(400));
+        alloc
+    });
+    let qc = QClient::new(
+        net,
+        "user-host",
+        "alloc-host",
+        GassStore::new(),
+        FlowTrace::new(),
+    )
+    .with_rpc_retry(RpcRetry {
+        deadline: Duration::from_secs(2),
+        backoff: Duration::from_millis(5),
+    });
+    let allocs = qc.allocate(&req).expect("late daemon should be reached");
+    assert_eq!(allocs.iter().map(|a| a.count).sum::<u32>(), 2);
+    drop(starter.join().unwrap());
+}
+
+/// Typed refusals: over-capacity is Capacity (never retry), busy is
+/// Busy (retry later) — and the daemon's wording reaches the caller.
+#[test]
+fn allocator_refusals_are_typed() {
+    use rmf::qsys::QClient;
+    use rmf::{JobRequest, RmfError};
+
+    let d = deploy();
+    let qc = QClient::new(
+        d.net.clone(),
+        "user-host",
+        "alloc-host",
+        d.gass.clone(),
+        d.trace.clone(),
+    );
+    let mk = |count: u32| JobRequest {
+        executable: "noop".into(),
+        count,
+        arguments: vec![],
+        resources: vec![],
+        stage_in: vec![],
+        extras: vec![],
+    };
+    // 12 CPUs managed in deploy(); 100 can never fit.
+    match qc.allocate(&mk(100)) {
+        Err(RmfError::Capacity(detail)) => assert!(detail.contains("permanently"), "{detail}"),
+        other => panic!("expected Capacity, got {other:?}"),
+    }
+    // Fill everything, then one more: transient exhaustion.
+    let held = qc.allocate(&mk(12)).unwrap();
+    assert_eq!(held.iter().map(|a| a.count).sum::<u32>(), 12);
+    match qc.allocate(&mk(1)) {
+        Err(RmfError::Busy(detail)) => assert!(detail.contains("resources busy"), "{detail}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    drop(d);
+}

@@ -13,6 +13,9 @@ pub enum Rule {
     PortLiteral,
     /// `todo!` / `unimplemented!` anywhere in library code.
     Todo,
+    /// `.unwrap_or(...)` on a `require_u64(...)` result in non-test
+    /// code: a *required* wire field silently replaced by a default.
+    RequireUnwrapOr,
 }
 
 pub const ALL: &[Rule] = &[
@@ -20,6 +23,7 @@ pub const ALL: &[Rule] = &[
     Rule::StdSync,
     Rule::PortLiteral,
     Rule::Todo,
+    Rule::RequireUnwrapOr,
 ];
 
 impl Rule {
@@ -29,6 +33,7 @@ impl Rule {
             Rule::StdSync => "std-sync",
             Rule::PortLiteral => "port-literal",
             Rule::Todo => "todo",
+            Rule::RequireUnwrapOr => "require-unwrap-or",
         }
     }
 
@@ -40,6 +45,9 @@ impl Rule {
                 "well-known ports (911/5678/2119) must reference the named constants"
             }
             Rule::Todo => "no todo!()/unimplemented!() in library crates",
+            Rule::RequireUnwrapOr => {
+                "required wire fields must error, not .unwrap_or(...) a default"
+            }
         }
     }
 }
@@ -114,6 +122,14 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
                 push(
                     Rule::UnwrapPanic,
                     "`panic!` in library code; return an error".into(),
+                );
+            }
+            if line.contains("require_u64(") && line.contains(".unwrap_or") {
+                push(
+                    Rule::RequireUnwrapOr,
+                    "`.unwrap_or(...)` swallows a missing required field; \
+                     reject the record instead"
+                        .into(),
                 );
             }
             if !port_site {
@@ -401,6 +417,29 @@ pub fn f() -> Option<u32> {
             rules_hit("crates/demo/src/lib.rs", code_above),
             vec![(3, Rule::UnwrapPanic)]
         );
+    }
+
+    #[test]
+    fn require_unwrap_or_flagged_outside_tests() {
+        // The PR-3 bug class: a required wire field defaulted away.
+        let src = "fn f(r: &Record) -> u64 {\n    r.require_u64(\"count\").unwrap_or(0)\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(2, Rule::RequireUnwrapOr)]
+        );
+        // ...including defaulted-by-type.
+        let dflt =
+            "fn f(r: &Record) -> u64 {\n    r.require_u64(\"count\").unwrap_or_default()\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", dflt),
+            vec![(2, Rule::RequireUnwrapOr)]
+        );
+        // Handling the error is the fix, and is clean.
+        let ok = "fn f(r: &Record) -> io::Result<u64> {\n    Ok(r.require_u64(\"count\")?)\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", ok).is_empty());
+        // Test code may fabricate defaults freely.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t(r: &Record) -> u64 { r.require_u64(\"count\").unwrap_or(0) }\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod prelude {
         JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy,
     };
     pub use wacs_core::{
-        pingpong, run_knapsack, sequential_baseline, FirewallMode, KnapsackRun, Mode as PpMode,
-        Pair as PpPair, PaperTestbed, System,
+        pingpong, run_knapsack, run_knapsack_with_faults, sequential_baseline, FaultConfig,
+        FaultRun, FirewallMode, KnapsackRun, Mode as PpMode, Pair as PpPair, PaperTestbed, System,
     };
 }
