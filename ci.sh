@@ -25,4 +25,10 @@ cargo test --workspace -q
 echo "== fault-seed recovery sweep"
 cargo test -q --test fault_recovery
 
+echo "== observability replay determinism"
+cargo test -q --test obs_replay
+
+echo "== per-hop decomposition golden tests"
+cargo test -q --test table2_decomposition
+
 echo "ci.sh: all gates passed"

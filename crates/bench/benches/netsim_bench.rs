@@ -6,7 +6,7 @@
 
 use netsim::prelude::*;
 use wacs_bench::harness::{black_box, Harness, Throughput};
-use wacs_core::{pingpong, Mode, Pair};
+use wacs_core::{pingpong, table2_report, Mode, Pair};
 
 /// Two actors flooding messages back and forth for a fixed number of
 /// rounds — a raw engine-throughput workload.
@@ -98,4 +98,11 @@ fn main() {
     g.run("wan-indirect-1m", || {
         black_box(pingpong(Pair::RwcpSunEtlSun, Mode::Indirect, 1 << 20));
     });
+    drop(g);
+
+    // Per-hop decomposition of every Table 2 cell, as one deterministic
+    // JSON report (schema in EXPERIMENTS.md). The hop components of
+    // each cell sum to its end-to-end latency, so the cell timings
+    // above can be audited leg by leg.
+    println!("\n{}", table2_report(1));
 }

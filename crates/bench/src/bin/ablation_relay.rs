@@ -16,7 +16,7 @@
 use netsim::prelude::SimDuration;
 use nexus_proxy::sim::RelayModel;
 use wacs_bench::{fmt_bw, fmt_ms};
-use wacs_core::{pingpong_with_model, Mode, Pair};
+use wacs_core::{decompose_with_model, pingpong_with_model, Mode, Pair};
 
 fn main() {
     println!("Ablation: relay cost model sensitivity (indirect cells only)\n");
@@ -49,4 +49,17 @@ fn main() {
     }
     println!("\ncalibrated model: 12 ms / 260 KB/s (see wacs_core::calibration).");
     println!("paper anchors: 25.0 / 25.1 ms latency; 70.5 KB/s LAN 4K; WAN 1M ≈ 160 KB/s.");
+
+    // Per-hop decomposition of the calibrated indirect cells, as JSON
+    // (schema in EXPERIMENTS.md): each cell's components sum to its
+    // end-to-end latency, so the sweep's latency columns are auditable
+    // against the hop-level accounting.
+    let model = wacs_core::calibration::relay_model();
+    println!("\nper-hop decomposition (calibrated model, 1-byte probe):");
+    for pair in [Pair::RwcpSunCompas, Pair::RwcpSunEtlSun] {
+        println!(
+            "{}",
+            decompose_with_model(pair, Mode::Indirect, 1, model).to_json()
+        );
+    }
 }

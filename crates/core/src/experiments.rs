@@ -296,7 +296,9 @@ pub fn pingpong_with_model(
         Pair::RwcpSunCompas => (tb.rwcp_sun, tb.compas[0]),
         Pair::RwcpSunEtlSun => (tb.rwcp_sun, tb.etl_sun),
     };
+    let registry = wacs_obs::Registry::new();
     let mut sim = Simulator::new(tb.topo.clone(), NetConfig::default(), 1);
+    sim.install_obs(registry.clone());
 
     // Per-host proxy policy: RWCP hosts are proxied under Indirect;
     // ETL hosts never are (no firewall there).
@@ -311,13 +313,15 @@ pub fn pingpong_with_model(
     if mode == Mode::Indirect {
         sim.spawn(
             tb.rwcp_outer,
-            Box::new(SimOuterServer::new(
-                OUTER_CTRL_PORT,
-                Some((tb.rwcp_inner, NXPORT)),
-                model,
-            )),
+            Box::new(
+                SimOuterServer::new(OUTER_CTRL_PORT, Some((tb.rwcp_inner, NXPORT)), model)
+                    .with_obs(&registry),
+            ),
         );
-        sim.spawn(tb.rwcp_inner, Box::new(SimInnerServer::new(NXPORT, model)));
+        sim.spawn(
+            tb.rwcp_inner,
+            Box::new(SimInnerServer::new(NXPORT, model).with_obs(&registry)),
+        );
     }
 
     let shared: PingShared = Arc::new(Mutex::new(PingState {
@@ -329,7 +333,7 @@ pub fn pingpong_with_model(
     sim.spawn(
         server_host,
         Box::new(PpServer {
-            nx: NxClient::new(env_for(server_host)),
+            nx: NxClient::new(env_for(server_host)).with_obs(&registry),
             shared: shared.clone(),
             size,
             pong_flow: None,
@@ -339,7 +343,7 @@ pub fn pingpong_with_model(
     sim.spawn(
         client_host,
         Box::new(PpClient {
-            nx: NxClient::new(env_for(client_host)),
+            nx: NxClient::new(env_for(client_host)).with_obs(&registry),
             shared: shared.clone(),
             size,
             warmup: 2,
@@ -517,6 +521,11 @@ pub struct FaultRun {
     pub retransmits: u64,
     pub actor_crashes: u64,
     pub actor_restarts: u64,
+    /// Full metrics snapshot of the run: engine (`netsim.*`), proxy
+    /// control plane (`proxy.*`) and workload (`knapsack.*`)
+    /// instruments. Virtual-time only, so the same `(cfg, faults)`
+    /// pair produces a byte-identical `to_json()`.
+    pub obs: wacs_obs::RegistrySnapshot,
 }
 
 /// [`run_knapsack`] under a [`FaultConfig`]: same testbed and actors,
@@ -537,21 +546,28 @@ pub fn run_knapsack_with_faults(cfg: &KnapsackRun, faults: &FaultConfig) -> Faul
     let ranks = cfg.system.ranks(&tb);
     let inst = Arc::new(Instance::no_pruning(cfg.items));
     let shared: Shared = Arc::default();
+    let registry = shared.lock().obs.clone();
     let mut sim = Simulator::new(tb.topo.clone(), NetConfig::default(), cfg.seed);
+    sim.install_obs(registry.clone());
 
     let mut outer_id = None;
     if cfg.use_proxy {
-        outer_id = Some(sim.spawn(
-            tb.rwcp_outer,
-            Box::new(SimOuterServer::new(
-                OUTER_CTRL_PORT,
-                Some((tb.rwcp_inner, NXPORT)),
-                cal::relay_model(),
-            )),
-        ));
+        outer_id = Some(
+            sim.spawn(
+                tb.rwcp_outer,
+                Box::new(
+                    SimOuterServer::new(
+                        OUTER_CTRL_PORT,
+                        Some((tb.rwcp_inner, NXPORT)),
+                        cal::relay_model(),
+                    )
+                    .with_obs(&registry),
+                ),
+            ),
+        );
         sim.spawn(
             tb.rwcp_inner,
-            Box::new(SimInnerServer::new(NXPORT, cal::relay_model())),
+            Box::new(SimInnerServer::new(NXPORT, cal::relay_model()).with_obs(&registry)),
         );
     }
 
@@ -595,12 +611,12 @@ pub fn run_knapsack_with_faults(cfg: &KnapsackRun, faults: &FaultConfig) -> Faul
     }
     if let (Some(at), Some(outer)) = (faults.outer_crash_at, outer_id) {
         let inner = (tb.rwcp_inner, NXPORT);
+        let restart_reg = registry.clone();
         plan = plan.crash_restart(outer, at, faults.outer_restart_after, move || {
-            Box::new(SimOuterServer::new(
-                OUTER_CTRL_PORT,
-                Some(inner),
-                cal::relay_model(),
-            ))
+            Box::new(
+                SimOuterServer::new(OUTER_CTRL_PORT, Some(inner), cal::relay_model())
+                    .with_obs(&restart_reg),
+            )
         });
     }
     sim.install_faults(plan);
@@ -629,6 +645,7 @@ pub fn run_knapsack_with_faults(cfg: &KnapsackRun, faults: &FaultConfig) -> Faul
         retransmits,
         actor_crashes,
         actor_restarts,
+        obs: registry.snapshot(),
     }
 }
 

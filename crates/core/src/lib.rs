@@ -6,9 +6,11 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod calibration;
+pub mod decompose;
 pub mod experiments;
 pub mod testbed;
 
+pub use decompose::{decompose, decompose_with_model, table2_report, Component, Decomposition};
 pub use experiments::{
     pingpong, pingpong_with_model, run_knapsack, run_knapsack_with_faults, run_knapsack_with_mode,
     sequential_baseline, FaultConfig, FaultRun, KnapsackRun, Mode, Pair, PingPongResult,

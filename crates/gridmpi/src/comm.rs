@@ -25,6 +25,31 @@ struct PeerLink {
     next_seq: u64,
 }
 
+/// Registry handles for a communicator's message path. Shared across
+/// ranks when they share a registry, so the histograms aggregate the
+/// whole world's traffic. Wall-clock timings — diagnostics, not
+/// replay-deterministic.
+struct CommObs {
+    /// One `send` call: encode + (re)attach + socket write.
+    send_ns: wacs_obs::Histogram,
+    /// One blocking `recv` call: wait + match, so queueing delay is
+    /// included by design.
+    recv_ns: wacs_obs::Histogram,
+    dup_dropped: wacs_obs::Counter,
+    resends: wacs_obs::Counter,
+}
+
+impl CommObs {
+    fn in_registry(registry: &wacs_obs::Registry) -> CommObs {
+        CommObs {
+            send_ns: registry.histogram("gridmpi.send_ns"),
+            recv_ns: registry.histogram("gridmpi.recv_ns"),
+            dup_dropped: registry.counter("gridmpi.dup_dropped"),
+            resends: registry.counter("gridmpi.resends"),
+        }
+    }
+}
+
 /// Per-rank communicator handle (the `MPI_COMM_WORLD` analogue).
 ///
 /// One `Comm` lives on each rank's thread. Sends lazily attach a
@@ -62,6 +87,7 @@ pub struct Comm {
     dup_dropped: OrderedMutex<u64>,
     /// Sends that needed the reconnect-and-retransmit path.
     resends: OrderedMutex<u64>,
+    obs: Option<CommObs>,
 }
 
 impl Comm {
@@ -97,7 +123,17 @@ impl Comm {
             received: OrderedMutex::new("gridmpi.comm.received", 0),
             dup_dropped: OrderedMutex::new("gridmpi.comm.dup_dropped", 0),
             resends: OrderedMutex::new("gridmpi.comm.resends", 0),
+            obs: None,
         }
+    }
+
+    /// Record send/recv service-time histograms and fault counters
+    /// under `gridmpi.*` in `registry`. Ranks sharing a registry
+    /// aggregate into the same instruments.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &wacs_obs::Registry) -> Comm {
+        self.obs = Some(CommObs::in_registry(registry));
+        self
     }
 
     pub fn rank(&self) -> u32 {
@@ -153,6 +189,7 @@ impl Comm {
     pub(crate) fn send_internal(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
         assert!(dest < self.size, "rank {dest} out of range");
         assert_ne!(dest, self.rank, "self-sends are not supported");
+        let start = Instant::now();
         let mut link = self.peers[dest as usize].lock();
         let frame = Packet::encode(self.rank, tag, link.next_seq, payload);
         let sp = match link.sp.take() {
@@ -171,10 +208,16 @@ impl Comm {
                 fresh.send(&frame)?;
                 link.sp = Some(fresh);
                 *self.resends.lock() += 1;
+                if let Some(o) = &self.obs {
+                    o.resends.inc();
+                }
             }
         }
         link.next_seq += 1;
         *self.sent.lock() += 1;
+        if let Some(o) = &self.obs {
+            o.send_ns.record(start.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -198,6 +241,9 @@ impl Comm {
         if p.seq <= *slot {
             drop(last);
             *self.dup_dropped.lock() += 1;
+            if let Some(o) = &self.obs {
+                o.dup_dropped.inc();
+            }
             return Ok(None);
         }
         *slot = p.seq;
@@ -208,6 +254,15 @@ impl Comm {
 
     /// Blocking receive with matching. Returns `(src, tag, payload)`.
     pub fn recv(&self, src: Option<u32>, tag: Option<i32>) -> io::Result<(u32, i32, Vec<u8>)> {
+        let start = Instant::now();
+        let res = self.recv_inner(src, tag);
+        if let Some(o) = &self.obs {
+            o.recv_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        res
+    }
+
+    fn recv_inner(&self, src: Option<u32>, tag: Option<i32>) -> io::Result<(u32, i32, Vec<u8>)> {
         // 1. Unexpected-message queue first (MPI ordering semantics).
         if let Some(p) = self.take_from_stash(src, tag) {
             return Ok((p.src, p.tag, p.payload));

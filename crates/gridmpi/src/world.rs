@@ -17,11 +17,21 @@ use std::thread;
 /// Description of one rank: where it runs and how it communicates.
 pub struct RankSpec {
     pub ctx: NexusContext,
+    /// Registry for this rank's communicator metrics (`gridmpi.*`).
+    /// Ranks sharing one registry aggregate into shared instruments.
+    pub obs: Option<wacs_obs::Registry>,
 }
 
 impl RankSpec {
     pub fn new(ctx: NexusContext) -> Self {
-        RankSpec { ctx }
+        RankSpec { ctx, obs: None }
+    }
+
+    /// Record this rank's send/recv metrics in `registry`.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &wacs_obs::Registry) -> Self {
+        self.obs = Some(registry.clone());
+        self
     }
 }
 
@@ -61,7 +71,10 @@ where
         let handle = thread::Builder::new()
             .name(format!("mpi-rank-{rank}"))
             .spawn(move || {
-                let comm = Comm::new(rank as u32, size, spec.ctx, ep, addrs);
+                let mut comm = Comm::new(rank as u32, size, spec.ctx, ep, addrs);
+                if let Some(reg) = &spec.obs {
+                    comm = comm.with_obs(reg);
+                }
                 body(&comm)
             })?;
         handles.push(handle);

@@ -62,6 +62,10 @@ pub struct SimShared {
     /// Proxy-layer retries observed across all ranks (dial retries,
     /// re-binds) — nonzero only when faults actually bit.
     pub nx_retries: u64,
+    /// Metrics registry shared by every actor in the run (and,
+    /// via `Simulator::install_obs`, the network engine itself).
+    /// Virtual-time measurements only, so snapshots are deterministic.
+    pub obs: wacs_obs::Registry,
 }
 
 pub type Shared = Arc<Mutex<SimShared>>;
@@ -110,10 +114,11 @@ impl MasterActor {
         nslaves: usize,
     ) -> Self {
         let stack = vec![Node::root(&inst)];
+        let nx = NxClient::new(env).with_obs(&shared.lock().obs);
         MasterActor {
             inst,
             params,
-            nx: NxClient::new(env),
+            nx,
             shared,
             group: group.into(),
             nslaves,
@@ -372,6 +377,11 @@ pub struct SlaveActor {
     /// `Done` received — only Stats remain to be (re-)sent.
     done: bool,
     working: bool,
+    /// Steal request in flight since this virtual time (for the
+    /// steal-RTT histogram; cleared when the Nodes batch lands).
+    steal_sent: Option<SimTime>,
+    /// Steal request → Nodes batch round trip, in virtual nanos.
+    steal_rtt_ns: wacs_obs::Histogram,
 }
 
 impl SlaveActor {
@@ -383,10 +393,17 @@ impl SlaveActor {
         rank: u32,
         group: impl Into<String>,
     ) -> Self {
+        let (nx, steal_rtt_ns) = {
+            let sh = shared.lock();
+            (
+                NxClient::new(env).with_obs(&sh.obs),
+                sh.obs.histogram("knapsack.steal_rtt_ns"),
+            )
+        };
         SlaveActor {
             inst,
             params,
-            nx: NxClient::new(env),
+            nx,
             shared,
             rank,
             group: group.into(),
@@ -400,6 +417,8 @@ impl SlaveActor {
             retained: Vec::new(),
             done: false,
             working: false,
+            steal_sent: None,
+            steal_rtt_ns,
         }
     }
 
@@ -416,7 +435,9 @@ impl SlaveActor {
         };
         let msg = KMsg::Steal { best: self.best };
         let size = msg.wire_size();
-        let _ = ctx.send(flow, size, msg);
+        if ctx.send(flow, size, msg).is_ok() {
+            self.steal_sent = Some(ctx.now());
+        }
         self.steal_requests += 1;
     }
 
@@ -559,6 +580,9 @@ impl SlaveActor {
                 // shipped Back on it (the master may never have seen
                 // them), then rediscover the master and reconnect.
                 self.master = None;
+                // An in-flight steal died with the flow — its RTT
+                // would span the outage, not a round trip.
+                self.steal_sent = None;
                 self.stack.append(&mut self.retained);
                 if !self.stack.is_empty() && !self.working {
                     self.working = true;
@@ -573,6 +597,9 @@ impl SlaveActor {
         let master_flow = d.flow;
         match d.expect::<KMsg>() {
             KMsg::Nodes { best, nodes } => {
+                if let Some(t0) = self.steal_sent.take() {
+                    self.steal_rtt_ns.record(ctx.now().since(t0).nanos());
+                }
                 self.best = self.best.max(best);
                 self.stack.extend(nodes);
                 if !self.working {

@@ -135,6 +135,8 @@ pub struct World {
     /// `link_free[link][dir]`: when the link direction next idles.
     link_free: Vec<[SimTime; 2]>,
     pub stats: Stats,
+    /// Installed observability sink (None = metrics-free run).
+    obs: Option<crate::obs::NetObs>,
     rng: SimRng,
     /// Installed fault-injection state (None = fault-free run).
     faults: Option<FaultState>,
@@ -168,6 +170,7 @@ impl World {
             firewalls,
             link_free,
             stats,
+            obs: None,
             rng: SimRng::seed_from_u64(seed),
             faults: None,
             trace: Trace::default(),
@@ -693,6 +696,20 @@ impl Simulator {
         self.world.faults = Some(state);
     }
 
+    /// Attach a `wacs-obs` registry: the engine records per-hop and
+    /// per-link transit latencies, delivery latencies, and fault events
+    /// into it for the rest of the run. All values derive from
+    /// `SimTime`, so same-seed runs snapshot byte-identically.
+    pub fn install_obs(&mut self, registry: wacs_obs::Registry) {
+        let links = self.world.topo.links.len();
+        self.world.obs = Some(crate::obs::NetObs::new(registry, links));
+    }
+
+    /// The installed observability sink, if any.
+    pub fn obs(&self) -> Option<&crate::obs::NetObs> {
+        self.world.obs.as_ref()
+    }
+
     /// Install an actor on a host; its `on_start` runs when the
     /// simulation reaches the current virtual time.
     pub fn spawn(&mut self, host: NodeId, actor: Box<dyn Actor>) -> ActorId {
@@ -869,6 +886,9 @@ impl Simulator {
             Event::Loopback { actor, flow, msg } => {
                 let now = self.world.now;
                 self.world.stats.record_delivery(msg.size, msg.sent_at, now);
+                if let Some(o) = &self.world.obs {
+                    o.record_delivery(msg.sent_at, now);
+                }
                 self.with_actor(actor, |a, ctx| {
                     a.on_message(
                         ctx,
@@ -885,6 +905,9 @@ impl Simulator {
             Event::FaultCrash(id) => {
                 let now = self.world.now;
                 self.world.stats.actor_crashes += 1;
+                if let Some(o) = &self.world.obs {
+                    o.actor_crashed();
+                }
                 self.world
                     .trace
                     .log(now, || format!("FAULT crash actor {id}"));
@@ -901,6 +924,9 @@ impl Simulator {
                         self.actors[id].alive = true;
                         self.actors[id].actor = Some(fresh);
                         self.world.stats.actor_restarts += 1;
+                        if let Some(o) = &self.world.obs {
+                            o.actor_restarted();
+                        }
                         let now = self.world.now;
                         self.world
                             .trace
@@ -939,12 +965,18 @@ impl Simulator {
     /// the RTO, or sever the flow once the attempt budget is exhausted.
     fn drop_chunk(&mut self, t: Transit) {
         self.world.stats.chunks_dropped += 1;
+        if let Some(o) = &self.world.obs {
+            o.chunk_dropped();
+        }
         let Some(policy) = self.world.faults.as_ref().map(|f| f.retransmit) else {
             return;
         };
         let now = self.world.now;
         if t.attempt + 1 < policy.max_attempts {
             self.world.stats.retransmits += 1;
+            if let Some(o) = &self.world.obs {
+                o.retransmit();
+            }
             let flow = t.flow;
             self.world.trace.log(now, || {
                 format!(
@@ -962,6 +994,9 @@ impl Simulator {
             );
         } else {
             self.world.stats.messages_lost += 1;
+            if let Some(o) = &self.world.obs {
+                o.message_lost();
+            }
             let flow = t.flow;
             self.world.trace.log(now, || {
                 format!("FAULT drop flow={} attempt={} (give up)", flow.0, t.attempt)
@@ -1003,6 +1038,9 @@ impl Simulator {
             if let Some(msg) = t.msg {
                 let now = self.world.now;
                 self.world.stats.record_delivery(msg.size, msg.sent_at, now);
+                if let Some(o) = &self.world.obs {
+                    o.record_delivery(msg.sent_at, now);
+                }
                 let flow = t.flow;
                 self.with_actor(recv_actor, |a, ctx| {
                     a.on_message(
@@ -1058,6 +1096,9 @@ impl Simulator {
         self.world.link_free[lid.0 as usize][dir] = finish;
         let arrive = finish + latency + extra_latency;
         self.world.stats.record_chunk(lid, dir, wire, ser);
+        if let Some(o) = &self.world.obs {
+            o.record_hop(lid, arrive.since(self.world.now));
+        }
         self.world.queue.schedule(
             arrive,
             Event::Chunk(Transit {

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod flow;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,94 @@
+//! Engine-side observability: pre-resolved `wacs-obs` handles.
+//!
+//! The engine records on the hot path (every chunk), so the handles are
+//! looked up once at [`NetObs::new`] rather than by name per event.
+//! All values derive from `SimTime` — never the wall clock — keeping
+//! registry snapshots byte-identical across same-seed runs.
+//!
+//! Metric names:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `netsim.delivery_latency_ns` | histogram | message send→deliver, per delivery |
+//! | `netsim.hop_transit_ns` | histogram | one chunk crossing one link (queue+ser+latency) |
+//! | `netsim.link.<id>.transit_ns` | histogram | same, split per link |
+//! | `netsim.fault.chunks_dropped` | counter | chunks lost to injection |
+//! | `netsim.fault.retransmits` | counter | end-to-end retransmissions |
+//! | `netsim.fault.messages_lost` | counter | retransmit budget exhausted |
+//! | `netsim.fault.actor_crashes` | counter | actors killed by injection |
+//! | `netsim.fault.actor_restarts` | counter | actors revived by injection |
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkId;
+use wacs_obs::{Counter, Histogram, Registry};
+
+/// Handles into a [`Registry`], resolved once per installation.
+pub struct NetObs {
+    registry: Registry,
+    delivery_latency: Histogram,
+    hop_transit: Histogram,
+    link_transit: Vec<Histogram>,
+    chunks_dropped: Counter,
+    retransmits: Counter,
+    messages_lost: Counter,
+    actor_crashes: Counter,
+    actor_restarts: Counter,
+}
+
+impl NetObs {
+    /// Resolve handles for a topology with `links` links.
+    #[must_use]
+    pub fn new(registry: Registry, links: usize) -> Self {
+        let link_transit = (0..links)
+            .map(|i| registry.histogram(&format!("netsim.link.{i}.transit_ns")))
+            .collect();
+        NetObs {
+            delivery_latency: registry.histogram("netsim.delivery_latency_ns"),
+            hop_transit: registry.histogram("netsim.hop_transit_ns"),
+            link_transit,
+            chunks_dropped: registry.counter("netsim.fault.chunks_dropped"),
+            retransmits: registry.counter("netsim.fault.retransmits"),
+            messages_lost: registry.counter("netsim.fault.messages_lost"),
+            actor_crashes: registry.counter("netsim.fault.actor_crashes"),
+            actor_restarts: registry.counter("netsim.fault.actor_restarts"),
+            registry,
+        }
+    }
+
+    /// The backing registry (shared; cloning it aliases the table).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn record_delivery(&self, sent_at: SimTime, now: SimTime) {
+        self.delivery_latency.record(now.since(sent_at).nanos());
+    }
+
+    pub(crate) fn record_hop(&self, link: LinkId, transit: SimDuration) {
+        self.hop_transit.record(transit.nanos());
+        if let Some(h) = self.link_transit.get(link.0 as usize) {
+            h.record(transit.nanos());
+        }
+    }
+
+    pub(crate) fn chunk_dropped(&self) {
+        self.chunks_dropped.inc();
+    }
+
+    pub(crate) fn retransmit(&self) {
+        self.retransmits.inc();
+    }
+
+    pub(crate) fn message_lost(&self) {
+        self.messages_lost.inc();
+    }
+
+    pub(crate) fn actor_crashed(&self) {
+        self.actor_crashes.inc();
+    }
+
+    pub(crate) fn actor_restarted(&self) {
+        self.actor_restarts.inc();
+    }
+}

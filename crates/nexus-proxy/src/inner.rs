@@ -14,7 +14,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Inner server configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +84,11 @@ impl InnerServer {
         self.stats.snapshot()
     }
 
+    /// Full metric snapshot (counters + service-time histograms).
+    pub fn obs_snapshot(&self) -> wacs_obs::RegistrySnapshot {
+        self.stats.registry().snapshot()
+    }
+
     /// Logical address of the relay port (what the outer server dials).
     pub fn nxport_addr(&self) -> (String, u16) {
         (self.cfg.host.clone(), self.cfg.nxport)
@@ -104,6 +109,7 @@ impl Drop for InnerServer {
 }
 
 fn handle_relay(net: VNet, cfg: InnerConfig, stats: Arc<ProxyStats>, mut from_outer: TcpStream) {
+    let started = Instant::now();
     match Msg::read_from(&mut from_outer) {
         Ok(Msg::RelayReq { host, port }) => match net.dial(&cfg.host, &host, port) {
             Ok(client) => {
@@ -111,12 +117,18 @@ fn handle_relay(net: VNet, cfg: InnerConfig, stats: Arc<ProxyStats>, mut from_ou
                     .write_to(&mut from_outer)
                     .is_ok()
                 {
-                    ProxyStats::bump(&stats.relays_ok);
+                    stats.relays_ok.inc();
+                    stats
+                        .relay_bridge_ns
+                        .record(started.elapsed().as_nanos() as u64);
                     pump_detached(from_outer, client, cfg.chunk, stats);
                 }
             }
             Err(_) => {
-                ProxyStats::bump(&stats.relays_failed);
+                stats.relays_failed.inc();
+                stats
+                    .relay_bridge_ns
+                    .record(started.elapsed().as_nanos() as u64);
                 let _ = Msg::RelayRep { ok: false }.write_to(&mut from_outer);
             }
         },

@@ -19,7 +19,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wacs_sync::OrderedMutex;
 
 /// Outer server configuration.
@@ -87,7 +87,7 @@ impl OuterServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
-                        ProxyStats::bump(&ctx.stats.control_accepts);
+                        ctx.stats.control_accepts.inc();
                         let c = ctx.clone();
                         thread::spawn(move || c.handle_control(stream));
                     }
@@ -110,6 +110,11 @@ impl OuterServer {
 
     pub fn stats(&self) -> ProxySnapshot {
         self.stats.snapshot()
+    }
+
+    /// Full metric snapshot (counters + service-time histograms).
+    pub fn obs_snapshot(&self) -> wacs_obs::RegistrySnapshot {
+        self.stats.registry().snapshot()
     }
 
     /// Logical control address clients should use.
@@ -150,7 +155,12 @@ struct ServerCtx {
 
 impl ServerCtx {
     fn handle_control(&self, mut stream: TcpStream) {
-        match Msg::read_from(&mut stream) {
+        let started = Instant::now();
+        let msg = Msg::read_from(&mut stream);
+        self.stats
+            .control_handshake_ns
+            .record(started.elapsed().as_nanos() as u64);
+        match msg {
             Ok(Msg::ConnectReq { host, port }) => self.handle_connect(stream, host, port),
             Ok(Msg::BindReq { host, port }) => self.handle_bind(stream, host, port),
             _ => { /* protocol error or EOF: drop the connection */ }
@@ -159,6 +169,7 @@ impl ServerCtx {
 
     /// Fig. 3: dial the target on the client's behalf and bridge.
     fn handle_connect(&self, mut client: TcpStream, host: String, port: u16) {
+        let started = Instant::now();
         match self.net.dial(&self.cfg.host, &host, port) {
             Ok(target) => {
                 if (Msg::ConnectRep {
@@ -168,12 +179,18 @@ impl ServerCtx {
                 .write_to(&mut client)
                 .is_ok()
                 {
-                    ProxyStats::bump(&self.stats.connects_ok);
+                    self.stats.connects_ok.inc();
+                    self.stats
+                        .connect_req_ns
+                        .record(started.elapsed().as_nanos() as u64);
                     pump_detached(client, target, self.cfg.chunk, self.stats.clone());
                 }
             }
             Err(e) => {
-                ProxyStats::bump(&self.stats.connects_failed);
+                self.stats.connects_failed.inc();
+                self.stats
+                    .connect_req_ns
+                    .record(started.elapsed().as_nanos() as u64);
                 let _ = Msg::ConnectRep {
                     ok: false,
                     detail: e.to_string(),
@@ -187,6 +204,7 @@ impl ServerCtx {
     /// relay arriving peers through the inner server. The registration
     /// lives as long as the client keeps its control connection open.
     fn handle_bind(&self, mut ctrl: TcpStream, client_host: String, client_port: u16) {
+        let started = Instant::now();
         let listener = match self.net.bind(&self.cfg.host, 0) {
             Ok(l) => l,
             Err(_) => {
@@ -204,11 +222,14 @@ impl ServerCtx {
         self.rdv
             .lock()
             .insert(rdv_port, (client_host.clone(), client_port));
-        ProxyStats::bump(&self.stats.binds);
+        self.stats.binds.inc();
         if (Msg::BindRep { rdv_port }).write_to(&mut ctrl).is_err() {
             self.rdv.lock().remove(&rdv_port);
             return;
         }
+        self.stats
+            .bind_req_ns
+            .record(started.elapsed().as_nanos() as u64);
 
         // Watch the control connection: EOF ends the registration.
         let done = Arc::new(AtomicBool::new(false));
@@ -254,6 +275,7 @@ impl ServerCtx {
     /// Fig. 4 steps 4-5: a peer arrived; reach the client through the
     /// inner server (or directly when no inner server is configured).
     fn bridge_peer(&self, peer: TcpStream, client_host: &str, client_port: u16) {
+        let started = Instant::now();
         let inward = match &self.cfg.inner {
             Some((inner_host, nxport)) => self
                 .net
@@ -278,13 +300,16 @@ impl ServerCtx {
                 }),
             None => self.net.dial(&self.cfg.host, client_host, client_port),
         };
+        self.stats
+            .relay_bridge_ns
+            .record(started.elapsed().as_nanos() as u64);
         match inward {
             Ok(inward) => {
-                ProxyStats::bump(&self.stats.relays_ok);
+                self.stats.relays_ok.inc();
                 pump_detached(peer, inward, self.cfg.chunk, self.stats.clone());
             }
             Err(_) => {
-                ProxyStats::bump(&self.stats.relays_failed);
+                self.stats.relays_failed.inc();
                 // Dropping `peer` resets the rendezvous connection.
             }
         }

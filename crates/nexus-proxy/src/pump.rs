@@ -30,9 +30,13 @@ fn copy_dir(mut from: TcpStream, mut to: TcpStream, chunk: usize, stats: Arc<Pro
                 // Count before writing so observers that already see
                 // the bytes on the far side also see the counter.
                 stats.add_bytes(n as u64);
+                let seg = std::time::Instant::now();
                 if to.write_all(&buf[..n]).is_err() {
                     break;
                 }
+                stats
+                    .pump_segment_ns
+                    .record(seg.elapsed().as_nanos() as u64);
             }
         }
     }

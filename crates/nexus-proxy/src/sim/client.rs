@@ -25,6 +25,7 @@
 use super::{ProxyMsg, CTRL_MSG_BYTES};
 use netsim::prelude::*;
 use std::collections::HashMap;
+use wacs_obs::{Counter, Histogram, Registry};
 
 /// Segment size for large data messages: the transport splits big
 /// sends so relays and links pipeline at this granularity — exactly
@@ -178,6 +179,16 @@ struct BindAwait {
     deadline_token: u64,
 }
 
+/// Registry handles for the client machine's spans and counters.
+struct ClientObs {
+    /// `connect()` call → `Connected`/`Refused` (retries included).
+    handshake_ns: Histogram,
+    /// `bind()` call (or re-bind start) → `Bound`.
+    bind_ns: Histogram,
+    retries: Counter,
+    rebinds: Counter,
+}
+
 /// The embedded client state machine.
 pub struct NxClient {
     env: SimProxyEnv,
@@ -196,6 +207,12 @@ pub struct NxClient {
     next_itoken: u64,
     retries: u64,
     rebinds: u64,
+    obs: Option<ClientObs>,
+    /// user token → when its `connect()` was issued (span bookkeeping;
+    /// survives retries because retries keep the user token).
+    connect_started: HashMap<u64, SimTime>,
+    /// When the current bind (or re-bind) was started.
+    bind_started: Option<SimTime>,
 }
 
 impl NxClient {
@@ -216,6 +233,31 @@ impl NxClient {
             next_itoken: NX_TOKEN_BASE,
             retries: 0,
             rebinds: 0,
+            obs: None,
+            connect_started: HashMap::new(),
+            bind_started: None,
+        }
+    }
+
+    /// Record handshake/bind spans and retry counters under
+    /// `proxy.client.*` in `registry`.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = Some(ClientObs {
+            handshake_ns: registry.histogram("proxy.client.handshake_ns"),
+            bind_ns: registry.histogram("proxy.client.bind_ns"),
+            retries: registry.counter("proxy.client.retries"),
+            rebinds: registry.counter("proxy.client.rebinds"),
+        });
+        self
+    }
+
+    /// Close the handshake span for `user_token` at `now` (called at
+    /// every `Connected`/`Refused` emission point).
+    fn finish_connect_span(&mut self, user_token: u64, now: SimTime) {
+        if let Some(t0) = self.connect_started.remove(&user_token) {
+            if let Some(o) = &self.obs {
+                o.handshake_ns.record(now.since(t0).nanos());
+            }
         }
     }
 
@@ -274,9 +316,13 @@ impl NxClient {
         attempt: u32,
     ) -> NxHandled {
         if attempt >= self.policy.max_attempts {
+            self.finish_connect_span(user_token, ctx.now());
             return NxHandled::Event(NxEvent::Refused { token: user_token });
         }
         self.retries += 1;
+        if let Some(o) = &self.obs {
+            o.retries.inc();
+        }
         let delay = self.backoff_delay(ctx, attempt);
         self.schedule(
             ctx,
@@ -293,9 +339,13 @@ impl NxClient {
     /// Retry a failed bind registration or give up with `BindFailed`.
     fn retry_bind(&mut self, ctx: &mut Ctx<'_>, client_port: u16, attempt: u32) -> NxHandled {
         if attempt >= self.policy.max_attempts {
+            self.bind_started = None;
             return NxHandled::Event(NxEvent::BindFailed);
         }
         self.retries += 1;
+        if let Some(o) = &self.obs {
+            o.retries.inc();
+        }
         let delay = self.backoff_delay(ctx, attempt);
         self.schedule(
             ctx,
@@ -377,6 +427,9 @@ impl NxClient {
             user_token < NX_TOKEN_BASE,
             "application tokens must be below NX_TOKEN_BASE"
         );
+        if self.obs.is_some() {
+            self.connect_started.insert(user_token, ctx.now());
+        }
         self.start_connect(ctx, dst, user_token, 1);
     }
 
@@ -390,8 +443,15 @@ impl NxClient {
         let port = ctx.listen(0).expect("ephemeral listen failed"); // lint:allow(unwrap-panic)
         self.private_port = Some(port);
         match self.env.outer {
-            None => Some((ctx.host(), port)),
+            None => {
+                // Direct binds complete within the call: zero-length span.
+                if let Some(o) = &self.obs {
+                    o.bind_ns.record(0);
+                }
+                Some((ctx.host(), port))
+            }
             Some(_) => {
+                self.bind_started = Some(ctx.now());
                 self.start_bind_dial(ctx, port, 1);
                 None
             }
@@ -477,6 +537,7 @@ impl NxClient {
             FlowEvent::Connected { flow, token, .. } if token >= NX_TOKEN_BASE => {
                 match self.pending.remove(&token) {
                     Some(Pending::Direct { user_token, .. }) => {
+                        self.finish_connect_span(user_token, ctx.now());
                         NxHandled::Event(NxEvent::Connected {
                             flow,
                             token: user_token,
@@ -575,6 +636,11 @@ impl NxClient {
                     (Some(_), Some(port)) => {
                         self.rebinds += 1;
                         self.retries += 1;
+                        if let Some(o) = &self.obs {
+                            o.rebinds.inc();
+                            o.retries.inc();
+                        }
+                        self.bind_started = Some(ctx.now());
                         self.start_bind_dial(ctx, port, 1);
                         NxHandled::Event(NxEvent::BindLost)
                     }
@@ -605,10 +671,13 @@ impl NxClient {
         if let Some(ar) = self.await_rep.remove(&flow) {
             self.timers.remove(&ar.deadline_token);
             return match msg.expect::<ProxyMsg>() {
-                ProxyMsg::ConnectRep { ok: true } => NxHandled::Event(NxEvent::Connected {
-                    flow,
-                    token: ar.user_token,
-                }),
+                ProxyMsg::ConnectRep { ok: true } => {
+                    self.finish_connect_span(ar.user_token, ctx.now());
+                    NxHandled::Event(NxEvent::Connected {
+                        flow,
+                        token: ar.user_token,
+                    })
+                }
                 _ => {
                     // Relay could not reach dst (stale rendezvous port
                     // during an outer restart, dst not up yet): retry.
@@ -626,6 +695,11 @@ impl NxClient {
                 ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => match self.env.outer {
                     Some(outer) => {
                         self.bind_ctrl = Some(flow);
+                        if let Some(t0) = self.bind_started.take() {
+                            if let Some(o) = &self.obs {
+                                o.bind_ns.record(ctx.now().since(t0).nanos());
+                            }
+                        }
                         NxHandled::Event(NxEvent::Bound {
                             advertised: (outer.0, rdv_port),
                         })

@@ -3,6 +3,7 @@
 use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
 use netsim::prelude::*;
 use std::collections::HashMap;
+use wacs_obs::{Counter, Histogram, Registry};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -12,15 +13,25 @@ enum Role {
     Relayed,
 }
 
+/// Registry handles for the inner server's control plane.
+struct InnerObs {
+    /// RelayReq arrival → client dial resolved (either way).
+    relay_dial_ns: Histogram,
+    relays_ok: Counter,
+    relays_failed: Counter,
+}
+
 /// The inner server actor. Spawn it on a host *inside* the firewall;
 /// it listens on `nxport` — the single inbound hole.
 pub struct SimInnerServer {
     nxport: u16,
     relay: RelayCore,
     roles: HashMap<FlowId, Role>,
-    /// connect token → outer-side flow awaiting completion.
-    dials: HashMap<u64, FlowId>,
+    /// connect token → (outer-side flow awaiting completion, RelayReq
+    /// arrival time).
+    dials: HashMap<u64, (FlowId, SimTime)>,
     next_token: u64,
+    obs: Option<InnerObs>,
 }
 
 impl SimInnerServer {
@@ -31,7 +42,20 @@ impl SimInnerServer {
             roles: HashMap::new(),
             dials: HashMap::new(),
             next_token: 0,
+            obs: None,
         }
+    }
+
+    /// Record control-plane spans and counters under `proxy.inner.*`
+    /// (and the relay data path under the same prefix) in `registry`.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.relay.set_obs(registry, "proxy.inner");
+        self.obs = Some(InnerObs {
+            relay_dial_ns: registry.histogram("proxy.inner.relay_dial_ns"),
+            relays_ok: registry.counter("proxy.inner.relays_ok"),
+            relays_failed: registry.counter("proxy.inner.relays_failed"),
+        });
+        self
     }
 
     pub fn forwarded(&self) -> u64 {
@@ -63,17 +87,25 @@ impl Actor for SimInnerServer {
                 self.roles.insert(flow, Role::AwaitRelayReq);
             }
             FlowEvent::Connected { flow, token, .. } => {
-                if let Some(outer_leg) = self.dials.remove(&token) {
+                if let Some((outer_leg, started)) = self.dials.remove(&token) {
                     // Reached the client: confirm to the outer server
                     // and bridge.
                     self.roles.insert(outer_leg, Role::Relayed);
                     self.roles.insert(flow, Role::Relayed);
+                    if let Some(o) = &self.obs {
+                        o.relays_ok.inc();
+                        o.relay_dial_ns.record(ctx.now().since(started).nanos());
+                    }
                     let _ = ctx.send(outer_leg, CTRL_MSG_BYTES, ProxyMsg::RelayRep { ok: true });
                     self.relay.pair(ctx, outer_leg, flow);
                 }
             }
             FlowEvent::Refused { token, .. } => {
-                if let Some(outer_leg) = self.dials.remove(&token) {
+                if let Some((outer_leg, started)) = self.dials.remove(&token) {
+                    if let Some(o) = &self.obs {
+                        o.relays_failed.inc();
+                        o.relay_dial_ns.record(ctx.now().since(started).nanos());
+                    }
                     let _ = ctx.send(outer_leg, CTRL_MSG_BYTES, ProxyMsg::RelayRep { ok: false });
                     ctx.close(outer_leg);
                 }
@@ -97,7 +129,7 @@ impl Actor for SimInnerServer {
                     });
                     let tok = self.next_token;
                     self.next_token += 1;
-                    self.dials.insert(tok, flow);
+                    self.dials.insert(tok, (flow, ctx.now()));
                     ctx.connect(client, tok);
                 }
                 other => {
@@ -106,7 +138,8 @@ impl Actor for SimInnerServer {
                 }
             },
             Some(Role::Relayed) => {
-                self.relay.on_data(ctx, flow, msg.size, msg.payload);
+                self.relay
+                    .on_data(ctx, flow, msg.size, msg.payload, msg.sent_at);
             }
             None => {}
         }

@@ -19,6 +19,7 @@ pub use outer::SimOuterServer;
 
 use netsim::prelude::*;
 use std::collections::{HashMap, VecDeque};
+use wacs_obs::{Histogram, Registry};
 
 /// Control messages exchanged with the proxy servers (sim payloads).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,20 +65,32 @@ impl RelayModel {
 /// Timer token used by the relay queue (relay actors must reserve it).
 pub const RELAY_TIMER: u64 = u64::MAX - 1;
 
+/// Observability handles for one relay actor's data path: the inbound
+/// leg (origin send → relay arrival) and the service gap (arrival →
+/// forward), the two components a relay hop contributes to an
+/// end-to-end latency decomposition.
+struct RelayObs {
+    leg_in: Histogram,
+    service: Histogram,
+}
+
 /// The relaying heart shared by the outer and inner server actors:
 /// flow pairing, early-data buffering, and a serialized service queue
 /// implementing [`RelayModel`].
 pub struct RelayCore {
     model: RelayModel,
     pairs: HashMap<FlowId, FlowId>,
-    /// Data that arrived on a flow before its pair existed.
-    buffered: HashMap<FlowId, Vec<(u64, Payload)>>,
-    /// (out_flow, size, payload) in service order.
-    queue: VecDeque<(FlowId, u64, Payload)>,
+    /// Data that arrived on a flow before its pair existed, with its
+    /// arrival time (service accounting starts at arrival, not at the
+    /// later pairing).
+    buffered: HashMap<FlowId, Vec<(u64, Payload, SimTime)>>,
+    /// (out_flow, size, payload, arrived_at) in service order.
+    queue: VecDeque<(FlowId, u64, Payload, SimTime)>,
     busy_until: SimTime,
     /// Total messages forwarded (diagnostics).
     pub forwarded: u64,
     pub forwarded_bytes: u64,
+    obs: Option<RelayObs>,
 }
 
 impl RelayCore {
@@ -90,7 +103,17 @@ impl RelayCore {
             busy_until: SimTime::ZERO,
             forwarded: 0,
             forwarded_bytes: 0,
+            obs: None,
         }
+    }
+
+    /// Record per-message leg-in and service durations under
+    /// `<prefix>.leg_in_ns` / `<prefix>.service_ns` in `registry`.
+    pub fn set_obs(&mut self, registry: &Registry, prefix: &str) {
+        self.obs = Some(RelayObs {
+            leg_in: registry.histogram(&format!("{prefix}.leg_in_ns")),
+            service: registry.histogram(&format!("{prefix}.service_ns")),
+        });
     }
 
     pub fn is_paired(&self, f: FlowId) -> bool {
@@ -108,36 +131,63 @@ impl RelayCore {
         self.pairs.insert(g, f);
         for (from, to) in [(f, g), (g, f)] {
             if let Some(pending) = self.buffered.remove(&from) {
-                for (size, payload) in pending {
-                    self.enqueue(ctx, to, size, payload);
+                for (size, payload, arrived_at) in pending {
+                    self.enqueue(ctx, to, size, payload, arrived_at);
                 }
             }
         }
     }
 
     /// Handle a data delivery on a relayed flow: forward to the pair,
-    /// or buffer if pairing is still in progress.
-    pub fn on_data(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, size: u64, payload: Payload) {
+    /// or buffer if pairing is still in progress. `sent_at` is the
+    /// delivery's origin timestamp (`Delivery::sent_at`), used for the
+    /// inbound-leg latency histogram.
+    pub fn on_data(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        flow: FlowId,
+        size: u64,
+        payload: Payload,
+        sent_at: SimTime,
+    ) {
+        let now = ctx.now();
+        if let Some(o) = &self.obs {
+            o.leg_in.record(now.since(sent_at).nanos());
+        }
         match self.pairs.get(&flow) {
-            Some(&out) => self.enqueue(ctx, out, size, payload),
-            None => self.buffered.entry(flow).or_default().push((size, payload)),
+            Some(&out) => self.enqueue(ctx, out, size, payload, now),
+            None => self
+                .buffered
+                .entry(flow)
+                .or_default()
+                .push((size, payload, now)),
         }
     }
 
-    fn enqueue(&mut self, ctx: &mut Ctx<'_>, out: FlowId, size: u64, payload: Payload) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: FlowId,
+        size: u64,
+        payload: Payload,
+        arrived_at: SimTime,
+    ) {
         let start = self.busy_until.max(ctx.now());
         let finish = start + self.model.service_time(size);
         self.busy_until = finish;
-        self.queue.push_back((out, size, payload));
+        self.queue.push_back((out, size, payload, arrived_at));
         ctx.set_timer(finish.since(ctx.now()), RELAY_TIMER);
     }
 
     /// Must be called from the owner's `on_timer` for [`RELAY_TIMER`]:
     /// forwards exactly one queued message.
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some((out, size, payload)) = self.queue.pop_front() {
+        if let Some((out, size, payload, arrived_at)) = self.queue.pop_front() {
             self.forwarded += 1;
             self.forwarded_bytes += size;
+            if let Some(o) = &self.obs {
+                o.service.record(ctx.now().since(arrived_at).nanos());
+            }
             // The pair may have died while the message was in service.
             let _ = ctx.send_boxed(out, size, payload);
         }

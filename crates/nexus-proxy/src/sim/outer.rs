@@ -3,6 +3,7 @@
 use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
 use netsim::prelude::*;
 use std::collections::HashMap;
+use wacs_obs::{Counter, Histogram, Registry};
 
 /// Per-flow role tracking on the outer server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,19 +15,41 @@ enum Role {
     /// A peer that connected to a rendezvous port; being bridged.
     PeerPending,
     /// Outbound leg toward the inner server; waiting for RelayRep.
-    AwaitRelayRep { peer: FlowId },
+    /// `started` = when the peer hit the rendezvous port.
+    AwaitRelayRep { peer: FlowId, started: SimTime },
     /// Fully relayed (either side).
     Relayed,
 }
 
-/// What an in-flight `connect` of ours is for.
+/// What an in-flight `connect` of ours is for. `started` timestamps
+/// the request that triggered the dial, for service-time spans.
 enum Dial {
     /// Active open on behalf of `client` (Fig. 3).
-    Target { client: FlowId },
+    Target { client: FlowId, started: SimTime },
     /// Inner-server leg for a rendezvous `peer` (Fig. 4).
-    Inner { peer: FlowId, client: (NodeId, u16) },
+    Inner {
+        peer: FlowId,
+        client: (NodeId, u16),
+        started: SimTime,
+    },
     /// Direct dial back to a bound client (no inner server configured).
-    DirectClient { peer: FlowId },
+    DirectClient { peer: FlowId, started: SimTime },
+}
+
+/// Registry handles for the outer server's control-plane spans.
+struct OuterObs {
+    /// ConnectReq arrival → ConnectRep sent (or refusal).
+    connect_req_ns: Histogram,
+    /// BindReq service (synchronous in the sim: always 0, kept for
+    /// schema parity with the real path).
+    bind_req_ns: Histogram,
+    /// Peer hits the rendezvous port → streams bridged.
+    rendezvous_ns: Histogram,
+    connects_ok: Counter,
+    connects_failed: Counter,
+    binds: Counter,
+    relays_ok: Counter,
+    relays_failed: Counter,
 }
 
 /// The outer server actor. Spawn it on a host *outside* the firewall.
@@ -40,6 +63,7 @@ pub struct SimOuterServer {
     rdv: HashMap<u16, (NodeId, u16)>,
     dials: HashMap<u64, Dial>,
     next_token: u64,
+    obs: Option<OuterObs>,
 }
 
 impl SimOuterServer {
@@ -52,7 +76,27 @@ impl SimOuterServer {
             rdv: HashMap::new(),
             dials: HashMap::new(),
             next_token: 0,
+            obs: None,
         }
+    }
+
+    /// Record control-plane spans and counters under `proxy.outer.*`
+    /// (and the relay data path under the same prefix) in `registry`.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.relay.set_obs(registry, "proxy.outer");
+        let c = |n: &str| registry.counter(&format!("proxy.outer.{n}"));
+        let h = |n: &str| registry.histogram(&format!("proxy.outer.{n}"));
+        self.obs = Some(OuterObs {
+            connect_req_ns: h("connect_req_ns"),
+            bind_req_ns: h("bind_req_ns"),
+            rendezvous_ns: h("rendezvous_ns"),
+            connects_ok: c("connects_ok"),
+            connects_failed: c("connects_failed"),
+            binds: c("binds"),
+            relays_ok: c("relays_ok"),
+            relays_failed: c("relays_failed"),
+        });
+        self
     }
 
     /// Messages forwarded so far (diagnostics for tests/benches).
@@ -71,7 +115,13 @@ impl SimOuterServer {
             ProxyMsg::ConnectReq { dst } => {
                 ctx.trace(|| format!("outer: ConnectReq flow={} -> {:?}", flow.0, dst));
                 let tok = self.token();
-                self.dials.insert(tok, Dial::Target { client: flow });
+                self.dials.insert(
+                    tok,
+                    Dial::Target {
+                        client: flow,
+                        started: ctx.now(),
+                    },
+                );
                 ctx.connect(dst, tok);
             }
             ProxyMsg::BindReq { client } => match ctx.listen(0) {
@@ -80,6 +130,11 @@ impl SimOuterServer {
                     self.rdv.insert(port, client);
                     self.roles
                         .insert(flow, Role::BindControl { rdv_port: port });
+                    if let Some(o) = &self.obs {
+                        o.binds.inc();
+                        // Served within one event: zero virtual time.
+                        o.bind_req_ns.record(0);
+                    }
                     let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
                 }
                 Err(_) => {
@@ -124,6 +179,7 @@ impl Actor for SimOuterServer {
                     // Fig. 4 step 3: a peer hit the rendezvous port.
                     self.roles.insert(flow, Role::PeerPending);
                     let tok = self.token();
+                    let started = ctx.now();
                     match self.inner {
                         Some(inner_addr) => {
                             ctx.trace(|| {
@@ -132,11 +188,24 @@ impl Actor for SimOuterServer {
                                     flow.0
                                 )
                             });
-                            self.dials.insert(tok, Dial::Inner { peer: flow, client });
+                            self.dials.insert(
+                                tok,
+                                Dial::Inner {
+                                    peer: flow,
+                                    client,
+                                    started,
+                                },
+                            );
                             ctx.connect(inner_addr, tok);
                         }
                         None => {
-                            self.dials.insert(tok, Dial::DirectClient { peer: flow });
+                            self.dials.insert(
+                                tok,
+                                Dial::DirectClient {
+                                    peer: flow,
+                                    started,
+                                },
+                            );
                             ctx.connect(client, tok);
                         }
                     }
@@ -147,30 +216,50 @@ impl Actor for SimOuterServer {
                 }
             }
             FlowEvent::Connected { flow, token, .. } => match self.dials.remove(&token) {
-                Some(Dial::Target { client }) => {
+                Some(Dial::Target { client, started }) => {
                     self.roles.insert(client, Role::Relayed);
                     self.roles.insert(flow, Role::Relayed);
+                    if let Some(o) = &self.obs {
+                        o.connects_ok.inc();
+                        o.connect_req_ns.record(ctx.now().since(started).nanos());
+                    }
                     let _ = ctx.send(client, CTRL_MSG_BYTES, ProxyMsg::ConnectRep { ok: true });
                     self.relay.pair(ctx, client, flow);
                 }
-                Some(Dial::Inner { peer, client }) => {
+                Some(Dial::Inner {
+                    peer,
+                    client,
+                    started,
+                }) => {
                     // Fig. 4 step 4: ask the inner server to complete.
-                    self.roles.insert(flow, Role::AwaitRelayRep { peer });
+                    self.roles
+                        .insert(flow, Role::AwaitRelayRep { peer, started });
                     let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::RelayReq { client });
                 }
-                Some(Dial::DirectClient { peer }) => {
+                Some(Dial::DirectClient { peer, started }) => {
                     self.roles.insert(peer, Role::Relayed);
                     self.roles.insert(flow, Role::Relayed);
+                    if let Some(o) = &self.obs {
+                        o.relays_ok.inc();
+                        o.rendezvous_ns.record(ctx.now().since(started).nanos());
+                    }
                     self.relay.pair(ctx, peer, flow);
                 }
                 None => ctx.close(flow),
             },
             FlowEvent::Refused { token, .. } => match self.dials.remove(&token) {
-                Some(Dial::Target { client }) => {
+                Some(Dial::Target { client, started }) => {
+                    if let Some(o) = &self.obs {
+                        o.connects_failed.inc();
+                        o.connect_req_ns.record(ctx.now().since(started).nanos());
+                    }
                     let _ = ctx.send(client, CTRL_MSG_BYTES, ProxyMsg::ConnectRep { ok: false });
                     ctx.close(client);
                 }
-                Some(Dial::Inner { peer, .. }) | Some(Dial::DirectClient { peer }) => {
+                Some(Dial::Inner { peer, .. }) | Some(Dial::DirectClient { peer, .. }) => {
+                    if let Some(o) = &self.obs {
+                        o.relays_failed.inc();
+                    }
                     ctx.close(peer);
                 }
                 None => {}
@@ -195,14 +284,21 @@ impl Actor for SimOuterServer {
                 let m = msg.expect::<ProxyMsg>();
                 self.handle_request(ctx, flow, m);
             }
-            Some(Role::AwaitRelayRep { peer }) => match msg.expect::<ProxyMsg>() {
+            Some(Role::AwaitRelayRep { peer, started }) => match msg.expect::<ProxyMsg>() {
                 ProxyMsg::RelayRep { ok: true } => {
                     // Fig. 4 step 5 complete: bridge peer ↔ inner leg.
                     self.roles.insert(peer, Role::Relayed);
                     self.roles.insert(flow, Role::Relayed);
+                    if let Some(o) = &self.obs {
+                        o.relays_ok.inc();
+                        o.rendezvous_ns.record(ctx.now().since(started).nanos());
+                    }
                     self.relay.pair(ctx, peer, flow);
                 }
                 _ => {
+                    if let Some(o) = &self.obs {
+                        o.relays_failed.inc();
+                    }
                     ctx.close(peer);
                     ctx.close(flow);
                 }
@@ -210,7 +306,8 @@ impl Actor for SimOuterServer {
             Some(Role::Relayed) | Some(Role::PeerPending) => {
                 // Opaque relay traffic (PeerPending: early data from an
                 // eager peer — buffered by the core until paired).
-                self.relay.on_data(ctx, flow, msg.size, msg.payload);
+                self.relay
+                    .on_data(ctx, flow, msg.size, msg.payload, msg.sent_at);
             }
             Some(Role::BindControl { .. }) => {
                 // Clients don't speak on a bind control connection.

@@ -1,47 +1,96 @@
-//! Relay accounting, shared between server threads via atomics.
+//! Relay accounting, shared between server threads.
+//!
+//! Counters are backed by a `wacs-obs` [`Registry`] rather than bare
+//! atomics, so a proxy server's numbers live in the same namespace as
+//! the span histograms recorded around its service paths (control
+//! handshake, ConnectReq, BindReq/rendezvous, pump segments) and can be
+//! exported/merged as one snapshot. The real-socket paths time spans
+//! with the monotonic clock — they are for humans; only the simulated
+//! paths promise deterministic snapshots.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use wacs_obs::{Counter, Histogram, Registry};
 
-/// Counters kept by each proxy server (outer or inner).
-#[derive(Debug, Default)]
+/// Counters and service-time histograms kept by each proxy server
+/// (outer or inner). Handles are shared: cloning a field aliases it.
 pub struct ProxyStats {
+    registry: Registry,
     /// Bytes copied through the relay (both directions).
-    pub relayed_bytes: AtomicU64,
+    pub relayed_bytes: Counter,
     /// Control connections accepted.
-    pub control_accepts: AtomicU64,
+    pub control_accepts: Counter,
     /// Active opens relayed (ConnectReq handled successfully).
-    pub connects_ok: AtomicU64,
-    pub connects_failed: AtomicU64,
+    pub connects_ok: Counter,
+    pub connects_failed: Counter,
     /// Passive registrations (BindReq handled).
-    pub binds: AtomicU64,
+    pub binds: Counter,
     /// Passive relays completed (peer↔inner bridges established).
-    pub relays_ok: AtomicU64,
-    pub relays_failed: AtomicU64,
+    pub relays_ok: Counter,
+    pub relays_failed: Counter,
+    /// First control message read+dispatch time.
+    pub control_handshake_ns: Histogram,
+    /// ConnectReq service: dial target + reply.
+    pub connect_req_ns: Histogram,
+    /// BindReq service: rendezvous allocation + registration + reply.
+    pub bind_req_ns: Histogram,
+    /// Passive relay bridge establishment (peer arrival → streams
+    /// bridged or refused).
+    pub relay_bridge_ns: Histogram,
+    /// One pump segment: read a chunk from one side, write it to the
+    /// other.
+    pub pump_segment_ns: Histogram,
+}
+
+impl Default for ProxyStats {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new(), "proxy")
+    }
 }
 
 impl ProxyStats {
-    pub fn add_bytes(&self, n: u64) {
-        self.relayed_bytes.fetch_add(n, Ordering::Relaxed);
+    /// Create the instrument set under `prefix` in `registry`.
+    pub fn in_registry(registry: &Registry, prefix: &str) -> Self {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        let h = |name: &str| registry.histogram(&format!("{prefix}.{name}"));
+        ProxyStats {
+            relayed_bytes: c("relayed_bytes"),
+            control_accepts: c("control_accepts"),
+            connects_ok: c("connects_ok"),
+            connects_failed: c("connects_failed"),
+            binds: c("binds"),
+            relays_ok: c("relays_ok"),
+            relays_failed: c("relays_failed"),
+            control_handshake_ns: h("control_handshake_ns"),
+            connect_req_ns: h("connect_req_ns"),
+            bind_req_ns: h("bind_req_ns"),
+            relay_bridge_ns: h("relay_bridge_ns"),
+            pump_segment_ns: h("pump_segment_ns"),
+            registry: registry.clone(),
+        }
     }
 
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// The registry every instrument lives in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn add_bytes(&self, n: u64) {
+        self.relayed_bytes.add(n);
     }
 
     pub fn snapshot(&self) -> ProxySnapshot {
         ProxySnapshot {
-            relayed_bytes: self.relayed_bytes.load(Ordering::Relaxed),
-            control_accepts: self.control_accepts.load(Ordering::Relaxed),
-            connects_ok: self.connects_ok.load(Ordering::Relaxed),
-            connects_failed: self.connects_failed.load(Ordering::Relaxed),
-            binds: self.binds.load(Ordering::Relaxed),
-            relays_ok: self.relays_ok.load(Ordering::Relaxed),
-            relays_failed: self.relays_failed.load(Ordering::Relaxed),
+            relayed_bytes: self.relayed_bytes.get(),
+            control_accepts: self.control_accepts.get(),
+            connects_ok: self.connects_ok.get(),
+            connects_failed: self.connects_failed.get(),
+            binds: self.binds.get(),
+            relays_ok: self.relays_ok.get(),
+            relays_failed: self.relays_failed.get(),
         }
     }
 }
 
-/// Point-in-time copy of [`ProxyStats`].
+/// Point-in-time copy of the [`ProxyStats`] counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProxySnapshot {
     pub relayed_bytes: u64,
@@ -62,13 +111,29 @@ mod tests {
         let s = ProxyStats::default();
         s.add_bytes(100);
         s.add_bytes(28);
-        ProxyStats::bump(&s.connects_ok);
-        ProxyStats::bump(&s.binds);
-        ProxyStats::bump(&s.binds);
+        s.connects_ok.inc();
+        s.binds.inc();
+        s.binds.inc();
         let snap = s.snapshot();
         assert_eq!(snap.relayed_bytes, 128);
         assert_eq!(snap.connects_ok, 1);
         assert_eq!(snap.binds, 2);
         assert_eq!(snap.relays_failed, 0);
+    }
+
+    #[test]
+    fn instruments_share_one_registry_namespace() {
+        let reg = Registry::new();
+        let s = ProxyStats::in_registry(&reg, "proxy.outer");
+        s.connects_ok.inc();
+        s.connect_req_ns.record(1_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("proxy.outer.connects_ok"), Some(&1));
+        assert_eq!(
+            snap.histograms
+                .get("proxy.outer.connect_req_ns")
+                .map(|h| h.count),
+            Some(1)
+        );
     }
 }

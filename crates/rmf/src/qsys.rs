@@ -272,6 +272,19 @@ impl Default for RpcRetry {
     }
 }
 
+/// Registry handles for the Q client's RPC service times. These time
+/// the *real* wall-clock path (threads + virtual sockets), so they are
+/// diagnostics — only the sim-side metrics are replay-deterministic.
+struct QClientObs {
+    /// One `allocate` call, including retries/backoff.
+    allocate_ns: wacs_obs::Histogram,
+    /// One `submit` call (staging + every part's submit round trip).
+    submit_ns: wacs_obs::Histogram,
+    /// One `status` poll across all parts.
+    status_ns: wacs_obs::Histogram,
+    rpc_retries: wacs_obs::Counter,
+}
+
 /// The Q client: placement + staging + submission + status tracking.
 /// Created by a job manager; also usable standalone.
 pub struct QClient {
@@ -282,6 +295,7 @@ pub struct QClient {
     gass: GassStore,
     trace: FlowTrace,
     rpc_retry: RpcRetry,
+    obs: Option<QClientObs>,
 }
 
 /// A placed job the client is tracking.
@@ -307,6 +321,7 @@ impl QClient {
             gass,
             trace,
             rpc_retry: RpcRetry::default(),
+            obs: None,
         }
     }
 
@@ -314,6 +329,19 @@ impl QClient {
     #[must_use]
     pub fn with_rpc_retry(mut self, rpc_retry: RpcRetry) -> QClient {
         self.rpc_retry = rpc_retry;
+        self
+    }
+
+    /// Record RPC service-time histograms under `rmf.qclient.*` in
+    /// `registry`.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &wacs_obs::Registry) -> QClient {
+        self.obs = Some(QClientObs {
+            allocate_ns: registry.histogram("rmf.qclient.allocate_ns"),
+            submit_ns: registry.histogram("rmf.qclient.submit_ns"),
+            status_ns: registry.histogram("rmf.qclient.status_ns"),
+            rpc_retries: registry.counter("rmf.qclient.rpc_retries"),
+        });
         self
     }
 
@@ -327,6 +355,20 @@ impl QClient {
     /// [`RmfError::Capacity`] never is.
     pub fn allocate(&self, req: &JobRequest) -> Result<Vec<Allocation>, RmfError> {
         let start = std::time::Instant::now();
+        let res = self.allocate_loop(req, start);
+        if let Some(o) = &self.obs {
+            o.allocate_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        res
+    }
+
+    /// The retry loop behind [`QClient::allocate`], with the caller's
+    /// start instant so the deadline spans the whole call.
+    fn allocate_loop(
+        &self,
+        req: &JobRequest,
+        start: std::time::Instant,
+    ) -> Result<Vec<Allocation>, RmfError> {
         loop {
             let last = match self.try_allocate(req) {
                 Ok(allocs) => return Ok(allocs),
@@ -341,6 +383,9 @@ impl QClient {
                     elapsed: start.elapsed(),
                     last,
                 });
+            }
+            if let Some(o) = &self.obs {
+                o.rpc_retries.inc();
             }
             thread::sleep(self.rpc_retry.backoff);
         }
@@ -374,6 +419,7 @@ impl QClient {
         req: &JobRequest,
         allocs: Vec<Allocation>,
     ) -> io::Result<PlacedJob> {
+        let start = std::time::Instant::now();
         let mut placed = PlacedJob {
             job,
             parts: Vec::new(),
@@ -422,11 +468,23 @@ impl QClient {
                 .push(rep.get("stdout").unwrap_or_default().to_string());
             placed.parts.push((alloc, part));
         }
+        if let Some(o) = &self.obs {
+            o.submit_ns.record(start.elapsed().as_nanos() as u64);
+        }
         Ok(placed)
     }
 
     /// Poll every part once; aggregate the job state.
     pub fn status(&self, placed: &PlacedJob) -> io::Result<(JobState, i32)> {
+        let start = std::time::Instant::now();
+        let res = self.status_inner(placed);
+        if let Some(o) = &self.obs {
+            o.status_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        res
+    }
+
+    fn status_inner(&self, placed: &PlacedJob) -> io::Result<(JobState, i32)> {
         let mut all_done = true;
         let mut worst = 0i32;
         for (alloc, part) in &placed.parts {

@@ -1,0 +1,145 @@
+//! Minimal hand-rolled JSON emission (the workspace builds offline with
+//! no serialization dependency). Only what snapshots and reports need:
+//! string escaping and an object/array writer over a `String`.
+
+/// Escape `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let nib = (b >> shift) & 0xF;
+                    out.push(char::from_digit(nib, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A tiny comma-management helper: build one JSON object or array.
+/// Nest by writing a sub-writer's output via [`JsonWriter::raw`].
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+    close: char,
+}
+
+impl JsonWriter {
+    #[must_use]
+    pub fn object() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+            close: '}',
+        }
+    }
+
+    #[must_use]
+    pub fn array() -> Self {
+        Self {
+            buf: String::from("["),
+            first: true,
+            close: ']',
+        }
+    }
+
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.comma();
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// `"key": <unsigned>` (objects only).
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// `"key": <signed>` (objects only).
+    pub fn field_i64(&mut self, key: &str, v: i64) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// `"key": "escaped"` (objects only).
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.push_key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// `"key": <already-serialized JSON>` (objects only).
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Append one already-serialized element (arrays only).
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.comma();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Append one unsigned element (arrays only).
+    pub fn elem_u64(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn writer_manages_commas() {
+        let mut inner = JsonWriter::array();
+        inner.elem_u64(1).elem_u64(2);
+        let mut w = JsonWriter::object();
+        w.field_str("name", "x")
+            .field_u64("n", 7)
+            .field_raw("xs", &inner.finish());
+        assert_eq!(w.finish(), r#"{"name":"x","n":7,"xs":[1,2]}"#);
+    }
+}

@@ -1,0 +1,132 @@
+//! Frozen registry state: commutative merge + deterministic JSON.
+
+use crate::hist::HistogramSnapshot;
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// A point-in-time copy of a [`crate::Registry`].
+///
+/// Two guarantees matter to the test suite:
+///
+/// * **merge is commutative** — `merge(a, b) == merge(b, a)` for every
+///   instrument kind (counters add, gauges add, histograms bucket-add);
+/// * **`to_json` is deterministic** — BTreeMap key order, integer-only
+///   values, no wall-clock timestamps. Identical runs ⇒ byte-identical
+///   documents.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Fold `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Serialize to a stable JSON document. Histograms carry their raw
+    /// sparse buckets plus convenience quantiles (p50/p90/p99, integer
+    /// representatives), so readers need no bucket math.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonWriter::object();
+        for (k, v) in &self.counters {
+            counters.field_u64(k, *v);
+        }
+        let mut gauges = JsonWriter::object();
+        for (k, v) in &self.gauges {
+            gauges.field_i64(k, *v);
+        }
+        let mut hists = JsonWriter::object();
+        for (k, h) in &self.histograms {
+            hists.field_raw(k, &histogram_json(h));
+        }
+        let mut root = JsonWriter::object();
+        root.field_raw("counters", &counters.finish())
+            .field_raw("gauges", &gauges.finish())
+            .field_raw("histograms", &hists.finish());
+        root.finish()
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = JsonWriter::array();
+    for &(idx, c) in &h.buckets {
+        let mut pair = JsonWriter::array();
+        pair.elem_u64(u64::from(idx)).elem_u64(c);
+        buckets.raw(&pair.finish());
+    }
+    let mut w = JsonWriter::object();
+    w.field_u64("count", h.count)
+        .field_u64("sum", h.sum)
+        .field_u64("min", h.min)
+        .field_u64("max", h.max)
+        .field_u64("p50", h.quantile(0.50).unwrap_or(0))
+        .field_u64("p90", h.quantile(0.90).unwrap_or(0))
+        .field_u64("p99", h.quantile(0.99).unwrap_or(0))
+        .field_raw("buckets", &buckets.finish());
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample(seed: u64) -> RegistrySnapshot {
+        let reg = Registry::new();
+        reg.counter("runs").add(seed);
+        reg.gauge("depth").set(seed as i64 - 3);
+        let h = reg.histogram("lat_ns");
+        for i in 0..seed * 10 {
+            h.record(i * 97 + seed);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn merge_is_commutative_across_all_kinds() {
+        let (a, b) = (sample(3), sample(11));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn identical_registries_serialize_byte_identically() {
+        assert_eq!(sample(5).to_json(), sample(5).to_json());
+        assert_ne!(sample(5).to_json(), sample(6).to_json());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let reg = Registry::new();
+        reg.counter("n").inc();
+        reg.histogram("h").record(7);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            concat!(
+                r#"{"counters":{"n":1},"gauges":{},"histograms":"#,
+                r#"{"h":{"count":1,"sum":7,"min":7,"max":7,"p50":7,"p90":7,"p99":7,"#,
+                r#""buckets":[[7,1]]}}}"#
+            )
+        );
+    }
+}

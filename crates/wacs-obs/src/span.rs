@@ -1,0 +1,53 @@
+//! Span timing on caller-supplied clocks.
+//!
+//! A span is just a start timestamp in integer nanoseconds. The caller
+//! supplies "now" both at `begin` and at `elapsed`, which is what keeps
+//! sim-path instrumentation deterministic: under `netsim`, "now" is
+//! `SimTime::as_nanos()`, a pure function of the seed. Real-socket
+//! paths pass a monotonic-clock reading instead and accept
+//! non-determinism there (their snapshots are for humans, not for the
+//! replay tests).
+
+/// An open interval measurement; close it with [`Span::elapsed`] or
+/// [`crate::Histogram::record_span`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    start_nanos: u64,
+}
+
+impl Span {
+    /// Start a span at `now_nanos`.
+    #[must_use]
+    pub fn begin(now_nanos: u64) -> Self {
+        Self {
+            start_nanos: now_nanos,
+        }
+    }
+
+    /// The span's start timestamp.
+    #[must_use]
+    pub fn start_nanos(self) -> u64 {
+        self.start_nanos
+    }
+
+    /// Nanoseconds since `begin`; saturates at zero if the caller's
+    /// clock went backwards (possible only on real-time paths).
+    #[must_use]
+    pub fn elapsed(self, now_nanos: u64) -> u64 {
+        now_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_a_saturating_difference() {
+        let s = Span::begin(1_000);
+        assert_eq!(s.elapsed(1_500), 500);
+        assert_eq!(s.elapsed(1_000), 0);
+        assert_eq!(s.elapsed(999), 0, "backwards clock saturates to 0");
+        assert_eq!(s.start_nanos(), 1_000);
+    }
+}

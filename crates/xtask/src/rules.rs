@@ -16,6 +16,10 @@ pub enum Rule {
     /// `.unwrap_or(...)` on a `require_u64(...)` result in non-test
     /// code: a *required* wire field silently replaced by a default.
     RequireUnwrapOr,
+    /// Bare `AtomicU64` metric counter outside `wacs-obs`: new
+    /// instrumentation must go through the registry so it shows up in
+    /// snapshots and replay tests.
+    BareAtomicCounter,
 }
 
 pub const ALL: &[Rule] = &[
@@ -24,6 +28,7 @@ pub const ALL: &[Rule] = &[
     Rule::PortLiteral,
     Rule::Todo,
     Rule::RequireUnwrapOr,
+    Rule::BareAtomicCounter,
 ];
 
 impl Rule {
@@ -34,6 +39,7 @@ impl Rule {
             Rule::PortLiteral => "port-literal",
             Rule::Todo => "todo",
             Rule::RequireUnwrapOr => "require-unwrap-or",
+            Rule::BareAtomicCounter => "bare-atomic-counter",
         }
     }
 
@@ -47,6 +53,9 @@ impl Rule {
             Rule::Todo => "no todo!()/unimplemented!() in library crates",
             Rule::RequireUnwrapOr => {
                 "required wire fields must error, not .unwrap_or(...) a default"
+            }
+            Rule::BareAtomicCounter => {
+                "metric counters belong in the wacs_obs registry, not bare AtomicU64s"
             }
         }
     }
@@ -73,6 +82,10 @@ const PORT_DEFINITION_SITES: &[&str] = &["crates/firewall/src/lib.rs", "crates/n
 /// them), plus this analyzer itself (it names them in diagnostics).
 const STD_SYNC_EXEMPT: &[&str] = &["crates/wacs-sync/", "crates/xtask/"];
 
+/// Crates allowed to declare raw `AtomicU64`s: the registry itself
+/// (its instruments *are* atomics) and this analyzer.
+const ATOMIC_COUNTER_EXEMPT: &[&str] = &["crates/wacs-obs/", "crates/xtask/"];
+
 /// Analyze one file; `path` is workspace-relative with `/` separators.
 pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
     let masked = mask(source);
@@ -82,6 +95,7 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
 
     let port_site = PORT_DEFINITION_SITES.contains(&path);
     let sync_exempt = STD_SYNC_EXEMPT.iter().any(|p| path.starts_with(p));
+    let atomic_exempt = ATOMIC_COUNTER_EXEMPT.iter().any(|p| path.starts_with(p));
 
     for (idx, line) in masked.code.lines().enumerate() {
         let lineno = idx + 1;
@@ -141,6 +155,20 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
                         );
                     }
                 }
+            }
+            // Declarations/constructions only — a plain `use` import is
+            // inert until a flagged site actually names the type.
+            if !atomic_exempt
+                && line.contains("AtomicU64")
+                && !line.trim_start().starts_with("use ")
+                && !line.trim_start().starts_with("pub use ")
+            {
+                push(
+                    Rule::BareAtomicCounter,
+                    "bare `AtomicU64` counter; use wacs_obs::Counter so the metric \
+                     lands in registry snapshots"
+                        .into(),
+                );
             }
         }
         if !sync_exempt
@@ -362,8 +390,47 @@ pub fn f() -> Option<u32> {
 
     #[test]
     fn std_sync_other_items_are_fine() {
+        // Arc is fine everywhere; importing AtomicU64 is inert until a
+        // declaration site names it (that's what the counter rule hits).
         let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
         assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_atomic_counter_flagged_outside_wacs_obs() {
+        let src = "\
+use std::sync::atomic::AtomicU64;
+struct Stats {
+    hits: AtomicU64,
+}
+fn fresh() -> AtomicU64 {
+    AtomicU64::new(0)
+}
+";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![
+                (3, Rule::BareAtomicCounter),
+                (5, Rule::BareAtomicCounter),
+                (6, Rule::BareAtomicCounter)
+            ]
+        );
+        // The registry crate implements its instruments *on* atomics.
+        assert!(rules_hit("crates/wacs-obs/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_atomic_counter_allows_marked_non_metric_uses() {
+        // ID generators and the like may stay atomic when marked.
+        let src = "\
+struct G {
+    next_id: AtomicU64, // lint:allow(bare-atomic-counter)
+}
+";
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+        // Test code may fabricate atomics freely.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = AtomicU64::new(0); }\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use nexus;
 pub use nexus_proxy;
 pub use rmf;
 pub use wacs_core;
+pub use wacs_obs;
 
 /// The most common imports for building a firewall-compliant cluster.
 pub mod prelude {
@@ -73,7 +74,9 @@ pub mod prelude {
         JobState, QServer, ResourceAllocator, ResourceInfo, SelectPolicy,
     };
     pub use wacs_core::{
-        pingpong, run_knapsack, run_knapsack_with_faults, sequential_baseline, FaultConfig,
-        FaultRun, FirewallMode, KnapsackRun, Mode as PpMode, Pair as PpPair, PaperTestbed, System,
+        decompose, pingpong, run_knapsack, run_knapsack_with_faults, sequential_baseline,
+        table2_report, Decomposition, FaultConfig, FaultRun, FirewallMode, KnapsackRun,
+        Mode as PpMode, Pair as PpPair, PaperTestbed, System,
     };
+    pub use wacs_obs::{Registry, RegistrySnapshot};
 }

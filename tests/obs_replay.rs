@@ -1,0 +1,115 @@
+//! Deterministic replay of the observability layer: because every
+//! instrument on the simulated paths records *virtual* time, a run is
+//! a pure function of its seeds — so two runs of the same scenario
+//! must produce byte-identical registry snapshots, faults and all.
+//! This is what makes the metrics trustworthy as regression anchors:
+//! any diff in the snapshot JSON is a real behavior change, never
+//! timing noise.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use wacs::netsim::prelude::SimDuration;
+use wacs::prelude::*;
+
+/// The fault-recovery acceptance scenario: wide-area knapsack with the
+/// outer proxy crashed mid-run (restarted 250 ms later) plus 1% WAN
+/// chunk loss.
+fn scenario(items: usize, fault_seed: u64) -> (KnapsackRun, FaultConfig) {
+    let cfg = KnapsackRun::paper_default(System::WideArea, items);
+    let clean = run_knapsack(&cfg);
+    let faults = FaultConfig {
+        seed: fault_seed,
+        wan_drop: 0.01,
+        outer_crash_at: Some(SimDuration::from_secs_f64(clean.elapsed_secs / 2.0)),
+        ..FaultConfig::default()
+    };
+    (cfg, faults)
+}
+
+#[test]
+fn same_seeds_give_byte_identical_snapshots() {
+    let (cfg, faults) = scenario(16, 7);
+    let a = run_knapsack_with_faults(&cfg, &faults);
+    let b = run_knapsack_with_faults(&cfg, &faults);
+    let ja = a.obs.to_json();
+    let jb = b.obs.to_json();
+    assert_eq!(ja, jb, "replay must reproduce the snapshot byte for byte");
+}
+
+#[test]
+fn snapshot_covers_every_layer_of_the_stack() {
+    let (cfg, faults) = scenario(16, 7);
+    let fr = run_knapsack_with_faults(&cfg, &faults);
+    let snap = &fr.obs;
+
+    // Engine: per-hop transit and end-to-end delivery latencies.
+    let delivery = snap
+        .histograms
+        .get("netsim.delivery_latency_ns")
+        .expect("engine delivery histogram");
+    assert!(delivery.count > 0);
+    let hops = snap
+        .histograms
+        .get("netsim.hop_transit_ns")
+        .expect("engine hop histogram");
+    assert!(
+        hops.count >= delivery.count,
+        "multi-hop paths: more hops than deliveries"
+    );
+
+    // Engine fault counters must mirror the legacy Stats the run reports.
+    assert_eq!(
+        snap.counters.get("netsim.fault.chunks_dropped").copied(),
+        Some(fr.chunks_dropped)
+    );
+    assert_eq!(
+        snap.counters.get("netsim.fault.retransmits").copied(),
+        Some(fr.retransmits)
+    );
+    assert_eq!(
+        snap.counters.get("netsim.fault.actor_crashes").copied(),
+        Some(fr.actor_crashes)
+    );
+    assert_eq!(
+        snap.counters.get("netsim.fault.actor_restarts").copied(),
+        Some(fr.actor_restarts)
+    );
+
+    // Proxy control plane: the master bound through the outer server,
+    // and the crash forced at least one client retry.
+    assert!(snap.counters.get("proxy.outer.binds").copied().unwrap_or(0) >= 1);
+    assert!(
+        snap.counters
+            .get("proxy.client.retries")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "recovery must surface in the client retry counter"
+    );
+    assert!(snap.histograms.contains_key("proxy.outer.leg_in_ns"));
+    assert!(snap.histograms.contains_key("proxy.outer.service_ns"));
+
+    // Workload: slaves timed their steal round trips.
+    let steals = snap
+        .histograms
+        .get("knapsack.steal_rtt_ns")
+        .expect("steal RTT histogram");
+    assert!(steals.count > 0);
+    // A steal crosses the proxied WAN path: its RTT can't be below the
+    // one-way relay service cost.
+    assert!(steals.quantile(0.5).unwrap() > 1_000_000);
+}
+
+#[test]
+fn different_fault_seeds_give_different_snapshots() {
+    // The complement of replay determinism: the snapshot actually
+    // depends on the fault draw (it isn't a constant).
+    let (cfg, faults1) = scenario(16, 1);
+    let faults2 = FaultConfig {
+        seed: 2,
+        ..faults1.clone()
+    };
+    let a = run_knapsack_with_faults(&cfg, &faults1);
+    let b = run_knapsack_with_faults(&cfg, &faults2);
+    assert_ne!(a.obs.to_json(), b.obs.to_json());
+}
