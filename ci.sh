@@ -31,4 +31,7 @@ cargo test -q --test obs_replay
 echo "== per-hop decomposition golden tests"
 cargo test -q --test table2_decomposition
 
+echo "== liveness / admission / breaker tests"
+cargo test -q -p nexus-proxy --test liveness
+
 echo "ci.sh: all gates passed"

@@ -7,6 +7,7 @@
 //! variables `NEXUS_PROXY_OUTER_SERVER` and `NEXUS_PROXY_INNER_SERVER`
 //! are defined; otherwise, the original communication is done."
 
+use crate::liveness::SharedBreaker;
 use crate::protocol::Msg;
 use firewall::vnet::{VListener, VNet};
 use std::io;
@@ -18,22 +19,64 @@ use std::net::TcpStream;
 pub struct ProxyEnv {
     /// `NEXUS_PROXY_OUTER_SERVER`: logical `(host, ctrl_port)`.
     pub outer: Option<(String, u16)>,
+    /// Optional WAN-leg circuit breaker guarding dials *to* the outer
+    /// server: when open, proxied calls fail fast locally instead of
+    /// hammering a dead DMZ host.
+    pub breaker: Option<SharedBreaker>,
 }
 
 impl ProxyEnv {
     pub fn direct() -> Self {
-        ProxyEnv { outer: None }
+        ProxyEnv::default()
     }
 
     pub fn via(outer_host: impl Into<String>, ctrl_port: u16) -> Self {
         ProxyEnv {
             outer: Some((outer_host.into(), ctrl_port)),
+            breaker: None,
         }
+    }
+
+    /// Share a circuit breaker across this client's outer-server dials
+    /// (typically the one handed out by `OuterServer::breaker`, or a
+    /// fresh [`SharedBreaker`] per site).
+    #[must_use]
+    pub fn with_breaker(mut self, b: SharedBreaker) -> Self {
+        self.breaker = Some(b);
+        self
     }
 
     pub fn enabled(&self) -> bool {
         self.outer.is_some()
     }
+}
+
+/// Dial the outer server, routed through the env's breaker when one is
+/// configured: an open breaker refuses locally; the dial outcome feeds
+/// the failure/success run.
+fn dial_outer(
+    net: &VNet,
+    env: &ProxyEnv,
+    from_host: &str,
+    outer_host: &str,
+    port: u16,
+) -> io::Result<TcpStream> {
+    if let Some(b) = &env.breaker {
+        if !b.allow() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "circuit breaker open: outer server dials suspended",
+            ));
+        }
+    }
+    let dialed = net.dial(from_host, outer_host, port);
+    if let Some(b) = &env.breaker {
+        match &dialed {
+            Ok(_) => b.on_success(),
+            Err(_) => b.on_failure(),
+        }
+    }
+    dialed
 }
 
 /// `NXProxyConnect`: "sends a connect request to the outer server and
@@ -57,7 +100,7 @@ pub fn nx_proxy_connect(
     if dst.0 == outer_host {
         return net.dial(from_host, dst.0, dst.1);
     }
-    let mut stream = net.dial(from_host, outer_host, *ctrl_port)?;
+    let mut stream = dial_outer(net, env, from_host, outer_host, *ctrl_port)?;
     Msg::ConnectReq {
         host: dst.0.to_string(),
         port: dst.1,
@@ -68,6 +111,12 @@ pub fn nx_proxy_connect(
         Msg::ConnectRep { ok: false, detail } => Err(io::Error::new(
             io::ErrorKind::ConnectionRefused,
             format!("outer server could not reach {}:{}: {detail}", dst.0, dst.1),
+        )),
+        // Typed admission-control refusal: the server is up but full;
+        // `WouldBlock` tells callers a retry later may succeed.
+        Msg::Busy => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "outer server busy (admission control)",
         )),
         _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -130,7 +179,7 @@ pub fn nx_proxy_bind(net: &VNet, env: &ProxyEnv, host: &str) -> io::Result<NxLis
             _ctrl: None,
         });
     };
-    let mut ctrl = net.dial(host, outer_host, *ctrl_port)?;
+    let mut ctrl = dial_outer(net, env, host, outer_host, *ctrl_port)?;
     Msg::BindReq {
         host: host.to_string(),
         port: private.logical_port(),
@@ -145,6 +194,10 @@ pub fn nx_proxy_bind(net: &VNet, env: &ProxyEnv, host: &str) -> io::Result<NxLis
         Msg::BindRep { .. } => Err(io::Error::new(
             io::ErrorKind::AddrNotAvailable,
             "outer server could not allocate a rendezvous port",
+        )),
+        Msg::Busy => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "outer server busy (admission control)",
         )),
         _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,

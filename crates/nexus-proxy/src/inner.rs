@@ -4,17 +4,27 @@
 //! impersonate it — and, for each `RelayReq` from the outer server,
 //! dials the registered client on the LAN and bridges the streams
 //! (Fig. 4 steps 4-5).
+//!
+//! Liveness layer (DESIGN.md §6b): a connection whose first frame is
+//! `Ping` or `BindSync` is a *control session* from the outer server —
+//! the inner server answers pings with pongs and mirrors `BindSync`
+//! into its authorized-endpoint set. With `require_registration` on,
+//! `RelayReq` for an endpoint absent from that set is refused, which
+//! hardens the nxport hole (a restarted inner server relays nothing
+//! until the outer server re-syncs its bind table).
 
 use crate::protocol::Msg;
 use crate::pump::{pump_detached, DEFAULT_CHUNK};
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
+use std::collections::HashSet;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+use wacs_sync::OrderedMutex;
 
 /// Inner server configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +35,12 @@ pub struct InnerConfig {
     /// [`firewall::NXPORT`].
     pub nxport: u16,
     pub chunk: usize,
+    /// Refuse `RelayReq` for endpoints that were never announced via
+    /// `BindSync`. Off by default (pre-liveness behaviour).
+    pub require_registration: bool,
+    /// A control session silent for longer than this is abandoned (the
+    /// outer server pings well inside it while alive).
+    pub control_timeout: Duration,
 }
 
 impl InnerConfig {
@@ -33,7 +49,19 @@ impl InnerConfig {
             host: host.into(),
             nxport: firewall::NXPORT,
             chunk: DEFAULT_CHUNK,
+            require_registration: false,
+            control_timeout: Duration::from_secs(5),
         }
+    }
+
+    pub fn with_registration_required(mut self) -> Self {
+        self.require_registration = true;
+        self
+    }
+
+    pub fn with_control_timeout(mut self, t: Duration) -> Self {
+        self.control_timeout = t;
+        self
     }
 }
 
@@ -42,6 +70,7 @@ pub struct InnerServer {
     cfg: InnerConfig,
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
+    authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -51,19 +80,23 @@ impl InnerServer {
         listener.set_nonblocking(true)?;
         let stats = Arc::new(ProxyStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let t_stats = stats.clone();
+        let authorized = Arc::new(OrderedMutex::new("nexus.inner.authorized", HashSet::new()));
+        let ctx = InnerCtx {
+            net,
+            cfg: cfg.clone(),
+            stats: stats.clone(),
+            authorized: authorized.clone(),
+            shutdown: shutdown.clone(),
+        };
         let t_shutdown = shutdown.clone();
-        let t_cfg = cfg.clone();
         let accept_thread = thread::spawn(move || {
             let listener = listener;
             while !t_shutdown.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
-                        let net = net.clone();
-                        let cfg = t_cfg.clone();
-                        let stats = t_stats.clone();
-                        thread::spawn(move || handle_relay(net, cfg, stats, stream));
+                        let c = ctx.clone();
+                        thread::spawn(move || c.handle(stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(1));
@@ -76,6 +109,7 @@ impl InnerServer {
             cfg,
             stats,
             shutdown,
+            authorized,
             accept_thread: Some(accept_thread),
         })
     }
@@ -94,6 +128,13 @@ impl InnerServer {
         (self.cfg.host.clone(), self.cfg.nxport)
     }
 
+    /// Endpoints currently announced via `BindSync` (sorted).
+    pub fn authorized_endpoints(&self) -> Vec<(String, u16)> {
+        let mut v: Vec<(String, u16)> = self.authorized.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
     }
@@ -108,30 +149,97 @@ impl Drop for InnerServer {
     }
 }
 
-fn handle_relay(net: VNet, cfg: InnerConfig, stats: Arc<ProxyStats>, mut from_outer: TcpStream) {
-    let started = Instant::now();
-    match Msg::read_from(&mut from_outer) {
-        Ok(Msg::RelayReq { host, port }) => match net.dial(&cfg.host, &host, port) {
+/// State shared by handler threads.
+#[derive(Clone)]
+struct InnerCtx {
+    net: VNet,
+    cfg: InnerConfig,
+    stats: Arc<ProxyStats>,
+    authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl InnerCtx {
+    /// First-frame dispatch: `RelayReq` starts a relay, `Ping`/
+    /// `BindSync` starts a control session; anything else is dropped.
+    fn handle(&self, mut from_outer: TcpStream) {
+        match Msg::read_from(&mut from_outer) {
+            Ok(Msg::RelayReq { host, port }) => self.handle_relay(from_outer, host, port),
+            Ok(first @ (Msg::Ping { .. } | Msg::BindSync { .. })) => {
+                self.control_session(from_outer, first);
+            }
+            _ => { /* protocol error: drop */ }
+        }
+    }
+
+    fn handle_relay(&self, mut from_outer: TcpStream, host: String, port: u16) {
+        let started = Instant::now();
+        if self.cfg.require_registration && !self.authorized.lock().contains(&(host.clone(), port))
+        {
+            self.stats.relays_unauthorized.inc();
+            self.stats.relays_failed.inc();
+            self.stats
+                .relay_bridge_ns
+                .record(started.elapsed().as_nanos() as u64);
+            let _ = Msg::RelayRep { ok: false }.write_to(&mut from_outer);
+            return;
+        }
+        match self.net.dial(&self.cfg.host, &host, port) {
             Ok(client) => {
                 if (Msg::RelayRep { ok: true })
                     .write_to(&mut from_outer)
                     .is_ok()
                 {
-                    stats.relays_ok.inc();
-                    stats
+                    self.stats.relays_ok.inc();
+                    self.stats
                         .relay_bridge_ns
                         .record(started.elapsed().as_nanos() as u64);
-                    pump_detached(from_outer, client, cfg.chunk, stats);
+                    pump_detached(from_outer, client, self.cfg.chunk, self.stats.clone());
                 }
             }
             Err(_) => {
-                stats.relays_failed.inc();
-                stats
+                self.stats.relays_failed.inc();
+                self.stats
                     .relay_bridge_ns
                     .record(started.elapsed().as_nanos() as u64);
                 let _ = Msg::RelayRep { ok: false }.write_to(&mut from_outer);
             }
-        },
-        _ => { /* protocol error: drop */ }
+        }
+    }
+
+    /// Serve one outer-server control session until it closes or goes
+    /// silent past the control timeout. The authorized set survives
+    /// session death: a reconnecting outer server re-syncs it anyway,
+    /// and in the interim known-good binds keep relaying.
+    fn control_session(&self, mut s: TcpStream, first: Msg) {
+        if s.set_read_timeout(Some(self.cfg.control_timeout)).is_err() {
+            return;
+        }
+        let mut msg = first;
+        loop {
+            // A shut-down server must stop answering pings, or the
+            // outer server would believe a dead peer alive forever.
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match msg {
+                Msg::Ping { seq } => {
+                    self.stats.hb_pings.inc();
+                    if (Msg::Pong { seq }).write_to(&mut s).is_err() {
+                        return;
+                    }
+                    self.stats.hb_pongs.inc();
+                }
+                Msg::BindSync { binds } => {
+                    *self.authorized.lock() = binds.into_iter().collect();
+                    self.stats.bind_syncs.inc();
+                }
+                _ => return, // unexpected frame on a control session
+            }
+            msg = match Msg::read_from(&mut s) {
+                Ok(m) => m,
+                Err(_) => return, // EOF, timeout or protocol error
+            };
+        }
     }
 }

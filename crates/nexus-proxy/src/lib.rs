@@ -26,6 +26,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod client;
 pub mod inner;
+pub mod liveness;
 pub mod outer;
 pub mod protocol;
 pub mod pump;
@@ -34,6 +35,11 @@ pub mod stats;
 
 pub use client::{nx_proxy_bind, nx_proxy_connect, NxListener, ProxyEnv};
 pub use inner::{InnerConfig, InnerServer};
+pub use liveness::{
+    AdmissionGate, AdmissionLimits, AdmissionReject, BreakerConfig, BreakerState, CircuitBreaker,
+    HeartbeatConfig, HeartbeatMonitor, SharedBreaker,
+};
 pub use outer::{OuterConfig, OuterServer};
 pub use protocol::Msg;
+pub use pump::RelayActivity;
 pub use stats::{ProxySnapshot, ProxyStats};

@@ -1,0 +1,526 @@
+//! Liveness, admission control and graceful degradation primitives.
+//!
+//! The relay is a long-lived user-level daemon that every WAN flow
+//! funnels through; in production terms it must survive peer death,
+//! half-open TCP connections and overload. This module holds the
+//! *pure* state machines behind that survival story:
+//!
+//! * [`HeartbeatMonitor`] — dead-peer detection on the outer↔inner
+//!   control channel (Ping/Pong frames, `protocol::Msg::Ping`);
+//! * [`CircuitBreaker`] — WAN-leg dial protection: open after N
+//!   consecutive failures, half-open probe after a cooldown, close on
+//!   success;
+//! * [`AdmissionGate`] — bounded admission: max total and per-peer
+//!   relays, refusing with a typed `Busy` instead of silently
+//!   accepting work the server cannot finish.
+//!
+//! Every machine is parameterized by a caller-supplied clock (`u64`
+//! nanoseconds), so the real path drives them from `Instant` and the
+//! simulator drives them from virtual time — the *same* transitions
+//! are exercised deterministically by `tests/liveness.rs`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use wacs_sync::OrderedMutex;
+
+/// Heartbeat tuning for the outer↔inner control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often the outer server pings the inner server.
+    pub interval: Duration,
+    /// Silence longer than this declares the peer dead.
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(250),
+            timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Tracks liveness of one peer from observed traffic timestamps.
+///
+/// The owner feeds it `observe(now)` whenever proof of life arrives
+/// (a Pong, or any frame) and polls `expired(now)` from its ping
+/// timer; `next_seq()` numbers outgoing pings so stale pongs can be
+/// told apart in traces.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    cfg: HeartbeatConfig,
+    last_seen: u64,
+    seq: u32,
+}
+
+impl HeartbeatMonitor {
+    pub fn new(cfg: HeartbeatConfig, now: u64) -> Self {
+        HeartbeatMonitor {
+            cfg,
+            last_seen: now,
+            seq: 0,
+        }
+    }
+
+    pub fn config(&self) -> HeartbeatConfig {
+        self.cfg
+    }
+
+    /// Record proof of life at `now`.
+    pub fn observe(&mut self, now: u64) {
+        self.last_seen = self.last_seen.max(now);
+    }
+
+    /// Has the peer been silent longer than the timeout?
+    pub fn expired(&self, now: u64) -> bool {
+        now.saturating_sub(self.last_seen) > self.cfg.timeout.as_nanos() as u64
+    }
+
+    /// Sequence number for the next outgoing ping.
+    pub fn next_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+}
+
+/// Circuit-breaker states, exported so observers can mirror them into
+/// a gauge (`0` closed, `1` open, `2` half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Dials flow freely; consecutive failures are counted.
+    Closed,
+    /// Dials are refused locally until the cooldown elapses.
+    Open,
+    /// One probe dial is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding (0 closed / 1 open / 2 half-open).
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// How long an open breaker refuses dials before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A WAN-leg circuit breaker (pure; see [`SharedBreaker`] for the
+/// thread-shared real-path wrapper).
+///
+/// Transitions: `Closed --N failures--> Open --cooldown--> HalfOpen`;
+/// a half-open probe success closes the breaker, a failure re-opens
+/// it (restarting the cooldown).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a dial proceed at `now`? An open breaker whose cooldown has
+    /// elapsed transitions to half-open and admits exactly one probe.
+    pub fn allow(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.saturating_sub(self.opened_at) >= self.cfg.cooldown.as_nanos() as u64 {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // The probe is already in flight; hold further dials.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// A dial succeeded: close the breaker and reset the failure run.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// A dial failed at `now`. Returns `true` if this failure tripped
+    /// (or re-tripped) the breaker open.
+    pub fn on_failure(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed probe: back to open, cooldown restarts.
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+/// Admission refusal, distinguishing the two bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionReject {
+    /// The server-wide concurrent-relay cap is reached.
+    Total { limit: u32 },
+    /// This peer's concurrent-relay cap is reached.
+    PerPeer { peer: String, limit: u32 },
+}
+
+impl std::fmt::Display for AdmissionReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionReject::Total { limit } => {
+                write!(f, "relay busy: server-wide limit {limit} reached")
+            }
+            AdmissionReject::PerPeer { peer, limit } => {
+                write!(f, "relay busy: per-peer limit {limit} reached for {peer}")
+            }
+        }
+    }
+}
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Maximum concurrent relays server-wide.
+    pub max_total: u32,
+    /// Maximum concurrent relays per peer key.
+    pub max_per_peer: u32,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        AdmissionLimits {
+            max_total: 256,
+            max_per_peer: 64,
+        }
+    }
+}
+
+/// Bounded admission: a counting gate over (total, per-peer) relays.
+/// Pure bookkeeping — the owner wraps it in a lock and must pair every
+/// successful `try_admit` with exactly one `release`.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    limits: AdmissionLimits,
+    total: u32,
+    per_peer: HashMap<String, u32>,
+}
+
+impl AdmissionGate {
+    pub fn new(limits: AdmissionLimits) -> Self {
+        AdmissionGate {
+            limits,
+            total: 0,
+            per_peer: HashMap::new(),
+        }
+    }
+
+    pub fn active(&self) -> u32 {
+        self.total
+    }
+
+    /// Admit one relay for `peer`, or refuse with the bound that hit.
+    pub fn try_admit(&mut self, peer: &str) -> Result<(), AdmissionReject> {
+        if self.total >= self.limits.max_total {
+            return Err(AdmissionReject::Total {
+                limit: self.limits.max_total,
+            });
+        }
+        let n = self.per_peer.get(peer).copied().unwrap_or(0);
+        if n >= self.limits.max_per_peer {
+            return Err(AdmissionReject::PerPeer {
+                peer: peer.to_string(),
+                limit: self.limits.max_per_peer,
+            });
+        }
+        self.total += 1;
+        self.per_peer.insert(peer.to_string(), n + 1);
+        Ok(())
+    }
+
+    /// Release one previously admitted relay for `peer`.
+    pub fn release(&mut self, peer: &str) {
+        self.total = self.total.saturating_sub(1);
+        match self.per_peer.get_mut(peer) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.per_peer.remove(peer);
+            }
+            None => {}
+        }
+    }
+}
+
+/// Thread-shared wall-clock wrapper over [`CircuitBreaker`] for the
+/// real-socket path, mirroring transitions into `wacs-obs`:
+/// `<prefix>.breaker_state` gauge (0/1/2), `<prefix>.breaker_opens`
+/// and `<prefix>.breaker_closes` counters.
+#[derive(Clone)]
+pub struct SharedBreaker {
+    inner: std::sync::Arc<OrderedMutex<CircuitBreaker>>,
+    epoch: Instant,
+    obs: Option<BreakerObs>,
+}
+
+impl std::fmt::Debug for SharedBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBreaker")
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+#[derive(Clone)]
+struct BreakerObs {
+    state: wacs_obs::Gauge,
+    opens: wacs_obs::Counter,
+    closes: wacs_obs::Counter,
+}
+
+impl SharedBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        SharedBreaker {
+            inner: std::sync::Arc::new(OrderedMutex::new(
+                "nexus.liveness.breaker",
+                CircuitBreaker::new(cfg),
+            )),
+            epoch: Instant::now(),
+            obs: None,
+        }
+    }
+
+    /// Mirror state transitions under `<prefix>.*` in `registry`.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &wacs_obs::Registry, prefix: &str) -> Self {
+        self.obs = Some(BreakerObs {
+            state: registry.gauge(&format!("{prefix}.breaker_state")),
+            opens: registry.counter(&format!("{prefix}.breaker_opens")),
+            closes: registry.counter(&format!("{prefix}.breaker_closes")),
+        });
+        self
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn mirror(&self, state: BreakerState) {
+        if let Some(o) = &self.obs {
+            o.state.set(state.as_gauge());
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state()
+    }
+
+    pub fn allow(&self) -> bool {
+        let now = self.now();
+        let mut b = self.inner.lock();
+        let ok = b.allow(now);
+        let st = b.state();
+        drop(b);
+        self.mirror(st);
+        ok
+    }
+
+    pub fn on_success(&self) {
+        let mut b = self.inner.lock();
+        let was_closed = b.state() == BreakerState::Closed;
+        b.on_success();
+        drop(b);
+        self.mirror(BreakerState::Closed);
+        if !was_closed {
+            if let Some(o) = &self.obs {
+                o.closes.inc();
+            }
+        }
+    }
+
+    pub fn on_failure(&self) {
+        let now = self.now();
+        let mut b = self.inner.lock();
+        let tripped = b.on_failure(now);
+        let st = b.state();
+        drop(b);
+        self.mirror(st);
+        if tripped {
+            if let Some(o) = &self.obs {
+                o.opens.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let mut b = breaker(3, 100);
+        assert!(b.allow(0));
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(MS));
+        assert!(b.on_failure(2 * MS), "third failure must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Refused during cooldown.
+        assert!(!b.allow(50 * MS));
+        // Cooldown elapsed: exactly one probe.
+        assert!(b.allow(103 * MS));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(104 * MS), "only one probe at a time");
+        // Probe success closes.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(105 * MS));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = breaker(1, 100);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(101 * MS)); // half-open probe
+        assert!(b.on_failure(101 * MS)); // probe fails: re-open
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(150 * MS), "cooldown restarted at 101ms");
+        assert!(b.allow(202 * MS));
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = breaker(3, 100);
+        b.on_failure(0);
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed, "run was reset");
+    }
+
+    #[test]
+    fn heartbeat_expiry_tracks_last_observation() {
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            timeout: Duration::from_millis(30),
+        };
+        let mut m = HeartbeatMonitor::new(cfg, 0);
+        assert!(!m.expired(30 * MS));
+        assert!(m.expired(31 * MS));
+        m.observe(25 * MS);
+        assert!(!m.expired(55 * MS));
+        assert!(m.expired(56 * MS));
+        // Observations never move liveness backwards.
+        m.observe(10 * MS);
+        assert!(!m.expired(55 * MS));
+        assert_eq!(m.next_seq(), 1);
+        assert_eq!(m.next_seq(), 2);
+    }
+
+    #[test]
+    fn admission_enforces_both_bounds_and_releases() {
+        let mut g = AdmissionGate::new(AdmissionLimits {
+            max_total: 3,
+            max_per_peer: 2,
+        });
+        assert!(g.try_admit("a").is_ok());
+        assert!(g.try_admit("a").is_ok());
+        assert_eq!(
+            g.try_admit("a"),
+            Err(AdmissionReject::PerPeer {
+                peer: "a".into(),
+                limit: 2
+            })
+        );
+        assert!(g.try_admit("b").is_ok());
+        assert_eq!(g.try_admit("c"), Err(AdmissionReject::Total { limit: 3 }));
+        assert_eq!(g.active(), 3);
+        g.release("a");
+        assert!(g.try_admit("c").is_ok());
+        g.release("c");
+        g.release("b");
+        g.release("a");
+        assert_eq!(g.active(), 0);
+        // Releasing an unknown peer is a no-op, not an underflow.
+        g.release("ghost");
+        assert_eq!(g.active(), 0);
+    }
+
+    #[test]
+    fn shared_breaker_mirrors_obs() {
+        let reg = wacs_obs::Registry::new();
+        let b = SharedBreaker::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_millis(1),
+        })
+        .with_obs(&reg, "proxy.outer");
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("proxy.outer.breaker_opens"), Some(&1));
+        assert_eq!(snap.gauges.get("proxy.outer.breaker_state"), Some(&1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.allow()); // half-open probe
+        b.on_success();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("proxy.outer.breaker_closes"), Some(&1));
+        assert_eq!(snap.gauges.get("proxy.outer.breaker_state"), Some(&0));
+    }
+}

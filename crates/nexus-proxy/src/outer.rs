@@ -8,15 +8,26 @@
 //!   outer server allocates a *rendezvous* port, and every peer that
 //!   connects to it is bridged to the client through the inner server
 //!   (reached via the single `nxport` firewall hole).
+//!
+//! Liveness layer (DESIGN.md §6b): every relay is tracked in a
+//! connection table so half-open pairs can be idle-reaped and shutdown
+//! can drain; admission is bounded (total and per-peer) with a typed
+//! [`Msg::Busy`] refusal; and when heartbeats are enabled the outer
+//! server keeps a control session to the inner server — Ping/Pong for
+//! dead-peer detection, `BindSync` so a restarted inner server learns
+//! the live bind registrations again.
 
+use crate::liveness::{
+    AdmissionGate, AdmissionLimits, BreakerConfig, HeartbeatConfig, SharedBreaker,
+};
 use crate::protocol::Msg;
-use crate::pump::{pump_detached, DEFAULT_CHUNK};
+use crate::pump::{pump_tracked, RelayActivity, DEFAULT_CHUNK};
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
 use std::collections::HashMap;
 use std::io;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -36,6 +47,17 @@ pub struct OuterConfig {
     pub inner: Option<(String, u16)>,
     /// Relay buffer size.
     pub chunk: usize,
+    /// Admission bounds for concurrent relays.
+    pub limits: AdmissionLimits,
+    /// A tracked relay with no traffic in either direction for longer
+    /// than this is considered half-open and reaped.
+    pub idle_timeout: Duration,
+    /// Enable the outer→inner heartbeat control session. `None` (the
+    /// default) keeps the pre-liveness behaviour: no session, no
+    /// dead-peer detection, no bind re-sync.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// WAN-leg circuit breaker tuning (inner-server dials).
+    pub breaker: BreakerConfig,
 }
 
 impl OuterConfig {
@@ -45,6 +67,10 @@ impl OuterConfig {
             ctrl_port: firewall::OUTER_PORT,
             inner: None,
             chunk: DEFAULT_CHUNK,
+            limits: AdmissionLimits::default(),
+            idle_timeout: Duration::from_secs(30),
+            heartbeat: None,
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -52,7 +78,39 @@ impl OuterConfig {
         self.inner = Some((host.into(), nxport));
         self
     }
+
+    pub fn with_limits(mut self, limits: AdmissionLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    pub fn with_idle_timeout(mut self, t: Duration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+
+    pub fn with_heartbeat(mut self, hb: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(hb);
+        self
+    }
+
+    pub fn with_breaker(mut self, b: BreakerConfig) -> Self {
+        self.breaker = b;
+        self
+    }
 }
+
+/// One tracked relay pair. The streams are clones of the pump's, held
+/// so the idle-reaper and drain can reset a half-open pair from
+/// outside the (possibly blocked) pump threads.
+struct RelayEntry {
+    a: TcpStream,
+    b: TcpStream,
+    activity: RelayActivity,
+    reaped: bool,
+}
+
+type RelayTable = Arc<OrderedMutex<HashMap<u64, RelayEntry>>>;
 
 /// A running outer server. Dropping the handle shuts it down.
 pub struct OuterServer {
@@ -61,7 +119,9 @@ pub struct OuterServer {
     shutdown: Arc<AtomicBool>,
     /// Rendezvous registry: rdv port → client private endpoint.
     rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    relays: RelayTable,
+    breaker: SharedBreaker,
+    threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl OuterServer {
@@ -72,6 +132,8 @@ impl OuterServer {
         let stats = Arc::new(ProxyStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let rdv = Arc::new(OrderedMutex::new("nexus.outer.rdv", HashMap::new()));
+        let relays: RelayTable = Arc::new(OrderedMutex::new("nexus.outer.relays", HashMap::new()));
+        let breaker = SharedBreaker::new(cfg.breaker).with_obs(stats.registry(), "proxy");
 
         let ctx = ServerCtx {
             net,
@@ -79,16 +141,30 @@ impl OuterServer {
             stats: stats.clone(),
             shutdown: shutdown.clone(),
             rdv: rdv.clone(),
+            // Generation counter, not a metric: heartbeat thread
+            // compares it against the last synced value.
+            rdv_gen: Arc::new(AtomicU64::new(1)), // lint:allow(bare-atomic-counter)
+            relays: relays.clone(),
+            admission: Arc::new(OrderedMutex::new(
+                "nexus.outer.admission",
+                AdmissionGate::new(cfg.limits),
+            )),
+            // Relay-table key allocator. // lint:allow(bare-atomic-counter)
+            relay_seq: Arc::new(AtomicU64::new(0)),
+            breaker: breaker.clone(),
         };
-        let accept_thread = thread::spawn(move || {
+        let mut threads = Vec::new();
+
+        let accept_ctx = ctx.clone();
+        threads.push(thread::spawn(move || {
             // Keep the listener alive for the server's lifetime.
             let listener = listener;
-            while !ctx.shutdown.load(Ordering::Relaxed) {
+            while !accept_ctx.shutdown.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
-                        ctx.stats.control_accepts.inc();
-                        let c = ctx.clone();
+                        accept_ctx.stats.control_accepts.inc();
+                        let c = accept_ctx.clone();
                         thread::spawn(move || c.handle_control(stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -97,14 +173,24 @@ impl OuterServer {
                     Err(_) => break,
                 }
             }
-        });
+        }));
+
+        let reap_ctx = ctx.clone();
+        threads.push(thread::spawn(move || reap_ctx.reaper_loop()));
+
+        if ctx.cfg.heartbeat.is_some() && ctx.cfg.inner.is_some() {
+            let hb_ctx = ctx.clone();
+            threads.push(thread::spawn(move || hb_ctx.heartbeat_loop()));
+        }
 
         Ok(OuterServer {
             cfg,
             stats,
             shutdown,
             rdv,
-            accept_thread: Some(accept_thread),
+            relays,
+            breaker,
+            threads,
         })
     }
 
@@ -129,15 +215,43 @@ impl OuterServer {
         v
     }
 
+    /// Live entries in the relay connection table.
+    pub fn active_relays(&self) -> usize {
+        self.relays.lock().len()
+    }
+
+    /// The WAN-leg circuit breaker (shared: clients may reuse it for
+    /// their own outer-server dials).
+    pub fn breaker(&self) -> SharedBreaker {
+        self.breaker.clone()
+    }
+
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Graceful shutdown: stop accepting new work, then wait up to
+    /// `timeout` for in-flight pumps to finish. Returns `true` when the
+    /// relay table drained completely.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.shutdown();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.relays.lock().is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
     }
 }
 
 impl Drop for OuterServer {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -151,6 +265,13 @@ struct ServerCtx {
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
     rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
+    /// Bumped on every rdv insert/remove; the heartbeat thread re-syncs
+    /// the bind table when it trails this generation.
+    rdv_gen: Arc<AtomicU64>, // lint:allow(bare-atomic-counter)
+    relays: RelayTable,
+    admission: Arc<OrderedMutex<AdmissionGate>>,
+    relay_seq: Arc<AtomicU64>, // lint:allow(bare-atomic-counter)
+    breaker: SharedBreaker,
 }
 
 impl ServerCtx {
@@ -170,6 +291,17 @@ impl ServerCtx {
     /// Fig. 3: dial the target on the client's behalf and bridge.
     fn handle_connect(&self, mut client: TcpStream, host: String, port: u16) {
         let started = Instant::now();
+        // Admission first: refuse typed rather than accept work the
+        // server cannot finish. Peer key = requested destination host
+        // (the accept side only exposes a loopback address).
+        if self.admission.lock().try_admit(&host).is_err() {
+            self.stats.busy_rejected.inc();
+            self.stats
+                .connect_req_ns
+                .record(started.elapsed().as_nanos() as u64);
+            let _ = Msg::Busy.write_to(&mut client);
+            return;
+        }
         match self.net.dial(&self.cfg.host, &host, port) {
             Ok(target) => {
                 if (Msg::ConnectRep {
@@ -183,8 +315,10 @@ impl ServerCtx {
                     self.stats
                         .connect_req_ns
                         .record(started.elapsed().as_nanos() as u64);
-                    pump_detached(client, target, self.cfg.chunk, self.stats.clone());
+                    self.spawn_tracked_pump(host, client, target);
+                    return;
                 }
+                self.admission.lock().release(&host);
             }
             Err(e) => {
                 self.stats.connects_failed.inc();
@@ -196,7 +330,145 @@ impl ServerCtx {
                     detail: e.to_string(),
                 }
                 .write_to(&mut client);
+                self.admission.lock().release(&host);
             }
+        }
+    }
+
+    /// Register the pair in the relay table and pump it on a background
+    /// thread. On pump exit the entry is GC'd and the admission slot
+    /// released — half-open pairs the reaper resets exit the same way.
+    fn spawn_tracked_pump(&self, peer: String, a: TcpStream, b: TcpStream) {
+        let id = self.relay_seq.fetch_add(1, Ordering::Relaxed);
+        let activity = RelayActivity::new();
+        activity.touch();
+        if let (Ok(ca), Ok(cb)) = (a.try_clone(), b.try_clone()) {
+            self.relays.lock().insert(
+                id,
+                RelayEntry {
+                    a: ca,
+                    b: cb,
+                    activity: activity.clone(),
+                    reaped: false,
+                },
+            );
+            self.stats.active_relays.add(1);
+        }
+        let ctx = self.clone();
+        thread::spawn(move || {
+            pump_tracked(a, b, ctx.cfg.chunk, ctx.stats.clone(), Some(activity));
+            if ctx.relays.lock().remove(&id).is_some() {
+                ctx.stats.active_relays.add(-1);
+            }
+            ctx.admission.lock().release(&peer);
+        });
+    }
+
+    /// Sweep the relay table, resetting pairs idle past the timeout.
+    /// The pump threads then unblock and GC their own entries.
+    fn reaper_loop(&self) {
+        let tick = (self.cfg.idle_timeout / 4)
+            .min(Duration::from_millis(25))
+            .max(Duration::from_millis(1));
+        while !self.shutdown.load(Ordering::Relaxed) {
+            thread::sleep(tick);
+            let mut table = self.relays.lock();
+            for entry in table.values_mut() {
+                if !entry.reaped && entry.activity.idle_for() > self.cfg.idle_timeout {
+                    entry.reaped = true;
+                    let _ = entry.a.shutdown(Shutdown::Both);
+                    let _ = entry.b.shutdown(Shutdown::Both);
+                    self.stats.idle_reaped.inc();
+                }
+            }
+        }
+    }
+
+    /// Push the current bind table to the inner server. Returns the rdv
+    /// generation the snapshot was taken at (reads the generation
+    /// *before* the table, so concurrent changes trigger a re-sync).
+    fn sync_binds(&self, s: &mut TcpStream) -> io::Result<u64> {
+        let gen = self.rdv_gen.load(Ordering::Relaxed);
+        let mut binds: Vec<(String, u16)> = self.rdv.lock().values().cloned().collect();
+        binds.sort();
+        Msg::BindSync { binds }.write_to(s)?;
+        self.stats.bind_syncs.inc();
+        Ok(gen)
+    }
+
+    /// Keep a control session to the inner server: Ping/Pong liveness,
+    /// BindSync on (re)connect and on bind-table changes. A silent or
+    /// dead inner server breaks the session; each re-established
+    /// session counts as a reconnect and immediately re-registers all
+    /// live binds — the recovery path the kill-the-inner test drives.
+    fn heartbeat_loop(&self) {
+        let Some(hb) = self.cfg.heartbeat else { return };
+        let Some((inner_host, nxport)) = self.cfg.inner.clone() else {
+            return;
+        };
+        let mut ever_alive = false;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            if !self.breaker.allow() {
+                thread::sleep(hb.interval);
+                continue;
+            }
+            let dialed = self
+                .net
+                .dial(&self.cfg.host, &inner_host, nxport)
+                .and_then(|s| {
+                    s.set_read_timeout(Some(hb.timeout))?;
+                    Ok(s)
+                });
+            let mut s = match dialed {
+                Ok(s) => {
+                    self.breaker.on_success();
+                    s
+                }
+                Err(_) => {
+                    self.breaker.on_failure();
+                    thread::sleep(hb.interval);
+                    continue;
+                }
+            };
+            self.stats.inner_alive.set(1);
+            if ever_alive {
+                self.stats.inner_reconnects.inc();
+            }
+            ever_alive = true;
+
+            // Full bind-table push on every (re)connect, then ping at
+            // the configured interval, re-syncing whenever the table
+            // generation moved.
+            let mut synced_gen = self.sync_binds(&mut s).unwrap_or_default();
+            let mut seq: u32 = 0;
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    let _ = s.shutdown(Shutdown::Both);
+                    self.stats.inner_alive.set(0);
+                    return;
+                }
+                let gen = self.rdv_gen.load(Ordering::Relaxed);
+                if gen != synced_gen {
+                    match self.sync_binds(&mut s) {
+                        Ok(g) => synced_gen = g,
+                        Err(_) => break,
+                    }
+                }
+                seq = seq.wrapping_add(1);
+                if (Msg::Ping { seq }).write_to(&mut s).is_err() {
+                    break;
+                }
+                self.stats.hb_pings.inc();
+                match Msg::read_from(&mut s) {
+                    Ok(Msg::Pong { .. }) => self.stats.hb_pongs.inc(),
+                    // Timeout, EOF or garbage: the peer is dead.
+                    _ => break,
+                }
+                thread::sleep(hb.interval);
+            }
+            // Session broke while the peer was considered alive.
+            self.stats.inner_alive.set(0);
+            self.stats.inner_deaths.inc();
         }
     }
 
@@ -222,9 +494,11 @@ impl ServerCtx {
         self.rdv
             .lock()
             .insert(rdv_port, (client_host.clone(), client_port));
+        self.rdv_gen.fetch_add(1, Ordering::Relaxed);
         self.stats.binds.inc();
         if (Msg::BindRep { rdv_port }).write_to(&mut ctrl).is_err() {
             self.rdv.lock().remove(&rdv_port);
+            self.rdv_gen.fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.stats
@@ -269,6 +543,7 @@ impl ServerCtx {
             // failing.
             drop(listener);
             ctx.rdv.lock().remove(&rdv_port);
+            ctx.rdv_gen.fetch_add(1, Ordering::Relaxed);
         });
     }
 
@@ -276,28 +551,50 @@ impl ServerCtx {
     /// inner server (or directly when no inner server is configured).
     fn bridge_peer(&self, peer: TcpStream, client_host: &str, client_port: u16) {
         let started = Instant::now();
+        // Admission keyed by the registered client: one overloaded
+        // bound endpoint cannot starve the rest of the table.
+        if self.admission.lock().try_admit(client_host).is_err() {
+            self.stats.busy_rejected.inc();
+            // `peer` is a raw data stream (it never spoke the control
+            // protocol), so the refusal is a reset, not a Busy frame.
+            return;
+        }
         let inward = match &self.cfg.inner {
-            Some((inner_host, nxport)) => self
-                .net
-                .dial(&self.cfg.host, inner_host, *nxport)
-                .and_then(|mut inner| {
-                    Msg::RelayReq {
-                        host: client_host.to_string(),
-                        port: client_port,
+            Some((inner_host, nxport)) => {
+                if self.breaker.allow() {
+                    // The breaker watches the WAN dial leg only: an
+                    // established TCP connection proves the inner
+                    // server answers, whatever it then replies.
+                    let dialed = self.net.dial(&self.cfg.host, inner_host, *nxport);
+                    match &dialed {
+                        Ok(_) => self.breaker.on_success(),
+                        Err(_) => self.breaker.on_failure(),
                     }
-                    .write_to(&mut inner)?;
-                    match Msg::read_from(&mut inner)? {
-                        Msg::RelayRep { ok: true } => Ok(inner),
-                        Msg::RelayRep { ok: false } => Err(io::Error::new(
-                            io::ErrorKind::ConnectionRefused,
-                            "inner server could not reach client",
-                        )),
-                        _ => Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "unexpected inner reply",
-                        )),
-                    }
-                }),
+                    dialed.and_then(|mut inner| {
+                        Msg::RelayReq {
+                            host: client_host.to_string(),
+                            port: client_port,
+                        }
+                        .write_to(&mut inner)?;
+                        match Msg::read_from(&mut inner)? {
+                            Msg::RelayRep { ok: true } => Ok(inner),
+                            Msg::RelayRep { ok: false } => Err(io::Error::new(
+                                io::ErrorKind::ConnectionRefused,
+                                "inner server could not reach client",
+                            )),
+                            _ => Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "unexpected inner reply",
+                            )),
+                        }
+                    })
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        "circuit breaker open: inner server dials suspended",
+                    ))
+                }
+            }
             None => self.net.dial(&self.cfg.host, client_host, client_port),
         };
         self.stats
@@ -306,10 +603,11 @@ impl ServerCtx {
         match inward {
             Ok(inward) => {
                 self.stats.relays_ok.inc();
-                pump_detached(peer, inward, self.cfg.chunk, self.stats.clone());
+                self.spawn_tracked_pump(client_host.to_string(), peer, inward);
             }
             Err(_) => {
                 self.stats.relays_failed.inc();
+                self.admission.lock().release(client_host);
                 // Dropping `peer` resets the rendezvous connection.
             }
         }

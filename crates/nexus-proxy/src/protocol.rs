@@ -19,13 +19,33 @@
 //! * `BindReq`/`BindRep` — passive registration (`NXProxyBind`, Fig. 4
 //!   steps 1-2);
 //! * `RelayReq`/`RelayRep` — outer→inner completion of a passive open
-//!   (Fig. 4 step 4).
+//!   (Fig. 4 step 4);
+//! * `Ping`/`Pong` — keepalive on the persistent outer→inner control
+//!   session (dead-peer detection, PR 5);
+//! * `Busy` — typed admission-control refusal (instead of silently
+//!   accepting work the relay cannot finish);
+//! * `BindSync` — the outer server mirrors its live bind registrations
+//!   to the inner server, so a restarted inner server learns them
+//!   again and can refuse relay requests for unregistered endpoints.
 
 use std::io::{self, Read, Write};
 
 /// Upper bound on a control frame; anything larger is a protocol error
 /// (relay *data* is never framed, so this only bounds control traffic).
 pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// Reject a declared length before any allocation sized by it. A
+/// malformed or adversarial peer controls the length prefix; capping
+/// here means the decoder's allocations are bounded by [`MAX_FRAME`]
+/// no matter what arrives on the wire.
+fn check_frame_len(len: u32) -> io::Result<()> {
+    if len == 0 || len > MAX_FRAME {
+        return Err(bad(&format!(
+            "bad frame length {len} (cap {MAX_FRAME} bytes)"
+        )));
+    }
+    Ok(())
+}
 
 /// A control message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +64,18 @@ pub enum Msg {
     RelayReq { host: String, port: u16 },
     /// Inner → outer: dial outcome. On `ok`, the stream is now a pipe.
     RelayRep { ok: bool },
+    /// Keepalive probe on the outer→inner control session.
+    Ping { seq: u32 },
+    /// Keepalive reply, echoing the probe's sequence number.
+    Pong { seq: u32 },
+    /// Typed admission refusal: the server is at capacity; retry
+    /// later. Sent instead of a `ConnectRep`/`BindRep`.
+    Busy,
+    /// Outer → inner: the complete set of live bind registrations
+    /// (client private endpoints). Replaces the inner server's
+    /// authorization table; re-sent after every reconnect so a
+    /// restarted inner server re-learns the live binds.
+    BindSync { binds: Vec<(String, u16)> },
 }
 
 const T_CONNECT_REQ: u8 = 1;
@@ -52,6 +84,10 @@ const T_BIND_REQ: u8 = 3;
 const T_BIND_REP: u8 = 4;
 const T_RELAY_REQ: u8 = 5;
 const T_RELAY_REP: u8 = 6;
+const T_PING: u8 = 7;
+const T_PONG: u8 = 8;
+const T_BUSY: u8 = 9;
+const T_BIND_SYNC: u8 = 10;
 
 /// Encoding failure: a message field cannot be represented on the wire.
 ///
@@ -94,6 +130,10 @@ fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
 fn put_str(buf: &mut Vec<u8>, field: &'static str, s: &str) -> Result<(), EncodeError> {
     let len = s.len();
     let wire_len = u16::try_from(len).map_err(|_| EncodeError::StringTooLong { field, len })?;
@@ -125,6 +165,11 @@ impl<'a> Cursor<'a> {
     fn get_u16(&mut self) -> io::Result<u16> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn get_str(&mut self) -> io::Result<String> {
@@ -173,6 +218,29 @@ impl Msg {
             Msg::RelayRep { ok } => {
                 body.push(T_RELAY_REP);
                 body.push(u8::from(*ok));
+            }
+            Msg::Ping { seq } => {
+                body.push(T_PING);
+                put_u32(&mut body, *seq);
+            }
+            Msg::Pong { seq } => {
+                body.push(T_PONG);
+                put_u32(&mut body, *seq);
+            }
+            Msg::Busy => {
+                body.push(T_BUSY);
+            }
+            Msg::BindSync { binds } => {
+                body.push(T_BIND_SYNC);
+                let count = u16::try_from(binds.len()).map_err(|_| EncodeError::StringTooLong {
+                    field: "binds",
+                    len: binds.len(),
+                })?;
+                put_u16(&mut body, count);
+                for (host, port) in binds {
+                    put_str(&mut body, "host", host)?;
+                    put_u16(&mut body, *port);
+                }
             }
         }
         let mut framed = Vec::with_capacity(4 + body.len());
@@ -223,6 +291,32 @@ impl Msg {
             T_RELAY_REP => Msg::RelayRep {
                 ok: cur.get_u8()? != 0,
             },
+            T_PING => Msg::Ping {
+                seq: cur.get_u32()?,
+            },
+            T_PONG => Msg::Pong {
+                seq: cur.get_u32()?,
+            },
+            T_BUSY => Msg::Busy,
+            T_BIND_SYNC => {
+                let count = cur.get_u16()? as usize;
+                // Bound the declared count by the bytes actually
+                // present (each entry is ≥ 4 bytes) *before* any
+                // count-sized work — the count is attacker-controlled.
+                if count > cur.rest.len() / 4 {
+                    return Err(bad(&format!(
+                        "bind count {count} exceeds frame ({} bytes left)",
+                        cur.rest.len()
+                    )));
+                }
+                let mut binds = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let host = cur.get_str()?;
+                    let port = cur.get_u16()?;
+                    binds.push((host, port));
+                }
+                Msg::BindSync { binds }
+            }
             other => return Err(bad(&format!("unknown message type {other}"))),
         };
         if !cur.rest.is_empty() {
@@ -241,13 +335,15 @@ impl Msg {
     /// Read one framed message from a stream.
     pub fn read_from(r: &mut impl Read) -> io::Result<Msg> {
         let mut len = [0u8; 4];
-        r.read_exact(&mut len)?;
+        // Generic `Read`; socket callers own the deadline (the servers
+        // set read timeouts on their streams).
+        r.read_exact(&mut len)?; // lint:allow(deadline-io)
         let len = u32::from_be_bytes(len);
-        if len == 0 || len > MAX_FRAME {
-            return Err(bad(&format!("bad frame length {len}")));
-        }
+        // Cap-check the declared length *before* allocating the body
+        // buffer: the prefix is peer-controlled.
+        check_frame_len(len)?;
         let mut body = vec![0u8; len as usize];
-        r.read_exact(&mut body)?;
+        r.read_exact(&mut body)?; // lint:allow(deadline-io)
         Msg::decode(&body)
     }
 }
@@ -381,6 +477,70 @@ mod tests {
             port: 80,
         };
         roundtrip(edge);
+    }
+
+    #[test]
+    fn liveness_messages_roundtrip() {
+        roundtrip(Msg::Ping { seq: 0 });
+        roundtrip(Msg::Ping { seq: u32::MAX });
+        roundtrip(Msg::Pong { seq: 7 });
+        roundtrip(Msg::Busy);
+        roundtrip(Msg::BindSync { binds: vec![] });
+        roundtrip(Msg::BindSync {
+            binds: vec![("rwcp-sun".into(), 40001), ("compas0".into(), 40002)],
+        });
+    }
+
+    /// The declared-length cap is enforced before the body buffer is
+    /// allocated: a 4 GiB length prefix must fail fast with the typed
+    /// decode error, not attempt the allocation (regression for the
+    /// unbounded-allocation class this PR closes).
+    #[test]
+    fn absurd_frame_length_rejected_before_allocation() {
+        /// A reader that panics if anyone tries to read more than the
+        /// 4-byte prefix — proof the cap fires before allocation+read.
+        struct PrefixOnly(Vec<u8>, usize);
+        impl Read for PrefixOnly {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                assert!(
+                    self.1 < 4,
+                    "decoder read past the length prefix of an absurd frame"
+                );
+                let n = buf.len().min(self.0.len() - self.1);
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        for len in [MAX_FRAME + 1, u32::MAX, 1 << 30] {
+            let mut r = PrefixOnly(len.to_be_bytes().to_vec(), 0);
+            let err = Msg::read_from(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("bad frame length"), "{err}");
+        }
+    }
+
+    /// A `BindSync` whose declared entry count exceeds what the frame
+    /// can possibly hold is refused before any count-sized work.
+    #[test]
+    fn bind_sync_count_is_bounded_by_frame() {
+        let mut body = vec![T_BIND_SYNC];
+        body.extend_from_slice(&u16::MAX.to_be_bytes()); // count 65535
+        body.extend_from_slice(&[0, 1, b'x', 0, 80][..]); // one real entry
+        let err = Msg::decode(&body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bind count"), "{err}");
+        // Oversized bind lists are refused at encode time, typed.
+        let binds: Vec<(String, u16)> = (0..usize::from(u16::MAX) + 1)
+            .map(|i| (format!("h{i}"), 1))
+            .collect();
+        assert_eq!(
+            Msg::BindSync { binds }.encode().unwrap_err(),
+            EncodeError::StringTooLong {
+                field: "binds",
+                len: usize::from(u16::MAX) + 1,
+            }
+        );
     }
 
     /// Random bytes never panic the decoder (totality).

@@ -9,13 +9,60 @@
 use crate::stats::ProxyStats;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Default relay buffer (matches `netsim::NetConfig::chunk_bytes`).
 pub const DEFAULT_CHUNK: usize = 8192;
 
-fn copy_dir(mut from: TcpStream, mut to: TcpStream, chunk: usize, stats: Arc<ProxyStats>) {
+/// Last-activity clock of one relay, shared between the pump threads
+/// (writers) and the outer server's idle-reaper (reader). A relay
+/// whose peers both went silent — the half-open TCP case — stops
+/// touching this and becomes reapable.
+#[derive(Clone)]
+pub struct RelayActivity {
+    epoch: Instant,
+    // A timestamp cell, not a metric: it must be read-modify-write
+    // shared across pump threads, which a wacs-obs Counter is not.
+    last: Arc<AtomicU64>, // lint:allow(bare-atomic-counter)
+}
+
+impl Default for RelayActivity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RelayActivity {
+    pub fn new() -> Self {
+        RelayActivity {
+            epoch: Instant::now(),
+            last: Arc::new(AtomicU64::new(0)), // lint:allow(bare-atomic-counter)
+        }
+    }
+
+    /// Record activity now.
+    pub fn touch(&self) {
+        self.last
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// How long since the last recorded activity.
+    pub fn idle_for(&self) -> Duration {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        Duration::from_nanos(now.saturating_sub(self.last.load(Ordering::Relaxed)))
+    }
+}
+
+fn copy_dir(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    chunk: usize,
+    stats: Arc<ProxyStats>,
+    activity: Option<RelayActivity>,
+) {
     let mut buf = vec![0u8; chunk];
     loop {
         match from.read(&mut buf) {
@@ -30,6 +77,9 @@ fn copy_dir(mut from: TcpStream, mut to: TcpStream, chunk: usize, stats: Arc<Pro
                 // Count before writing so observers that already see
                 // the bytes on the far side also see the counter.
                 stats.add_bytes(n as u64);
+                if let Some(a) = &activity {
+                    a.touch();
+                }
                 let seg = std::time::Instant::now();
                 if to.write_all(&buf[..n]).is_err() {
                     break;
@@ -48,19 +98,32 @@ fn copy_dir(mut from: TcpStream, mut to: TcpStream, chunk: usize, stats: Arc<Pro
 /// Bridge `a` and `b` until either side closes. Blocks until both
 /// directions have drained; returns total relayed bytes for this pair.
 pub fn pump(a: TcpStream, b: TcpStream, chunk: usize, stats: Arc<ProxyStats>) -> u64 {
+    pump_tracked(a, b, chunk, stats, None)
+}
+
+/// [`pump`], additionally touching `activity` on every forwarded
+/// segment so an idle-reaper can spot dead pairs.
+pub fn pump_tracked(
+    a: TcpStream,
+    b: TcpStream,
+    chunk: usize,
+    stats: Arc<ProxyStats>,
+    activity: Option<RelayActivity>,
+) -> u64 {
     let before = stats.snapshot().relayed_bytes;
     let (a2, b2) = (a.try_clone(), b.try_clone());
     match (a2, b2) {
         (Ok(a2), Ok(b2)) => {
             let s1 = stats.clone();
-            let t = thread::spawn(move || copy_dir(a2, b2, chunk, s1));
-            copy_dir(b, a, chunk, stats.clone());
+            let act = activity.clone();
+            let t = thread::spawn(move || copy_dir(a2, b2, chunk, s1, act));
+            copy_dir(b, a, chunk, stats.clone(), activity);
             let _ = t.join();
         }
         _ => {
             // Clone failure: fall back to one direction only (rare;
             // keeps the relay from wedging).
-            copy_dir(a, b, chunk, stats.clone());
+            copy_dir(a, b, chunk, stats.clone(), activity);
         }
     }
     stats.snapshot().relayed_bytes - before

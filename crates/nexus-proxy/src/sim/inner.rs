@@ -2,7 +2,7 @@
 
 use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
 use netsim::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use wacs_obs::{Counter, Histogram, Registry};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,6 +11,8 @@ enum Role {
     AwaitRelayReq,
     /// Dialing the client; the map value in `dials` holds the outer leg.
     Relayed,
+    /// Outer-server control session (heartbeats + bind syncs).
+    Control,
 }
 
 /// Registry handles for the inner server's control plane.
@@ -19,6 +21,10 @@ struct InnerObs {
     relay_dial_ns: Histogram,
     relays_ok: Counter,
     relays_failed: Counter,
+    hb_pings: Counter,
+    hb_pongs: Counter,
+    bind_syncs: Counter,
+    relays_unauthorized: Counter,
 }
 
 /// The inner server actor. Spawn it on a host *inside* the firewall;
@@ -31,6 +37,11 @@ pub struct SimInnerServer {
     /// arrival time).
     dials: HashMap<u64, (FlowId, SimTime)>,
     next_token: u64,
+    /// Refuse `RelayReq` for endpoints absent from the synced bind
+    /// table. A restarted inner server starts with an *empty* table:
+    /// it relays nothing until the outer server re-syncs.
+    require_registration: bool,
+    authorized: HashSet<(NodeId, u16)>,
     obs: Option<InnerObs>,
 }
 
@@ -42,24 +53,71 @@ impl SimInnerServer {
             roles: HashMap::new(),
             dials: HashMap::new(),
             next_token: 0,
+            require_registration: false,
+            authorized: HashSet::new(),
             obs: None,
         }
+    }
+
+    /// Only relay endpoints announced via `BindSync` (the sim twin of
+    /// `InnerConfig::with_registration_required`).
+    pub fn with_registration_required(mut self) -> Self {
+        self.require_registration = true;
+        self
     }
 
     /// Record control-plane spans and counters under `proxy.inner.*`
     /// (and the relay data path under the same prefix) in `registry`.
     pub fn with_obs(mut self, registry: &Registry) -> Self {
         self.relay.set_obs(registry, "proxy.inner");
+        let c = |n: &str| registry.counter(&format!("proxy.inner.{n}"));
         self.obs = Some(InnerObs {
             relay_dial_ns: registry.histogram("proxy.inner.relay_dial_ns"),
-            relays_ok: registry.counter("proxy.inner.relays_ok"),
-            relays_failed: registry.counter("proxy.inner.relays_failed"),
+            relays_ok: c("relays_ok"),
+            relays_failed: c("relays_failed"),
+            hb_pings: c("hb_pings"),
+            hb_pongs: c("hb_pongs"),
+            bind_syncs: c("bind_syncs"),
+            relays_unauthorized: c("relays_unauthorized"),
         });
         self
     }
 
     pub fn forwarded(&self) -> u64 {
         self.relay.forwarded
+    }
+
+    /// Endpoints currently announced via `BindSync` (sorted).
+    pub fn authorized_endpoints(&self) -> Vec<(NodeId, u16)> {
+        let mut v: Vec<(NodeId, u16)> = self.authorized.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Handle one frame on an established control session.
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, msg: ProxyMsg) {
+        match msg {
+            ProxyMsg::Ping { seq } => {
+                if let Some(o) = &self.obs {
+                    o.hb_pings.inc();
+                }
+                let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::Pong { seq });
+                if let Some(o) = &self.obs {
+                    o.hb_pongs.inc();
+                }
+            }
+            ProxyMsg::BindSync { binds } => {
+                ctx.trace(|| format!("inner: BindSync with {} endpoints", binds.len()));
+                self.authorized = binds.into_iter().collect();
+                if let Some(o) = &self.obs {
+                    o.bind_syncs.inc();
+                }
+            }
+            other => {
+                ctx.trace(|| format!("inner: unexpected control frame {other:?}"));
+                ctx.close(flow);
+            }
+        }
     }
 }
 
@@ -127,16 +185,35 @@ impl Actor for SimInnerServer {
                     ctx.trace(|| {
                         format!("inner: RelayReq for client {client:?} on flow {}", flow.0)
                     });
+                    if self.require_registration && !self.authorized.contains(&client) {
+                        if let Some(o) = &self.obs {
+                            o.relays_unauthorized.inc();
+                            o.relays_failed.inc();
+                        }
+                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::RelayRep { ok: false });
+                        ctx.close(flow);
+                        return;
+                    }
                     let tok = self.next_token;
                     self.next_token += 1;
                     self.dials.insert(tok, (flow, ctx.now()));
                     ctx.connect(client, tok);
+                }
+                // First frame is Ping/BindSync: an outer-server control
+                // session, not a relay.
+                first @ (ProxyMsg::Ping { .. } | ProxyMsg::BindSync { .. }) => {
+                    self.roles.insert(flow, Role::Control);
+                    self.on_control(ctx, flow, first);
                 }
                 other => {
                     ctx.trace(|| format!("inner: unexpected {other:?}"));
                     ctx.close(flow);
                 }
             },
+            Some(Role::Control) => {
+                let m = msg.expect::<ProxyMsg>();
+                self.on_control(ctx, flow, m);
+            }
             Some(Role::Relayed) => {
                 self.relay
                     .on_data(ctx, flow, msg.size, msg.payload, msg.sent_at);

@@ -24,12 +24,37 @@ use wacs_obs::{Histogram, Registry};
 /// Control messages exchanged with the proxy servers (sim payloads).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProxyMsg {
-    ConnectReq { dst: (NodeId, u16) },
-    ConnectRep { ok: bool },
-    BindReq { client: (NodeId, u16) },
-    BindRep { rdv_port: u16 },
-    RelayReq { client: (NodeId, u16) },
-    RelayRep { ok: bool },
+    ConnectReq {
+        dst: (NodeId, u16),
+    },
+    ConnectRep {
+        ok: bool,
+    },
+    BindReq {
+        client: (NodeId, u16),
+    },
+    BindRep {
+        rdv_port: u16,
+    },
+    RelayReq {
+        client: (NodeId, u16),
+    },
+    RelayRep {
+        ok: bool,
+    },
+    /// Typed admission-control refusal (instead of a silent accept).
+    Busy,
+    /// Outer→inner liveness probe on the control session.
+    Ping {
+        seq: u32,
+    },
+    Pong {
+        seq: u32,
+    },
+    /// Outer→inner: full replacement of the authorized bind table.
+    BindSync {
+        binds: Vec<(NodeId, u16)>,
+    },
 }
 
 /// Declared wire size of a control message (bytes).
@@ -64,6 +89,13 @@ impl RelayModel {
 
 /// Timer token used by the relay queue (relay actors must reserve it).
 pub const RELAY_TIMER: u64 = u64::MAX - 1;
+
+/// Timer token for the outer server's heartbeat tick (reserved).
+pub const HB_TICK: u64 = u64::MAX - 2;
+
+/// Timer token for re-dialing the inner control session after a dead
+/// peer or a refused dial (reserved).
+pub const HB_RETRY: u64 = u64::MAX - 3;
 
 /// Observability handles for one relay actor's data path: the inbound
 /// leg (origin send → relay arrival) and the service gap (arrival →

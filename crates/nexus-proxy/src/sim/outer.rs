@@ -1,9 +1,18 @@
 //! The outer server as a simulation actor.
 
-use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
+use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, HB_RETRY, HB_TICK, RELAY_TIMER};
+use crate::liveness::{
+    AdmissionGate, AdmissionLimits, BreakerConfig, BreakerState, CircuitBreaker, HeartbeatConfig,
+    HeartbeatMonitor,
+};
 use netsim::prelude::*;
 use std::collections::HashMap;
-use wacs_obs::{Counter, Histogram, Registry};
+use std::time::Duration;
+use wacs_obs::{Counter, Gauge, Histogram, Registry};
+
+fn sd(d: Duration) -> SimDuration {
+    SimDuration::from_nanos(d.as_nanos() as u64)
+}
 
 /// Per-flow role tracking on the outer server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +28,8 @@ enum Role {
     AwaitRelayRep { peer: FlowId, started: SimTime },
     /// Fully relayed (either side).
     Relayed,
+    /// The outer→inner heartbeat control session.
+    Heartbeat,
 }
 
 /// What an in-flight `connect` of ours is for. `started` timestamps
@@ -34,6 +45,23 @@ enum Dial {
     },
     /// Direct dial back to a bound client (no inner server configured).
     DirectClient { peer: FlowId, started: SimTime },
+    /// The heartbeat control session toward the inner server.
+    Heartbeat,
+}
+
+/// Heartbeat + breaker state for the outer→inner control session
+/// (mirrors the real path's `ServerCtx::heartbeat_loop`).
+struct Liveness {
+    hb: HeartbeatConfig,
+    breaker: CircuitBreaker,
+    /// For open/close edge detection when mirroring into obs.
+    last_state: BreakerState,
+    /// Live control-session flow, if any.
+    flow: Option<FlowId>,
+    monitor: Option<HeartbeatMonitor>,
+    ever_alive: bool,
+    /// The bind table changed since the last BindSync.
+    rdv_dirty: bool,
 }
 
 /// Registry handles for the outer server's control-plane spans.
@@ -50,6 +78,16 @@ struct OuterObs {
     binds: Counter,
     relays_ok: Counter,
     relays_failed: Counter,
+    busy_rejected: Counter,
+    hb_pings: Counter,
+    hb_pongs: Counter,
+    inner_deaths: Counter,
+    inner_reconnects: Counter,
+    bind_syncs: Counter,
+    breaker_opens: Counter,
+    breaker_closes: Counter,
+    inner_alive: Gauge,
+    breaker_state: Gauge,
 }
 
 /// The outer server actor. Spawn it on a host *outside* the firewall.
@@ -63,6 +101,10 @@ pub struct SimOuterServer {
     rdv: HashMap<u16, (NodeId, u16)>,
     dials: HashMap<u64, Dial>,
     next_token: u64,
+    live: Option<Liveness>,
+    gate: Option<AdmissionGate>,
+    /// Flow → admission key, released exactly once per admitted flow.
+    admitted: HashMap<FlowId, String>,
     obs: Option<OuterObs>,
 }
 
@@ -76,8 +118,34 @@ impl SimOuterServer {
             rdv: HashMap::new(),
             dials: HashMap::new(),
             next_token: 0,
+            live: None,
+            gate: None,
+            admitted: HashMap::new(),
             obs: None,
         }
+    }
+
+    /// Enable the heartbeat control session to the inner server (with
+    /// a WAN-leg circuit breaker guarding the re-dials) — the sim twin
+    /// of `OuterConfig::with_heartbeat`/`with_breaker`.
+    pub fn with_liveness(mut self, hb: HeartbeatConfig, br: BreakerConfig) -> Self {
+        self.live = Some(Liveness {
+            hb,
+            breaker: CircuitBreaker::new(br),
+            last_state: BreakerState::Closed,
+            flow: None,
+            monitor: None,
+            ever_alive: false,
+            rdv_dirty: false,
+        });
+        self
+    }
+
+    /// Bound admission (total + per-peer), refusing with
+    /// [`ProxyMsg::Busy`] on the control port.
+    pub fn with_admission(mut self, limits: AdmissionLimits) -> Self {
+        self.gate = Some(AdmissionGate::new(limits));
+        self
     }
 
     /// Record control-plane spans and counters under `proxy.outer.*`
@@ -85,6 +153,7 @@ impl SimOuterServer {
     pub fn with_obs(mut self, registry: &Registry) -> Self {
         self.relay.set_obs(registry, "proxy.outer");
         let c = |n: &str| registry.counter(&format!("proxy.outer.{n}"));
+        let g = |n: &str| registry.gauge(&format!("proxy.outer.{n}"));
         let h = |n: &str| registry.histogram(&format!("proxy.outer.{n}"));
         self.obs = Some(OuterObs {
             connect_req_ns: h("connect_req_ns"),
@@ -95,6 +164,16 @@ impl SimOuterServer {
             binds: c("binds"),
             relays_ok: c("relays_ok"),
             relays_failed: c("relays_failed"),
+            busy_rejected: c("busy_rejected"),
+            hb_pings: c("hb_pings"),
+            hb_pongs: c("hb_pongs"),
+            inner_deaths: c("inner_deaths"),
+            inner_reconnects: c("inner_reconnects"),
+            bind_syncs: c("bind_syncs"),
+            breaker_opens: c("breaker_opens"),
+            breaker_closes: c("breaker_closes"),
+            inner_alive: g("inner_alive"),
+            breaker_state: g("breaker_state"),
         });
         self
     }
@@ -104,16 +183,158 @@ impl SimOuterServer {
         self.relay.forwarded
     }
 
+    /// Current breaker state (diagnostics; `None` without liveness).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.live.as_ref().map(|l| l.breaker.state())
+    }
+
     fn token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
         t
     }
 
+    /// Push breaker transitions into the obs gauge/counters.
+    fn mirror_breaker(&mut self) {
+        let Some(l) = &mut self.live else { return };
+        let st = l.breaker.state();
+        if st == l.last_state {
+            return;
+        }
+        l.last_state = st;
+        if let Some(o) = &self.obs {
+            o.breaker_state.set(st.as_gauge());
+            match st {
+                BreakerState::Open => o.breaker_opens.inc(),
+                BreakerState::Closed => o.breaker_closes.inc(),
+                BreakerState::HalfOpen => {}
+            }
+        }
+    }
+
+    /// Dial (or schedule a re-dial of) the inner control session.
+    fn dial_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(inner_addr) = self.inner else { return };
+        let now = ctx.now().nanos();
+        let (allowed, retry) = match &mut self.live {
+            Some(l) if l.flow.is_none() => (l.breaker.allow(now), l.hb.interval),
+            _ => return,
+        };
+        self.mirror_breaker();
+        if allowed {
+            let tok = self.token();
+            self.dials.insert(tok, Dial::Heartbeat);
+            ctx.connect(inner_addr, tok);
+        } else {
+            ctx.set_timer(sd(retry), HB_RETRY);
+        }
+    }
+
+    /// Push the full bind table (sorted by rendezvous port, so two
+    /// same-seed runs emit identical frames) to the control session.
+    fn send_bind_sync(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let mut entries: Vec<(u16, (NodeId, u16))> =
+            self.rdv.iter().map(|(p, c)| (*p, *c)).collect();
+        entries.sort_by_key(|(p, _)| *p);
+        let binds: Vec<(NodeId, u16)> = entries.into_iter().map(|(_, c)| c).collect();
+        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindSync { binds });
+        if let Some(o) = &self.obs {
+            o.bind_syncs.inc();
+        }
+        if let Some(l) = &mut self.live {
+            l.rdv_dirty = false;
+        }
+    }
+
+    fn send_ping(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let seq = match &mut self.live {
+            Some(l) => match &mut l.monitor {
+                Some(m) => m.next_seq(),
+                None => 0,
+            },
+            None => 0,
+        };
+        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::Ping { seq });
+        if let Some(o) = &self.obs {
+            o.hb_pings.inc();
+        }
+    }
+
+    /// The control session died (silence past the timeout, or the flow
+    /// closed under us): count a death, tear the session down, retry.
+    fn declare_inner_dead(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, retry: Duration) {
+        if let Some(l) = &mut self.live {
+            l.flow = None;
+            l.monitor = None;
+        }
+        if let Some(o) = &self.obs {
+            o.inner_alive.set(0);
+            o.inner_deaths.inc();
+        }
+        self.roles.remove(&flow);
+        ctx.close(flow);
+        ctx.set_timer(sd(retry), HB_RETRY);
+    }
+
+    fn hb_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now().nanos();
+        let (flow, expired, dirty, interval) = match &self.live {
+            Some(l) => match l.flow {
+                Some(f) => (
+                    f,
+                    l.monitor.as_ref().is_some_and(|m| m.expired(now)),
+                    l.rdv_dirty,
+                    l.hb.interval,
+                ),
+                // Session already down: HB_RETRY owns recovery.
+                None => return,
+            },
+            None => return,
+        };
+        if expired {
+            ctx.trace(|| format!("outer: heartbeat timeout on flow={}", flow.0));
+            self.declare_inner_dead(ctx, flow, interval);
+            return;
+        }
+        if dirty {
+            self.send_bind_sync(ctx, flow);
+        }
+        self.send_ping(ctx, flow);
+        ctx.set_timer(sd(interval), HB_TICK);
+    }
+
+    /// Admit `key` through the gate (when configured), remembering the
+    /// slot against `flow`. `false` = refused.
+    fn admit(&mut self, flow: FlowId, key: String) -> bool {
+        let Some(g) = &mut self.gate else { return true };
+        if g.try_admit(&key).is_err() {
+            if let Some(o) = &self.obs {
+                o.busy_rejected.inc();
+            }
+            return false;
+        }
+        self.admitted.insert(flow, key);
+        true
+    }
+
+    /// Release `flow`'s admission slot, exactly once.
+    fn release_flow(&mut self, flow: FlowId) {
+        if let Some(key) = self.admitted.remove(&flow) {
+            if let Some(g) = &mut self.gate {
+                g.release(&key);
+            }
+        }
+    }
+
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, msg: ProxyMsg) {
         match msg {
             ProxyMsg::ConnectReq { dst } => {
                 ctx.trace(|| format!("outer: ConnectReq flow={} -> {:?}", flow.0, dst));
+                if !self.admit(flow, format!("{:?}", dst.0)) {
+                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::Busy);
+                    ctx.close(flow);
+                    return;
+                }
                 let tok = self.token();
                 self.dials.insert(
                     tok,
@@ -128,6 +349,9 @@ impl SimOuterServer {
                 Ok(port) => {
                     ctx.trace(|| format!("outer: BindReq client={client:?} -> rdv port {port}"));
                     self.rdv.insert(port, client);
+                    if let Some(l) = &mut self.live {
+                        l.rdv_dirty = true;
+                    }
                     self.roles
                         .insert(flow, Role::BindControl { rdv_port: port });
                     if let Some(o) = &self.obs {
@@ -160,11 +384,18 @@ impl Actor for SimOuterServer {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.listen(self.ctrl_port)
             .expect("outer server control port in use"); // lint:allow(unwrap-panic)
+        if self.live.is_some() {
+            self.dial_heartbeat(ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == RELAY_TIMER {
             self.relay.on_timer(ctx);
+        } else if token == HB_TICK {
+            self.hb_tick(ctx);
+        } else if token == HB_RETRY {
+            self.dial_heartbeat(ctx);
         }
     }
 
@@ -177,6 +408,12 @@ impl Actor for SimOuterServer {
                     self.roles.insert(flow, Role::AwaitRequest);
                 } else if let Some(&client) = self.rdv.get(&listen_port) {
                     // Fig. 4 step 3: a peer hit the rendezvous port.
+                    // Admission is keyed by the registered client: one
+                    // overloaded bound endpoint cannot starve the rest.
+                    if !self.admit(flow, format!("{:?}", client.0)) {
+                        ctx.close(flow);
+                        return;
+                    }
                     self.roles.insert(flow, Role::PeerPending);
                     let tok = self.token();
                     let started = ctx.now();
@@ -245,6 +482,33 @@ impl Actor for SimOuterServer {
                     }
                     self.relay.pair(ctx, peer, flow);
                 }
+                Some(Dial::Heartbeat) => {
+                    ctx.trace(|| format!("outer: heartbeat session up, flow={}", flow.0));
+                    let now = ctx.now().nanos();
+                    let mut reconnect = false;
+                    let mut interval = Duration::ZERO;
+                    if let Some(l) = &mut self.live {
+                        l.breaker.on_success();
+                        reconnect = l.ever_alive;
+                        l.ever_alive = true;
+                        l.flow = Some(flow);
+                        l.monitor = Some(HeartbeatMonitor::new(l.hb, now));
+                        interval = l.hb.interval;
+                    }
+                    self.mirror_breaker();
+                    self.roles.insert(flow, Role::Heartbeat);
+                    if let Some(o) = &self.obs {
+                        o.inner_alive.set(1);
+                        if reconnect {
+                            o.inner_reconnects.inc();
+                        }
+                    }
+                    // Re-register all live binds, then start pinging —
+                    // the recovery contract a restarted inner relies on.
+                    self.send_bind_sync(ctx, flow);
+                    self.send_ping(ctx, flow);
+                    ctx.set_timer(sd(interval), HB_TICK);
+                }
                 None => ctx.close(flow),
             },
             FlowEvent::Refused { token, .. } => match self.dials.remove(&token) {
@@ -255,23 +519,48 @@ impl Actor for SimOuterServer {
                     }
                     let _ = ctx.send(client, CTRL_MSG_BYTES, ProxyMsg::ConnectRep { ok: false });
                     ctx.close(client);
+                    self.release_flow(client);
                 }
                 Some(Dial::Inner { peer, .. }) | Some(Dial::DirectClient { peer, .. }) => {
                     if let Some(o) = &self.obs {
                         o.relays_failed.inc();
                     }
                     ctx.close(peer);
+                    self.release_flow(peer);
+                }
+                Some(Dial::Heartbeat) => {
+                    let now = ctx.now().nanos();
+                    let mut retry = Duration::ZERO;
+                    if let Some(l) = &mut self.live {
+                        l.breaker.on_failure(now);
+                        retry = l.hb.interval;
+                    }
+                    self.mirror_breaker();
+                    ctx.set_timer(sd(retry), HB_RETRY);
                 }
                 None => {}
             },
             FlowEvent::Closed { flow, .. } => {
+                if self.live.as_ref().and_then(|l| l.flow) == Some(flow) {
+                    ctx.trace(|| format!("outer: heartbeat session lost, flow={}", flow.0));
+                    let retry = match &self.live {
+                        Some(l) => l.hb.interval,
+                        None => Duration::ZERO,
+                    };
+                    self.declare_inner_dead(ctx, flow, retry);
+                }
                 if let Some(Role::BindControl { rdv_port }) = self.roles.remove(&flow) {
                     // Registration lifetime = control connection lifetime.
                     self.rdv.remove(&rdv_port);
+                    if let Some(l) = &mut self.live {
+                        l.rdv_dirty = true;
+                    }
                     ctx.unlisten(rdv_port);
                 }
+                self.release_flow(flow);
                 if let Some(pair) = self.relay.on_closed(ctx, flow) {
                     self.roles.remove(&pair);
+                    self.release_flow(pair);
                 }
             }
         }
@@ -301,8 +590,22 @@ impl Actor for SimOuterServer {
                     }
                     ctx.close(peer);
                     ctx.close(flow);
+                    self.release_flow(peer);
                 }
             },
+            Some(Role::Heartbeat) => {
+                if let ProxyMsg::Pong { .. } = msg.expect::<ProxyMsg>() {
+                    if let Some(o) = &self.obs {
+                        o.hb_pongs.inc();
+                    }
+                    let now = ctx.now().nanos();
+                    if let Some(l) = &mut self.live {
+                        if let Some(m) = &mut l.monitor {
+                            m.observe(now);
+                        }
+                    }
+                }
+            }
             Some(Role::Relayed) | Some(Role::PeerPending) => {
                 // Opaque relay traffic (PeerPending: early data from an
                 // eager peer — buffered by the core until paired).

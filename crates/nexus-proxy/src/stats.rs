@@ -8,7 +8,7 @@
 //! with the monotonic clock — they are for humans; only the simulated
 //! paths promise deterministic snapshots.
 
-use wacs_obs::{Counter, Histogram, Registry};
+use wacs_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Counters and service-time histograms kept by each proxy server
 /// (outer or inner). Handles are shared: cloning a field aliases it.
@@ -26,6 +26,29 @@ pub struct ProxyStats {
     /// Passive relays completed (peer↔inner bridges established).
     pub relays_ok: Counter,
     pub relays_failed: Counter,
+    /// Admission-control refusals (typed `Busy` sent to the peer).
+    pub busy_rejected: Counter,
+    /// Half-open relays reaped by the idle-timeout sweeper.
+    pub idle_reaped: Counter,
+    /// Heartbeat probes sent / replies observed on the outer→inner
+    /// control session.
+    pub hb_pings: Counter,
+    pub hb_pongs: Counter,
+    /// Dead-peer declarations of the inner server (heartbeat timeout,
+    /// refused dial, or control-session EOF while alive).
+    pub inner_deaths: Counter,
+    /// Successful re-establishments of the control session after a
+    /// death (each immediately re-registers live binds via BindSync).
+    pub inner_reconnects: Counter,
+    /// Bind-table syncs applied (inner) or sent (outer).
+    pub bind_syncs: Counter,
+    /// Relay requests refused because the target endpoint was not in
+    /// the synced bind table (inner server, registration required).
+    pub relays_unauthorized: Counter,
+    /// 1 while the inner server's control session is live, else 0.
+    pub inner_alive: Gauge,
+    /// Currently active relay-table entries.
+    pub active_relays: Gauge,
     /// First control message read+dispatch time.
     pub control_handshake_ns: Histogram,
     /// ConnectReq service: dial target + reply.
@@ -50,6 +73,7 @@ impl ProxyStats {
     /// Create the instrument set under `prefix` in `registry`.
     pub fn in_registry(registry: &Registry, prefix: &str) -> Self {
         let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        let g = |name: &str| registry.gauge(&format!("{prefix}.{name}"));
         let h = |name: &str| registry.histogram(&format!("{prefix}.{name}"));
         ProxyStats {
             relayed_bytes: c("relayed_bytes"),
@@ -59,6 +83,16 @@ impl ProxyStats {
             binds: c("binds"),
             relays_ok: c("relays_ok"),
             relays_failed: c("relays_failed"),
+            busy_rejected: c("busy_rejected"),
+            idle_reaped: c("idle_reaped"),
+            hb_pings: c("hb_pings"),
+            hb_pongs: c("hb_pongs"),
+            inner_deaths: c("inner_deaths"),
+            inner_reconnects: c("inner_reconnects"),
+            bind_syncs: c("bind_syncs"),
+            relays_unauthorized: c("relays_unauthorized"),
+            inner_alive: g("inner_alive"),
+            active_relays: g("active_relays"),
             control_handshake_ns: h("control_handshake_ns"),
             connect_req_ns: h("connect_req_ns"),
             bind_req_ns: h("bind_req_ns"),
@@ -86,6 +120,11 @@ impl ProxyStats {
             binds: self.binds.get(),
             relays_ok: self.relays_ok.get(),
             relays_failed: self.relays_failed.get(),
+            busy_rejected: self.busy_rejected.get(),
+            idle_reaped: self.idle_reaped.get(),
+            inner_deaths: self.inner_deaths.get(),
+            inner_reconnects: self.inner_reconnects.get(),
+            relays_unauthorized: self.relays_unauthorized.get(),
         }
     }
 }
@@ -100,6 +139,11 @@ pub struct ProxySnapshot {
     pub binds: u64,
     pub relays_ok: u64,
     pub relays_failed: u64,
+    pub busy_rejected: u64,
+    pub idle_reaped: u64,
+    pub inner_deaths: u64,
+    pub inner_reconnects: u64,
+    pub relays_unauthorized: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,585 @@
+//! Liveness and graceful-degradation tests: dead-peer detection,
+//! inner-server reconnect with bind re-registration, circuit-breaker
+//! transitions, admission control, and idle-relay reaping — on both
+//! the virtual-time actors (deterministic, byte-identical snapshots)
+//! and the real socket path.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use firewall::vnet::VNet;
+use firewall::{Policy, NXPORT, OUTER_PORT};
+use netsim::prelude::*;
+use nexus_proxy::sim::{
+    NxClient, NxEvent, NxHandled, RelayModel, SimInnerServer, SimOuterServer, SimProxyEnv,
+};
+use nexus_proxy::{
+    nx_proxy_bind, nx_proxy_connect, AdmissionLimits, BreakerConfig, HeartbeatConfig, InnerConfig,
+    InnerServer, OuterConfig, OuterServer, ProxyEnv,
+};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+use wacs_obs::Registry;
+use wacs_sync::Mutex;
+
+const CTRL_PORT: u16 = 5678;
+const SIM_NXPORT: u16 = 911;
+
+// ---------------------------------------------------------------------
+// Virtual-time topology + minimal proxy-client actors.
+// ---------------------------------------------------------------------
+
+struct Net {
+    topo: Topology,
+    rwcp_sun: NodeId,
+    inner_host: NodeId,
+    outer_host: NodeId,
+    etl_sun: NodeId,
+}
+
+fn build() -> Net {
+    let mut topo = Topology::new();
+    let rwcp = topo.add_site("rwcp", None);
+    let dmz = topo.add_site("dmz", None);
+    let etl = topo.add_site("etl", None);
+    let rwcp_sun = topo.add_host("rwcp-sun", rwcp);
+    let inner_host = topo.add_host("rwcp-inner", rwcp);
+    let rwcp_sw = topo.add_switch("rwcp-sw", rwcp);
+    let gw = topo.add_switch("rwcp-gw", dmz);
+    let outer_host = topo.add_host("rwcp-outer", dmz);
+    let etl_sw = topo.add_switch("etl-sw", etl);
+    let etl_sun = topo.add_host("etl-sun", etl);
+    let lan = 6.5e6;
+    let us = SimDuration::from_micros;
+    topo.add_link(rwcp_sun, rwcp_sw, us(100), lan);
+    topo.add_link(inner_host, rwcp_sw, us(100), lan);
+    topo.add_link(rwcp_sw, gw, us(200), lan);
+    topo.add_link(outer_host, gw, us(100), lan);
+    topo.add_link(gw, etl_sw, SimDuration::from_millis(3), 170e3);
+    topo.add_link(etl_sw, etl_sun, us(100), lan);
+    topo.sites[rwcp.0 as usize].policy = Some(Policy::typical_with_nxport(
+        "rwcp",
+        inner_host.0,
+        SIM_NXPORT,
+    ));
+    Net {
+        topo,
+        rwcp_sun,
+        inner_host,
+        outer_host,
+        etl_sun,
+    }
+}
+
+type Shared = Arc<Mutex<SharedState>>;
+
+#[derive(Default)]
+struct SharedState {
+    advertised: Option<(NodeId, u16)>,
+    log: Vec<String>,
+}
+
+/// Echo server bound through the proxy.
+struct EchoServer {
+    nx: NxClient,
+    shared: Shared,
+}
+
+impl EchoServer {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Bound { advertised }) => {
+                self.shared.lock().advertised = Some(advertised);
+                self.shared.lock().log.push("bound".into());
+            }
+            NxHandled::Event(NxEvent::Accepted { .. }) => {
+                self.shared.lock().log.push("accepted".into());
+            }
+            NxHandled::Data(d) => {
+                let _ = ctx.send_boxed(d.flow, d.size, d.payload);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for EchoServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(adv) = self.nx.bind(ctx) {
+            self.shared.lock().advertised = Some(adv);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+/// Connects to the advertised address at a configured virtual time
+/// (after the inner server's crash-and-restart) and ping-pongs once.
+struct LatePing {
+    nx: NxClient,
+    shared: Shared,
+    start_at: SimDuration,
+}
+
+const POLL: u64 = 1;
+
+impl LatePing {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                ctx.send(flow, 64, ()).unwrap();
+            }
+            NxHandled::Event(NxEvent::Refused { .. }) => {
+                self.shared.lock().log.push("refused".into());
+            }
+            NxHandled::Data(_) => {
+                self.shared
+                    .lock()
+                    .log
+                    .push(format!("pong_at_ms {}", ctx.now().nanos() / 1_000_000));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for LatePing {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_at, POLL);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
+        if token == POLL {
+            let adv = self.shared.lock().advertised;
+            match adv {
+                Some(dst) => self.nx.connect(ctx, dst, 7),
+                None => ctx.set_timer(SimDuration::from_millis(10), POLL),
+            }
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+/// One full kill-the-inner run in virtual time; returns the final
+/// registry snapshot JSON and the shared event log.
+fn sim_crash_recovery_run(seed: u64) -> (String, Vec<String>) {
+    let net = build();
+    let registry = Registry::new();
+    let shared: Shared = Arc::default();
+    let mut sim = Simulator::new(net.topo.clone(), NetConfig::default(), seed);
+    let model = RelayModel::default();
+    let hb = HeartbeatConfig {
+        interval: Duration::from_millis(250),
+        timeout: Duration::from_secs(1),
+    };
+    let br = BreakerConfig {
+        threshold: 3,
+        cooldown: Duration::from_millis(500),
+    };
+    sim.spawn(
+        net.outer_host,
+        Box::new(
+            SimOuterServer::new(CTRL_PORT, Some((net.inner_host, SIM_NXPORT)), model)
+                .with_liveness(hb, br)
+                .with_admission(AdmissionLimits::default())
+                .with_obs(&registry),
+        ),
+    );
+    let inner_id = sim.spawn(
+        net.inner_host,
+        Box::new(
+            SimInnerServer::new(SIM_NXPORT, model)
+                .with_registration_required()
+                .with_obs(&registry),
+        ),
+    );
+    sim.spawn(
+        net.rwcp_sun,
+        Box::new(EchoServer {
+            nx: NxClient::new(SimProxyEnv::via((net.outer_host, CTRL_PORT))),
+            shared: shared.clone(),
+        }),
+    );
+    sim.spawn(
+        net.etl_sun,
+        Box::new(LatePing {
+            nx: NxClient::new(SimProxyEnv::direct()),
+            shared: shared.clone(),
+            start_at: SimDuration::from_secs(6),
+        }),
+    );
+    // Kill the inner server at t=2s; bring a *fresh* one (empty
+    // authorized table) back at t=4s.
+    let restart_reg = registry.clone();
+    sim.install_faults(FaultPlan::new(seed).crash_restart(
+        inner_id,
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(2),
+        move || {
+            Box::new(
+                SimInnerServer::new(SIM_NXPORT, RelayModel::default())
+                    .with_registration_required()
+                    .with_obs(&restart_reg),
+            )
+        },
+    ));
+    sim.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+    let log = shared.lock().log.clone();
+    (registry.snapshot().to_json(), log)
+}
+
+/// The acceptance scenario: the outer server detects the dead inner
+/// server within the heartbeat timeout, the restarted inner server
+/// gets its bind table re-registered, and a subsequent relay
+/// round-trip succeeds — with every liveness counter visible in the
+/// shared registry snapshot.
+#[test]
+fn sim_outer_survives_inner_crash_and_reregisters_binds() {
+    let (json, log) = sim_crash_recovery_run(11);
+    // The bind survived and the post-restart connect round-tripped.
+    assert!(log.contains(&"bound".to_string()), "{log:?}");
+    assert!(
+        log.iter().any(|l| l.starts_with("pong_at_ms")),
+        "no post-restart round-trip: {log:?}"
+    );
+    assert!(!log.contains(&"refused".to_string()), "{log:?}");
+    let snap: std::collections::BTreeMap<String, serde_free::Value> = parse_counters(&json);
+    let counter = |name: &str| snap.get(name).map_or(0, |v| v.0);
+    assert_eq!(counter("proxy.outer.inner_deaths"), 1, "{json}");
+    assert_eq!(counter("proxy.outer.inner_reconnects"), 1, "{json}");
+    // One sync on first connect, one on reconnect (at least).
+    assert!(counter("proxy.outer.bind_syncs") >= 2, "{json}");
+    assert!(counter("proxy.inner.bind_syncs") >= 2, "{json}");
+    assert!(counter("proxy.outer.hb_pings") > 0, "{json}");
+    assert!(counter("proxy.inner.hb_pongs") > 0, "{json}");
+    // The fresh inner refused nothing: the re-sync beat the client.
+    assert_eq!(counter("proxy.inner.relays_unauthorized"), 0, "{json}");
+}
+
+/// Same seed ⇒ byte-identical observability snapshots, crash and all.
+#[test]
+fn sim_crash_recovery_snapshots_are_deterministic() {
+    let (a, log_a) = sim_crash_recovery_run(23);
+    let (b, log_b) = sim_crash_recovery_run(23);
+    assert_eq!(a, b);
+    assert_eq!(log_a, log_b);
+}
+
+/// A long outage walks the breaker through its whole lifecycle:
+/// closed → open (threshold dial failures) → half-open probes →
+/// closed again once the inner server returns.
+#[test]
+fn sim_breaker_opens_and_closes_across_outage() {
+    let net = build();
+    let registry = Registry::new();
+    let mut sim = Simulator::new(net.topo.clone(), NetConfig::default(), 5);
+    let model = RelayModel::default();
+    let hb = HeartbeatConfig {
+        interval: Duration::from_millis(250),
+        timeout: Duration::from_secs(1),
+    };
+    let br = BreakerConfig {
+        threshold: 3,
+        cooldown: Duration::from_millis(500),
+    };
+    sim.spawn(
+        net.outer_host,
+        Box::new(
+            SimOuterServer::new(CTRL_PORT, Some((net.inner_host, SIM_NXPORT)), model)
+                .with_liveness(hb, br)
+                .with_obs(&registry),
+        ),
+    );
+    let inner_id = sim.spawn(
+        net.inner_host,
+        Box::new(SimInnerServer::new(SIM_NXPORT, model)),
+    );
+    sim.install_faults(FaultPlan::new(5).crash_restart(
+        inner_id,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(4),
+        || Box::new(SimInnerServer::new(SIM_NXPORT, RelayModel::default())),
+    ));
+    sim.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+    let snap = registry.snapshot();
+    assert!(
+        snap.counters.get("proxy.outer.breaker_opens").copied() >= Some(1),
+        "{}",
+        snap.to_json()
+    );
+    assert!(
+        snap.counters.get("proxy.outer.breaker_closes").copied() >= Some(1),
+        "{}",
+        snap.to_json()
+    );
+    // By the end the inner server is back: breaker closed, peer alive.
+    assert_eq!(snap.gauges.get("proxy.outer.breaker_state"), Some(&0));
+    assert_eq!(snap.gauges.get("proxy.outer.inner_alive"), Some(&1));
+    assert_eq!(
+        snap.counters.get("proxy.outer.inner_deaths"),
+        Some(&1),
+        "{}",
+        snap.to_json()
+    );
+}
+
+/// Tiny hand-rolled extraction of `"counters": {...}` u64 entries from
+/// the snapshot JSON (no JSON dependency in the workspace).
+mod serde_free {
+    pub struct Value(pub u64);
+}
+
+fn parse_counters(json: &str) -> std::collections::BTreeMap<String, serde_free::Value> {
+    let mut out = std::collections::BTreeMap::new();
+    let Some(start) = json.find("\"counters\":{") else {
+        return out;
+    };
+    let rest = &json[start + "\"counters\":{".len()..];
+    let Some(end) = rest.find('}') else {
+        return out;
+    };
+    for pair in rest[..end].split(',') {
+        if let Some((k, v)) = pair.split_once(':') {
+            let key = k.trim().trim_matches('"').to_string();
+            if let Ok(n) = v.trim().parse::<u64>() {
+                out.insert(key, serde_free::Value(n));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Real socket path.
+// ---------------------------------------------------------------------
+
+struct RealWorld {
+    net: VNet,
+}
+
+fn real_world() -> RealWorld {
+    let net = VNet::new();
+    let rwcp = net.add_site("rwcp", Some(Policy::typical("rwcp")));
+    let dmz = net.add_site("dmz", None);
+    let etl = net.add_site("etl", None);
+    net.add_host("rwcp-sun", rwcp);
+    let inner_ref = net.add_host("rwcp-inner", rwcp);
+    net.add_host("rwcp-outer", dmz);
+    net.add_host("etl-sun", etl);
+    net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
+    RealWorld { net }
+}
+
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let end = std::time::Instant::now() + deadline;
+    while !cond() {
+        assert!(std::time::Instant::now() < end, "timed out waiting: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The acceptance scenario on real sockets: kill the inner server, the
+/// outer server's heartbeat detects the death within the timeout; a
+/// restarted inner server (which refuses unregistered relays) gets the
+/// live bind re-registered and a relay round-trip then succeeds.
+#[test]
+fn real_outer_detects_dead_inner_and_reregisters_binds() {
+    let w = real_world();
+    let inner = InnerServer::start(
+        w.net.clone(),
+        InnerConfig::new("rwcp-inner").with_registration_required(),
+    )
+    .unwrap();
+    let outer = OuterServer::start(
+        w.net.clone(),
+        OuterConfig::new("rwcp-outer")
+            .with_inner("rwcp-inner", NXPORT)
+            .with_heartbeat(HeartbeatConfig {
+                interval: Duration::from_millis(20),
+                timeout: Duration::from_millis(120),
+            })
+            .with_breaker(BreakerConfig {
+                threshold: 2,
+                cooldown: Duration::from_millis(40),
+            }),
+    )
+    .unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+
+    // Bind through the proxy; the heartbeat session syncs the bind to
+    // the inner server's authorized table.
+    let listener = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+    let adv = listener.advertised.clone();
+    wait_until("initial bind sync", Duration::from_secs(5), || {
+        !inner.authorized_endpoints().is_empty()
+    });
+
+    // Kill the inner server; the outer notices within the hb timeout.
+    drop(inner);
+    wait_until("dead-peer detection", Duration::from_secs(5), || {
+        outer.stats().inner_deaths >= 1
+    });
+
+    // Restart it: fresh process, empty authorized table. The outer's
+    // reconnect must push the live bind back before relays can flow.
+    let inner2 = InnerServer::start(
+        w.net.clone(),
+        InnerConfig::new("rwcp-inner").with_registration_required(),
+    )
+    .unwrap();
+    wait_until(
+        "reconnect + re-registration",
+        Duration::from_secs(5),
+        || outer.stats().inner_reconnects >= 1 && !inner2.authorized_endpoints().is_empty(),
+    );
+
+    // A post-recovery relay round-trip succeeds end to end.
+    let srv = std::thread::spawn(move || {
+        let mut s = listener.accept().unwrap();
+        let mut b = [0u8; 5];
+        s.read_exact(&mut b).unwrap();
+        s.write_all(&b).unwrap();
+        b
+    });
+    let mut peer = w.net.dial("etl-sun", &adv.0, adv.1).unwrap();
+    peer.write_all(b"hello").unwrap();
+    let mut echo = [0u8; 5];
+    peer.read_exact(&mut echo).unwrap();
+    assert_eq!(&echo, b"hello");
+    assert_eq!(&srv.join().unwrap(), b"hello");
+
+    // Every liveness counter is visible in one obs snapshot.
+    let json = outer.obs_snapshot().to_json();
+    for key in [
+        "proxy.inner_deaths",
+        "proxy.inner_reconnects",
+        "proxy.bind_syncs",
+        "proxy.hb_pings",
+        "proxy.breaker_opens",
+    ] {
+        assert!(json.contains(key), "{key} missing from {json}");
+    }
+    let snap = outer.stats();
+    assert!(snap.inner_deaths >= 1 && snap.inner_reconnects >= 1);
+}
+
+/// Admission control: with a single relay slot the second concurrent
+/// connect is refused with a typed `Busy` (surfaced as `WouldBlock`),
+/// and the slot frees once the first relay tears down.
+#[test]
+fn real_admission_limit_returns_busy_and_releases() {
+    let w = real_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = OuterServer::start(
+        w.net.clone(),
+        OuterConfig::new("rwcp-outer")
+            .with_inner("rwcp-inner", NXPORT)
+            .with_limits(AdmissionLimits {
+                max_total: 1,
+                max_per_peer: 1,
+            }),
+    )
+    .unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = w.net.bind("etl-sun", 7100).unwrap();
+    let held = Arc::new(Mutex::new(Vec::new()));
+    let held2 = held.clone();
+    let _acceptor = std::thread::spawn(move || {
+        while let Ok((s, _)) = l.accept() {
+            held2.lock().push(s);
+        }
+    });
+
+    let first = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7100)).unwrap();
+    let err = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7100)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock, "{err}");
+    assert!(outer.stats().busy_rejected >= 1);
+
+    // Tear the first relay down; its admission slot must come back.
+    drop(first);
+    held.lock().clear();
+    wait_until("slot release", Duration::from_secs(5), || {
+        nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7100)).is_ok()
+    });
+}
+
+/// Hygiene: a relay with no traffic in `idle_timeout` is reaped and
+/// the connection table drains back to zero.
+#[test]
+fn real_idle_relays_are_reaped() {
+    let w = real_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = OuterServer::start(
+        w.net.clone(),
+        OuterConfig::new("rwcp-outer")
+            .with_inner("rwcp-inner", NXPORT)
+            .with_idle_timeout(Duration::from_millis(60)),
+    )
+    .unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = w.net.bind("etl-sun", 7200).unwrap();
+    let _acceptor = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = l.accept() {
+            held.push(s);
+        }
+    });
+    let _idle = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7200)).unwrap();
+    wait_until("idle relay present", Duration::from_secs(5), || {
+        outer.active_relays() == 1
+    });
+    // Send nothing: the reaper must cut the pair loose.
+    wait_until("idle reap", Duration::from_secs(5), || {
+        outer.stats().idle_reaped >= 1 && outer.active_relays() == 0
+    });
+}
+
+/// Graceful drain: shutdown with in-flight relays finishes the pumps
+/// and reports an empty table.
+#[test]
+fn real_drain_finishes_in_flight_relays() {
+    let w = real_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = OuterServer::start(
+        w.net.clone(),
+        OuterConfig::new("rwcp-outer").with_inner("rwcp-inner", NXPORT),
+    )
+    .unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = w.net.bind("etl-sun", 7300).unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = l.accept().unwrap();
+        let mut b = [0u8; 3];
+        s.read_exact(&mut b).unwrap();
+        b
+    });
+    let mut s = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7300)).unwrap();
+    s.write_all(b"end").unwrap();
+    assert_eq!(&srv.join().unwrap(), b"end");
+    drop(s);
+    assert!(outer.drain(Duration::from_secs(5)), "drain timed out");
+    assert_eq!(outer.active_relays(), 0);
+}

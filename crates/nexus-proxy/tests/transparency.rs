@@ -10,7 +10,7 @@
 use firewall::vnet::VNet;
 use firewall::{Policy, NXPORT, OUTER_PORT};
 use netsim::SimRng;
-use nexus_proxy::protocol::{EncodeError, Msg};
+use nexus_proxy::protocol::{EncodeError, Msg, MAX_FRAME};
 use nexus_proxy::{
     nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
 };
@@ -19,8 +19,23 @@ use std::net::TcpStream;
 
 struct World {
     net: VNet,
-    _outer: OuterServer,
+    outer: OuterServer,
     _inner: InnerServer,
+}
+
+/// The relay table must drain once both ends of every relayed
+/// connection are gone — a leaked entry is a half-open relay the
+/// reaper would eventually have to collect.
+fn assert_relays_drained(w: &World) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while w.outer.active_relays() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "outer relay table still holds {} entries",
+            w.outer.active_relays()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
 }
 
 fn world() -> World {
@@ -41,7 +56,7 @@ fn world() -> World {
     .unwrap();
     World {
         net,
-        _outer: outer,
+        outer,
         _inner: inner,
     }
 }
@@ -108,6 +123,8 @@ fn passive_relay_is_transparent() {
         let received = srv.join().unwrap();
         assert_eq!(received, data);
         assert_eq!(echoed, data);
+        drop(r);
+        assert_relays_drained(&w);
     }
 }
 
@@ -127,9 +144,17 @@ fn random_msgs(rng: &mut SimRng) -> Vec<Msg> {
     };
     let host = s(64);
     let detail = s(256);
+    let nbinds = s(5).len();
+    let mut binds: Vec<(String, u16)> = Vec::with_capacity(nbinds);
+    for _ in 0..nbinds {
+        let h = s(32);
+        let p = s(8).len() as u16;
+        binds.push((h, p));
+    }
     let port = rng.below(u64::from(u16::MAX) + 1) as u16;
     let rdv_port = rng.below(u64::from(u16::MAX) + 1) as u16;
     let ok = rng.below(2) == 1;
+    let seq = rng.below(u64::from(u32::MAX) + 1) as u32;
     vec![
         Msg::ConnectReq {
             host: host.clone(),
@@ -143,6 +168,10 @@ fn random_msgs(rng: &mut SimRng) -> Vec<Msg> {
         Msg::BindRep { rdv_port },
         Msg::RelayReq { host, port },
         Msg::RelayRep { ok },
+        Msg::Ping { seq },
+        Msg::Pong { seq },
+        Msg::Busy,
+        Msg::BindSync { binds },
     ]
 }
 
@@ -247,9 +276,48 @@ fn random_buffers_never_panic() {
         if round % 2 == 0 && !bytes.is_empty() {
             // Half the corpus gets a valid type tag so the field
             // parsers (not just the tag switch) see the fuzz.
-            bytes[0] = (rng.below(6) + 1) as u8;
+            bytes[0] = (rng.below(10) + 1) as u8;
         }
         let _ = Msg::decode(&bytes);
+    }
+}
+
+/// Totality under corruption: flip single bits in valid frame bodies
+/// of *every* control-frame variant. The decoder must either error or
+/// produce some well-formed message — never panic, never over-read.
+#[test]
+fn bit_flipped_frames_never_panic() {
+    let mut rng = SimRng::seed_from_u64(0xb17f11);
+    for _ in 0..20 {
+        for msg in random_msgs(&mut rng) {
+            let framed = msg.encode().unwrap();
+            let body = framed[4..].to_vec();
+            for _ in 0..16 {
+                let mut corrupt = body.clone();
+                let byte = rng.below(corrupt.len() as u64) as usize;
+                let bit = rng.below(8) as u8;
+                corrupt[byte] ^= 1 << bit;
+                let _ = Msg::decode(&corrupt);
+            }
+        }
+    }
+}
+
+/// Oversize declared lengths are refused before any body allocation:
+/// a frame header announcing more than [`MAX_FRAME`] bytes errors out
+/// of `read_from` even though no body bytes follow — the reader never
+/// waits for (or allocates) the announced mountain of data.
+#[test]
+fn oversize_declared_lengths_are_rejected_up_front() {
+    let mut rng = SimRng::seed_from_u64(0x0515e);
+    for _ in 0..64 {
+        let len = MAX_FRAME + 1 + (rng.below(u64::from(u32::MAX - MAX_FRAME)) as u32);
+        let header = len.to_be_bytes();
+        let mut cursor = std::io::Cursor::new(header.to_vec());
+        let err = Msg::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len {len}");
+        // Nothing past the 4-byte header was consumed.
+        assert_eq!(cursor.position(), 4);
     }
 }
 
@@ -271,5 +339,6 @@ fn active_relay_is_transparent() {
         chunked_write(s, data.clone(), chunks);
         let received = srv.join().unwrap();
         assert_eq!(received, data);
+        assert_relays_drained(&w);
     }
 }

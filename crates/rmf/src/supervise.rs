@@ -1,0 +1,445 @@
+//! Q-server supervision: liveness probes, death detection, and job
+//! re-queueing.
+//!
+//! The allocator's ledger assumes every registered Q server is alive;
+//! a crashed front-end would otherwise keep soaking up allocations
+//! forever (its booked load is never released, and `select` keeps
+//! placing work on it). [`QSupervisor`] closes that gap: it pings each
+//! watched Q server's control port, counts consecutive misses, and on
+//! crossing the threshold marks the resource dead
+//! ([`AllocatorState::set_health`]), zeroes its orphaned ledger
+//! ([`AllocatorState::orphan_load`]), and re-queues the jobs it was
+//! tracking there onto surviving resources. A later successful probe
+//! marks the resource alive again.
+//!
+//! Probing is pull-based and explicit — [`QSupervisor::check_once`]
+//! performs exactly one sweep and returns a [`CheckReport`] — so tests
+//! (and a periodic driver thread, if a deployment wants one) control
+//! the clock; the supervisor itself never spawns threads or sleeps.
+
+use crate::allocator::{Allocation, AllocatorState};
+use crate::error::{classify_daemon_error, RmfError};
+use crate::job::JobId;
+use crate::qsys::QSERVER_PORT;
+use crate::wire::Record;
+use firewall::vnet::VNet;
+use std::collections::HashMap;
+use std::time::Duration;
+use wacs_obs::{Counter, Registry};
+
+/// Supervision knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Read deadline for one ping round-trip.
+    pub probe_timeout: Duration,
+    /// Consecutive missed probes before a resource is declared dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            probe_timeout: Duration::from_millis(250),
+            miss_threshold: 3,
+        }
+    }
+}
+
+/// A job moved off a dead resource onto survivors.
+#[derive(Debug, Clone)]
+pub struct RequeuedJob {
+    pub job: JobId,
+    /// The resource whose Q server died.
+    pub from: String,
+    /// Replacement placement (booked at the allocator).
+    pub to: Vec<Allocation>,
+}
+
+/// Outcome of one supervision sweep.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Resources probed this sweep.
+    pub probed: usize,
+    /// Resources newly declared dead this sweep.
+    pub deaths: Vec<String>,
+    /// Resources newly declared alive this sweep.
+    pub recoveries: Vec<String>,
+    /// Jobs successfully moved off dead resources.
+    pub requeued: Vec<RequeuedJob>,
+    /// Jobs that could not be re-placed (no surviving capacity); each
+    /// carries the typed refusal — [`RmfError::Daemon`] for a dead
+    /// explicit target, [`RmfError::Busy`]/[`RmfError::Capacity`] for
+    /// exhaustion.
+    pub failures: Vec<(JobId, RmfError)>,
+}
+
+struct Watch {
+    resource: String,
+    qserver_host: String,
+    misses: u32,
+    alive: bool,
+}
+
+struct TrackedJob {
+    job: JobId,
+    count: u32,
+}
+
+struct SupObs {
+    health_checks: Counter,
+    qserver_deaths: Counter,
+    qserver_recoveries: Counter,
+    jobs_requeued: Counter,
+    requeue_failures: Counter,
+}
+
+/// Health-checks Q servers on behalf of the allocator and re-queues
+/// work away from dead ones. See the module docs for the model.
+pub struct QSupervisor {
+    net: VNet,
+    /// Logical host the supervisor probes from (normally the
+    /// allocator's own host, which sits inside the firewall with the
+    /// Q servers).
+    host: String,
+    state: AllocatorState,
+    cfg: SupervisorConfig,
+    watched: Vec<Watch>,
+    /// resource name → jobs currently placed there.
+    tracked: HashMap<String, Vec<TrackedJob>>,
+    obs: Option<SupObs>,
+}
+
+impl QSupervisor {
+    pub fn new(
+        net: VNet,
+        host: impl Into<String>,
+        state: AllocatorState,
+        cfg: SupervisorConfig,
+    ) -> Self {
+        QSupervisor {
+            net,
+            host: host.into(),
+            state,
+            cfg,
+            watched: Vec::new(),
+            tracked: HashMap::new(),
+            obs: None,
+        }
+    }
+
+    /// Record supervision counters under `rmf.supervisor.*`.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        let c = |n: &str| registry.counter(&format!("rmf.supervisor.{n}"));
+        self.obs = Some(SupObs {
+            health_checks: c("health_checks"),
+            qserver_deaths: c("qserver_deaths"),
+            qserver_recoveries: c("qserver_recoveries"),
+            jobs_requeued: c("jobs_requeued"),
+            requeue_failures: c("requeue_failures"),
+        });
+        self
+    }
+
+    /// Start probing `resource`'s Q server at `qserver_host`. A watch
+    /// begins in the alive state with zero misses.
+    pub fn watch(&mut self, resource: impl Into<String>, qserver_host: impl Into<String>) {
+        self.watched.push(Watch {
+            resource: resource.into(),
+            qserver_host: qserver_host.into(),
+            misses: 0,
+            alive: true,
+        });
+    }
+
+    /// Remember that `job` runs `count` processes on `resource`, so it
+    /// can be re-queued if that resource's Q server dies.
+    pub fn track(&mut self, resource: impl Into<String>, job: JobId, count: u32) {
+        self.tracked
+            .entry(resource.into())
+            .or_default()
+            .push(TrackedJob { job, count });
+    }
+
+    /// Forget a finished job (stops it from being re-queued later).
+    pub fn untrack(&mut self, resource: &str, job: JobId) {
+        if let Some(jobs) = self.tracked.get_mut(resource) {
+            jobs.retain(|t| t.job != job);
+        }
+    }
+
+    /// Jobs currently tracked on `resource` (diagnostics).
+    pub fn tracked_on(&self, resource: &str) -> Vec<JobId> {
+        self.tracked
+            .get(resource)
+            .map(|v| v.iter().map(|t| t.job).collect())
+            .unwrap_or_default()
+    }
+
+    /// One ping round-trip to a Q server; `Ok` means it answered with
+    /// a well-formed `pong`.
+    fn probe(&self, qserver_host: &str) -> Result<(), RmfError> {
+        let mut s = self
+            .net
+            .dial(&self.host, qserver_host, QSERVER_PORT)
+            .map_err(RmfError::Io)?;
+        s.set_read_timeout(Some(self.cfg.probe_timeout))
+            .map_err(RmfError::Io)?;
+        Record::new("ping").write_to(&mut s).map_err(RmfError::Io)?;
+        match Record::read_from(&mut s).map_err(RmfError::Io)? {
+            Some(rep) if rep.kind() == "pong" => Ok(()),
+            Some(rep) => Err(RmfError::Daemon(format!(
+                "unexpected probe reply {:?}",
+                rep.kind()
+            ))),
+            None => Err(RmfError::Daemon("probe connection closed".into())),
+        }
+    }
+
+    /// Probe every watched Q server once, applying death/recovery
+    /// transitions and re-queueing jobs off newly dead resources.
+    pub fn check_once(&mut self) -> CheckReport {
+        let mut report = CheckReport::default();
+        let mut died: Vec<String> = Vec::new();
+        for i in 0..self.watched.len() {
+            let (resource, qserver_host, was_alive) = {
+                let w = &self.watched[i];
+                (w.resource.clone(), w.qserver_host.clone(), w.alive)
+            };
+            report.probed += 1;
+            if let Some(o) = &self.obs {
+                o.health_checks.inc();
+            }
+            let up = self.probe(&qserver_host).is_ok();
+            let w = &mut self.watched[i];
+            if up {
+                w.misses = 0;
+                if !was_alive {
+                    w.alive = true;
+                    let _ = self.state.set_health(&resource, true);
+                    report.recoveries.push(resource.clone());
+                    if let Some(o) = &self.obs {
+                        o.qserver_recoveries.inc();
+                    }
+                }
+            } else {
+                w.misses += 1;
+                if was_alive && w.misses >= self.cfg.miss_threshold {
+                    w.alive = false;
+                    died.push(resource);
+                }
+            }
+        }
+        for resource in died {
+            self.declare_dead(&resource, &mut report);
+        }
+        report
+    }
+
+    /// Death transition: mark dead at the allocator, zero the orphaned
+    /// ledger, and move tracked jobs to surviving resources.
+    fn declare_dead(&mut self, resource: &str, report: &mut CheckReport) {
+        let _ = self.state.set_health(resource, false);
+        let _ = self.state.orphan_load(resource);
+        report.deaths.push(resource.to_string());
+        if let Some(o) = &self.obs {
+            o.qserver_deaths.inc();
+        }
+        for t in self.tracked.remove(resource).unwrap_or_default() {
+            // Implicit selection skips dead resources, so this books
+            // the replacement load on survivors only.
+            match self.state.select(t.count, &[]) {
+                Ok(to) => {
+                    for slice in &to {
+                        self.track(slice.resource.clone(), t.job, slice.count);
+                    }
+                    report.requeued.push(RequeuedJob {
+                        job: t.job,
+                        from: resource.to_string(),
+                        to,
+                    });
+                    if let Some(o) = &self.obs {
+                        o.jobs_requeued.inc();
+                    }
+                }
+                Err(e) => {
+                    report
+                        .failures
+                        .push((t.job, classify_daemon_error(&e.to_string())));
+                    if let Some(o) = &self.obs {
+                        o.requeue_failures.inc();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{ResourceInfo, SelectPolicy};
+    use crate::exec::ExecRegistry;
+    use crate::gass::GassStore;
+    use crate::job::FlowTrace;
+    use crate::qsys::QServer;
+    use crate::rmf_site_policy;
+
+    fn two_resource_site() -> (VNet, AllocatorState, Vec<QServer>) {
+        let net = VNet::new();
+        let inside = net.add_site("rwcp", None);
+        let alloc_ref = net.add_host("alloc-host", inside);
+        let a_ref = net.add_host("fe-a", inside);
+        let b_ref = net.add_host("fe-b", inside);
+        net.reload_policy(
+            inside,
+            rmf_site_policy(
+                "rwcp",
+                &[
+                    (alloc_ref, crate::allocator::ALLOCATOR_PORT),
+                    (a_ref, QSERVER_PORT),
+                    (b_ref, QSERVER_PORT),
+                ],
+            ),
+        );
+        let state = AllocatorState::new(SelectPolicy::FirstFit);
+        state.register(ResourceInfo {
+            name: "A".into(),
+            qserver_host: "fe-a".into(),
+            cpus: 8,
+        });
+        state.register(ResourceInfo {
+            name: "B".into(),
+            qserver_host: "fe-b".into(),
+            cpus: 8,
+        });
+        let registry = ExecRegistry::new();
+        let gass = GassStore::new();
+        let trace = FlowTrace::new();
+        let qs = vec![
+            QServer::start(
+                net.clone(),
+                "fe-a",
+                "A",
+                registry.clone(),
+                gass.clone(),
+                "alloc-host",
+                trace.clone(),
+            )
+            .unwrap(),
+            QServer::start(
+                net.clone(),
+                "fe-b",
+                "B",
+                registry.clone(),
+                gass,
+                "alloc-host",
+                trace,
+            )
+            .unwrap(),
+        ];
+        (net, state, qs)
+    }
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            probe_timeout: Duration::from_millis(200),
+            miss_threshold: 2,
+        }
+    }
+
+    #[test]
+    fn live_qservers_answer_probes() {
+        let (net, state, _qs) = two_resource_site();
+        let mut sup = QSupervisor::new(net, "alloc-host", state.clone(), cfg());
+        sup.watch("A", "fe-a");
+        sup.watch("B", "fe-b");
+        let rep = sup.check_once();
+        assert_eq!(rep.probed, 2);
+        assert!(rep.deaths.is_empty() && rep.recoveries.is_empty());
+        assert_eq!(state.is_alive("A"), Some(true));
+    }
+
+    #[test]
+    fn death_requeues_jobs_and_recovery_restores_health() {
+        let (net, state, mut qs) = two_resource_site();
+        let registry = wacs_obs::Registry::new();
+        let mut sup =
+            QSupervisor::new(net.clone(), "alloc-host", state.clone(), cfg()).with_obs(&registry);
+        sup.watch("A", "fe-a");
+        sup.watch("B", "fe-b");
+
+        // Place a 4-proc job on A and book its load.
+        let placed = state.select(4, &["A".to_string()]).unwrap();
+        assert_eq!(placed[0].resource, "A");
+        sup.track("A", JobId(7), 4);
+
+        // Kill A's Q server; one miss is below the threshold.
+        qs.remove(0);
+        let rep = sup.check_once();
+        assert!(rep.deaths.is_empty());
+        assert_eq!(state.is_alive("A"), Some(true));
+
+        // Second consecutive miss crosses it: A dies, its ledger is
+        // orphaned, and the job lands on B.
+        let rep = sup.check_once();
+        assert_eq!(rep.deaths, vec!["A".to_string()]);
+        assert_eq!(state.is_alive("A"), Some(false));
+        assert_eq!(state.load_of("A"), Some(0));
+        assert_eq!(rep.requeued.len(), 1);
+        assert_eq!(rep.requeued[0].job, JobId(7));
+        assert_eq!(rep.requeued[0].to[0].resource, "B");
+        assert_eq!(state.load_of("B"), Some(4));
+        assert_eq!(sup.tracked_on("B"), vec![JobId(7)]);
+        assert!(sup.tracked_on("A").is_empty());
+
+        // Restart A's Q server: next sweep records a recovery.
+        let exec = ExecRegistry::new();
+        qs.push(
+            QServer::start(
+                net,
+                "fe-a",
+                "A",
+                exec,
+                GassStore::new(),
+                "alloc-host",
+                FlowTrace::new(),
+            )
+            .unwrap(),
+        );
+        let rep = sup.check_once();
+        assert_eq!(rep.recoveries, vec!["A".to_string()]);
+        assert_eq!(state.is_alive("A"), Some(true));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("rmf.supervisor.qserver_deaths"), Some(&1));
+        assert_eq!(
+            snap.counters.get("rmf.supervisor.qserver_recoveries"),
+            Some(&1)
+        );
+        assert_eq!(snap.counters.get("rmf.supervisor.jobs_requeued"), Some(&1));
+        assert_eq!(snap.counters.get("rmf.supervisor.health_checks"), Some(&6));
+    }
+
+    #[test]
+    fn requeue_without_capacity_surfaces_typed_failure() {
+        let (net, state, mut qs) = two_resource_site();
+        let mut sup = QSupervisor::new(net, "alloc-host", state.clone(), cfg());
+        sup.watch("A", "fe-a");
+        // Fill B completely so nothing can absorb A's job.
+        state.select(8, &["B".to_string()]).unwrap();
+        state.select(8, &["A".to_string()]).unwrap();
+        sup.track("A", JobId(1), 8);
+        qs.remove(0);
+        sup.check_once();
+        let rep = sup.check_once();
+        assert_eq!(rep.deaths, vec!["A".to_string()]);
+        assert!(rep.requeued.is_empty());
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].0, JobId(1));
+        assert!(matches!(
+            rep.failures[0].1,
+            RmfError::Busy(_) | RmfError::Capacity(_)
+        ));
+    }
+}

@@ -20,6 +20,11 @@ pub enum Rule {
     /// instrumentation must go through the registry so it shows up in
     /// snapshots and replay tests.
     BareAtomicCounter,
+    /// A blocking `.read_exact(` / `.accept()` in a file that never
+    /// sets a read timeout or non-blocking mode: a dead peer parks the
+    /// thread forever. Mark deliberate blocking sites with
+    /// `lint:allow(deadline-io)`.
+    DeadlineIo,
 }
 
 pub const ALL: &[Rule] = &[
@@ -29,6 +34,7 @@ pub const ALL: &[Rule] = &[
     Rule::Todo,
     Rule::RequireUnwrapOr,
     Rule::BareAtomicCounter,
+    Rule::DeadlineIo,
 ];
 
 impl Rule {
@@ -40,6 +46,7 @@ impl Rule {
             Rule::Todo => "todo",
             Rule::RequireUnwrapOr => "require-unwrap-or",
             Rule::BareAtomicCounter => "bare-atomic-counter",
+            Rule::DeadlineIo => "deadline-io",
         }
     }
 
@@ -56,6 +63,10 @@ impl Rule {
             }
             Rule::BareAtomicCounter => {
                 "metric counters belong in the wacs_obs registry, not bare AtomicU64s"
+            }
+            Rule::DeadlineIo => {
+                "blocking read_exact/accept needs a read timeout, non-blocking mode, \
+                 or an explicit lint:allow(deadline-io)"
             }
         }
     }
@@ -96,6 +107,11 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
     let port_site = PORT_DEFINITION_SITES.contains(&path);
     let sync_exempt = STD_SYNC_EXEMPT.iter().any(|p| path.starts_with(p));
     let atomic_exempt = ATOMIC_COUNTER_EXEMPT.iter().any(|p| path.starts_with(p));
+    // File-level deadline evidence: a file that configures timeouts or
+    // non-blocking mode anywhere has thought about liveness; one that
+    // never does gets its blocking calls flagged.
+    let has_deadline_evidence =
+        masked.code.contains("set_read_timeout") || masked.code.contains("set_nonblocking");
 
     for (idx, line) in masked.code.lines().enumerate() {
         let lineno = idx + 1;
@@ -167,6 +183,16 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
                     Rule::BareAtomicCounter,
                     "bare `AtomicU64` counter; use wacs_obs::Counter so the metric \
                      lands in registry snapshots"
+                        .into(),
+                );
+            }
+            if !has_deadline_evidence
+                && (line.contains(".read_exact(") || line.contains(".accept()"))
+            {
+                push(
+                    Rule::DeadlineIo,
+                    "blocking I/O with no deadline in this file; set a read timeout \
+                     (or mark the site deliberate)"
                         .into(),
                 );
             }
@@ -506,6 +532,50 @@ struct G {
         assert!(rules_hit("crates/demo/src/lib.rs", ok).is_empty());
         // Test code may fabricate defaults freely.
         let test = "#[cfg(test)]\nmod tests {\n    fn t(r: &Record) -> u64 { r.require_u64(\"count\").unwrap_or(0) }\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
+    }
+
+    #[test]
+    fn deadline_io_flags_blocking_calls_without_timeout_evidence() {
+        let src = "\
+fn f(s: &mut TcpStream) -> io::Result<()> {
+    let mut buf = [0u8; 4];
+    s.read_exact(&mut buf)?;
+    Ok(())
+}
+fn g(l: &TcpListener) {
+    let _ = l.accept();
+}
+";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(3, Rule::DeadlineIo), (7, Rule::DeadlineIo)]
+        );
+    }
+
+    #[test]
+    fn deadline_io_accepts_timeout_evidence_or_marker() {
+        // A file that sets a read timeout anywhere has a deadline story.
+        let with_timeout = "\
+fn f(s: &mut TcpStream) -> io::Result<()> {
+    s.set_read_timeout(Some(TIMEOUT))?;
+    let mut buf = [0u8; 4];
+    s.read_exact(&mut buf)?;
+    Ok(())
+}
+";
+        assert!(rules_hit("crates/demo/src/lib.rs", with_timeout).is_empty());
+        // Deliberate blocking sites are marked.
+        let marked = "\
+fn f(s: &mut TcpStream) -> io::Result<()> {
+    let mut buf = [0u8; 4];
+    s.read_exact(&mut buf)?; // lint:allow(deadline-io)
+    Ok(())
+}
+";
+        assert!(rules_hit("crates/demo/src/lib.rs", marked).is_empty());
+        // Test code may block freely.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t(s: &mut TcpStream) { s.read_exact(&mut [0; 4]).unwrap(); }\n}\n";
         assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
     }
 
