@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerate the committed BENCH_<scenario>.json files at the repo
+# root: release build, full (non-smoke) scenarios, fixed seeds. Run on
+# a quiet machine; absolute numbers are machine-specific, but the
+# mode-vs-mode ratios are what the committed trajectory tracks.
+#
+#   ./bench.sh                # all four scenarios
+#   ./bench.sh bulk_throughput  # one scenario
+set -eu
+
+cd "$(dirname "$0")"
+
+scenario="${1:-all}"
+
+echo "== release build"
+cargo build --release -p wacs-bench --bin proxy_bench
+
+echo "== proxy_bench --scenario $scenario"
+./target/release/proxy_bench --scenario "$scenario" --out .
+
+echo "== validate"
+./target/release/proxy_bench --check BENCH_*.json
+
+echo "bench.sh: done"

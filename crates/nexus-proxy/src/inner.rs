@@ -13,8 +13,11 @@
 //! hardens the nxport hole (a restarted inner server relays nothing
 //! until the outer server re-syncs its bind table).
 
+use crate::outer::PumpMode;
+use crate::pool::{BufferPool, PoolConfig};
 use crate::protocol::Msg;
-use crate::pump::{pump_detached, DEFAULT_CHUNK};
+use crate::pump::{pump_pooled, RelayActivity, DEFAULT_CHUNK};
+use crate::reactor::{PumpReactor, ReactorConfig};
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
 use std::collections::HashSet;
@@ -41,6 +44,11 @@ pub struct InnerConfig {
     /// A control session silent for longer than this is abandoned (the
     /// outer server pings well inside it while alive).
     pub control_timeout: Duration,
+    /// Relay data plane: thread-pair (default, compatibility) or the
+    /// multiplexed reactor — the same choice the outer server offers.
+    pub pump_mode: PumpMode,
+    /// Reactor tuning; used when `pump_mode` is [`PumpMode::Reactor`].
+    pub reactor: ReactorConfig,
 }
 
 impl InnerConfig {
@@ -51,6 +59,8 @@ impl InnerConfig {
             chunk: DEFAULT_CHUNK,
             require_registration: false,
             control_timeout: Duration::from_secs(5),
+            pump_mode: PumpMode::default(),
+            reactor: ReactorConfig::default(),
         }
     }
 
@@ -63,6 +73,16 @@ impl InnerConfig {
         self.control_timeout = t;
         self
     }
+
+    pub fn with_pump_mode(mut self, mode: PumpMode) -> Self {
+        self.pump_mode = mode;
+        self
+    }
+
+    pub fn with_reactor_config(mut self, r: ReactorConfig) -> Self {
+        self.reactor = r;
+        self
+    }
 }
 
 /// A running inner server. Dropping the handle shuts it down.
@@ -71,6 +91,7 @@ pub struct InnerServer {
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
     authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
+    reactor: Option<Arc<PumpReactor>>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -81,12 +102,28 @@ impl InnerServer {
         let stats = Arc::new(ProxyStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let authorized = Arc::new(OrderedMutex::new("nexus.inner.authorized", HashSet::new()));
+        // Same staging-pool/data-plane arrangement as the outer server:
+        // one pool for every pump, reactor spun up only when selected.
+        let pool = BufferPool::with_counters(
+            PoolConfig {
+                seg_bytes: cfg.chunk.max(PoolConfig::default().seg_bytes),
+                ..PoolConfig::default()
+            },
+            stats.pool_hits.clone(),
+            stats.pool_misses.clone(),
+        );
+        let reactor = match cfg.pump_mode {
+            PumpMode::ThreadPair => None,
+            PumpMode::Reactor => Some(PumpReactor::start(cfg.reactor, stats.clone(), pool.clone())),
+        };
         let ctx = InnerCtx {
             net,
             cfg: cfg.clone(),
             stats: stats.clone(),
             authorized: authorized.clone(),
             shutdown: shutdown.clone(),
+            pool,
+            reactor: reactor.clone(),
         };
         let t_shutdown = shutdown.clone();
         let accept_thread = thread::spawn(move || {
@@ -110,6 +147,7 @@ impl InnerServer {
             stats,
             shutdown,
             authorized,
+            reactor,
             accept_thread: Some(accept_thread),
         })
     }
@@ -146,6 +184,11 @@ impl Drop for InnerServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Reactor last so in-flight relays keep moving while the accept
+        // loop winds down; anything still live is aborted now.
+        if let Some(r) = &self.reactor {
+            r.shutdown();
+        }
     }
 }
 
@@ -157,6 +200,10 @@ struct InnerCtx {
     stats: Arc<ProxyStats>,
     authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
     shutdown: Arc<AtomicBool>,
+    /// Shared staging-buffer pool for every pump this server runs.
+    pool: BufferPool,
+    /// `Some` when `pump_mode` is [`PumpMode::Reactor`].
+    reactor: Option<Arc<PumpReactor>>,
 }
 
 impl InnerCtx {
@@ -194,7 +241,19 @@ impl InnerCtx {
                     self.stats
                         .relay_bridge_ns
                         .record(started.elapsed().as_nanos() as u64);
-                    pump_detached(from_outer, client, self.cfg.chunk, self.stats.clone());
+                    match &self.reactor {
+                        Some(reactor) => {
+                            reactor.register(from_outer, client, RelayActivity::new(), || {});
+                        }
+                        None => {
+                            let stats = self.stats.clone();
+                            let chunk = self.cfg.chunk;
+                            let pool = self.pool.clone();
+                            thread::spawn(move || {
+                                pump_pooled(from_outer, client, chunk, stats, None, &pool);
+                            });
+                        }
+                    }
                 }
             }
             Err(_) => {

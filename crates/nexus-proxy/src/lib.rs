@@ -28,8 +28,10 @@ pub mod client;
 pub mod inner;
 pub mod liveness;
 pub mod outer;
+pub mod pool;
 pub mod protocol;
 pub mod pump;
+pub mod reactor;
 pub mod sim;
 pub mod stats;
 
@@ -39,7 +41,9 @@ pub use liveness::{
     AdmissionGate, AdmissionLimits, AdmissionReject, BreakerConfig, BreakerState, CircuitBreaker,
     HeartbeatConfig, HeartbeatMonitor, SharedBreaker,
 };
-pub use outer::{OuterConfig, OuterServer};
+pub use outer::{OuterConfig, OuterServer, PumpMode};
+pub use pool::{BufferPool, PoolConfig};
 pub use protocol::Msg;
 pub use pump::RelayActivity;
+pub use reactor::{PumpReactor, ReactorConfig};
 pub use stats::{ProxySnapshot, ProxyStats};

@@ -20,8 +20,10 @@
 use crate::liveness::{
     AdmissionGate, AdmissionLimits, BreakerConfig, HeartbeatConfig, SharedBreaker,
 };
+use crate::pool::{BufferPool, PoolConfig};
 use crate::protocol::Msg;
-use crate::pump::{pump_tracked, RelayActivity, DEFAULT_CHUNK};
+use crate::pump::{pump_pooled, RelayActivity, DEFAULT_CHUNK};
+use crate::reactor::{PumpReactor, ReactorConfig};
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
 use std::collections::HashMap;
@@ -32,6 +34,20 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use wacs_sync::OrderedMutex;
+
+/// Which data plane moves relay bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PumpMode {
+    /// Compatibility mode: two blocking threads per relay
+    /// ([`crate::pump::pump_tracked`]). Simple, but thread count scales
+    /// with concurrent relays.
+    #[default]
+    ThreadPair,
+    /// Multiplexed mode: N relays per reactor thread over nonblocking
+    /// sockets with pooled buffers and vectored write coalescing
+    /// ([`crate::reactor::PumpReactor`]).
+    Reactor,
+}
 
 /// Outer server configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +74,12 @@ pub struct OuterConfig {
     pub heartbeat: Option<HeartbeatConfig>,
     /// WAN-leg circuit breaker tuning (inner-server dials).
     pub breaker: BreakerConfig,
+    /// Relay data plane: thread-pair (default, compatibility) or the
+    /// multiplexed reactor.
+    pub pump_mode: PumpMode,
+    /// Reactor tuning (threads, idle backoff); used when `pump_mode`
+    /// is [`PumpMode::Reactor`].
+    pub reactor: ReactorConfig,
 }
 
 impl OuterConfig {
@@ -71,6 +93,8 @@ impl OuterConfig {
             idle_timeout: Duration::from_secs(30),
             heartbeat: None,
             breaker: BreakerConfig::default(),
+            pump_mode: PumpMode::default(),
+            reactor: ReactorConfig::default(),
         }
     }
 
@@ -98,6 +122,16 @@ impl OuterConfig {
         self.breaker = b;
         self
     }
+
+    pub fn with_pump_mode(mut self, mode: PumpMode) -> Self {
+        self.pump_mode = mode;
+        self
+    }
+
+    pub fn with_reactor_config(mut self, r: ReactorConfig) -> Self {
+        self.reactor = r;
+        self
+    }
 }
 
 /// One tracked relay pair. The streams are clones of the pump's, held
@@ -121,6 +155,7 @@ pub struct OuterServer {
     rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
     relays: RelayTable,
     breaker: SharedBreaker,
+    reactor: Option<Arc<PumpReactor>>,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -134,6 +169,21 @@ impl OuterServer {
         let rdv = Arc::new(OrderedMutex::new("nexus.outer.rdv", HashMap::new()));
         let relays: RelayTable = Arc::new(OrderedMutex::new("nexus.outer.relays", HashMap::new()));
         let breaker = SharedBreaker::new(cfg.breaker).with_obs(stats.registry(), "proxy");
+        // One staging-buffer pool for every pump this server runs,
+        // thread-pair and reactor alike. Segments are at least the
+        // default so the reactor can coalesce even small-chunk configs.
+        let pool = BufferPool::with_counters(
+            PoolConfig {
+                seg_bytes: cfg.chunk.max(PoolConfig::default().seg_bytes),
+                ..PoolConfig::default()
+            },
+            stats.pool_hits.clone(),
+            stats.pool_misses.clone(),
+        );
+        let reactor = match cfg.pump_mode {
+            PumpMode::ThreadPair => None,
+            PumpMode::Reactor => Some(PumpReactor::start(cfg.reactor, stats.clone(), pool.clone())),
+        };
 
         let ctx = ServerCtx {
             net,
@@ -152,6 +202,8 @@ impl OuterServer {
             // Relay-table key allocator. // lint:allow(bare-atomic-counter)
             relay_seq: Arc::new(AtomicU64::new(0)),
             breaker: breaker.clone(),
+            pool,
+            reactor: reactor.clone(),
         };
         let mut threads = Vec::new();
 
@@ -190,6 +242,7 @@ impl OuterServer {
             rdv,
             relays,
             breaker,
+            reactor,
             threads,
         })
     }
@@ -254,6 +307,11 @@ impl Drop for OuterServer {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Reactor last: in-flight relays were given their chance to
+        // finish by `drain`; anything still live is aborted now.
+        if let Some(r) = &self.reactor {
+            r.shutdown();
+        }
     }
 }
 
@@ -272,6 +330,10 @@ struct ServerCtx {
     admission: Arc<OrderedMutex<AdmissionGate>>,
     relay_seq: Arc<AtomicU64>, // lint:allow(bare-atomic-counter)
     breaker: SharedBreaker,
+    /// Shared staging-buffer pool for every pump this server runs.
+    pool: BufferPool,
+    /// `Some` when `pump_mode` is [`PumpMode::Reactor`].
+    reactor: Option<Arc<PumpReactor>>,
 }
 
 impl ServerCtx {
@@ -354,14 +416,37 @@ impl ServerCtx {
             );
             self.stats.active_relays.add(1);
         }
-        let ctx = self.clone();
-        thread::spawn(move || {
-            pump_tracked(a, b, ctx.cfg.chunk, ctx.stats.clone(), Some(activity));
-            if ctx.relays.lock().remove(&id).is_some() {
-                ctx.stats.active_relays.add(-1);
+        match &self.reactor {
+            Some(reactor) => {
+                // Multiplexed path: hand the pair to a reactor thread;
+                // the completion callback GCs the table entry and
+                // releases the admission slot.
+                let ctx = self.clone();
+                reactor.register(a, b, activity, move || {
+                    if ctx.relays.lock().remove(&id).is_some() {
+                        ctx.stats.active_relays.add(-1);
+                    }
+                    ctx.admission.lock().release(&peer);
+                });
             }
-            ctx.admission.lock().release(&peer);
-        });
+            None => {
+                let ctx = self.clone();
+                thread::spawn(move || {
+                    pump_pooled(
+                        a,
+                        b,
+                        ctx.cfg.chunk,
+                        ctx.stats.clone(),
+                        Some(activity),
+                        &ctx.pool,
+                    );
+                    if ctx.relays.lock().remove(&id).is_some() {
+                        ctx.stats.active_relays.add(-1);
+                    }
+                    ctx.admission.lock().release(&peer);
+                });
+            }
+        }
     }
 
     /// Sweep the relay table, resetting pairs idle past the timeout.

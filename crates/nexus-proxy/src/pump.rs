@@ -1,11 +1,19 @@
-//! The relay pump: bidirectional byte copying between two streams.
+//! The thread-pair relay pump: bidirectional byte copying between two
+//! streams.
 //!
-//! One thread per direction, fixed buffer (the relay's chunk size —
-//! the store-and-forward granularity the simulator also models).
-//! Clean EOF propagates as a *half-close* (the reverse direction may
-//! still be carrying a reply); hard errors reset both sockets so the
-//! opposite thread unblocks.
+//! One thread per direction, pooled fixed-size buffer (the relay's
+//! chunk size — the store-and-forward granularity the simulator also
+//! models). Clean EOF propagates as a *half-close* (the reverse
+//! direction may still be carrying a reply); hard errors reset both
+//! sockets so the opposite thread unblocks.
+//!
+//! This is the *compatibility* data plane: two threads per relay caps
+//! out at thousands of concurrent users. The readiness-driven
+//! multiplexed pump in [`crate::reactor`] drives many relays per
+//! thread and is selected per-server with
+//! [`crate::outer::PumpMode::Reactor`].
 
+use crate::pool::{BufferPool, PoolConfig};
 use crate::stats::ProxyStats;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -36,11 +44,16 @@ impl Default for RelayActivity {
 }
 
 impl RelayActivity {
+    /// A fresh activity clock, initialized to *now*: a relay that has
+    /// not yet moved a byte is "just active", never idle-since-epoch,
+    /// so a short idle timeout cannot reap it at birth.
     pub fn new() -> Self {
-        RelayActivity {
+        let a = RelayActivity {
             epoch: Instant::now(),
             last: Arc::new(AtomicU64::new(0)), // lint:allow(bare-atomic-counter)
-        }
+        };
+        a.touch();
+        a
     }
 
     /// Record activity now.
@@ -56,43 +69,76 @@ impl RelayActivity {
     }
 }
 
-fn copy_dir(
-    mut from: TcpStream,
-    mut to: TcpStream,
-    chunk: usize,
-    stats: Arc<ProxyStats>,
-    activity: Option<RelayActivity>,
-) {
-    let mut buf = vec![0u8; chunk];
+/// How one copy direction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CopyEnd {
+    /// The source reached clean EOF; propagate as a half-close.
+    CleanEof,
+    /// A hard read or write error; reset both ends.
+    Error,
+}
+
+/// The transport-agnostic copy loop: read a chunk, forward it, repeat.
+/// Bytes count toward `relayed_bytes` only *after* the write lands — a
+/// failed write must not inflate the counter (the far side never saw
+/// those bytes).
+pub(crate) fn copy_loop<R: Read, W: Write>(
+    from: &mut R,
+    to: &mut W,
+    buf: &mut [u8],
+    stats: &ProxyStats,
+    activity: Option<&RelayActivity>,
+) -> CopyEnd {
     loop {
-        match from.read(&mut buf) {
-            Ok(0) => {
-                // Clean EOF: propagate as a half-close so the reverse
-                // direction (e.g. a reply still in flight) survives.
-                let _ = to.shutdown(Shutdown::Write);
-                return;
-            }
-            Err(_) => break,
+        match from.read(buf) {
+            Ok(0) => return CopyEnd::CleanEof,
+            Err(_) => return CopyEnd::Error,
             Ok(n) => {
-                // Count before writing so observers that already see
-                // the bytes on the far side also see the counter.
-                stats.add_bytes(n as u64);
-                if let Some(a) = &activity {
+                if let Some(a) = activity {
                     a.touch();
                 }
-                let seg = std::time::Instant::now();
+                let seg = Instant::now();
                 if to.write_all(&buf[..n]).is_err() {
-                    break;
+                    return CopyEnd::Error;
                 }
+                stats.add_bytes(n as u64);
+                stats.pump_segments.inc();
                 stats
                     .pump_segment_ns
                     .record(seg.elapsed().as_nanos() as u64);
             }
         }
     }
-    // Hard error: reset both ends.
-    let _ = from.shutdown(Shutdown::Both);
-    let _ = to.shutdown(Shutdown::Both);
+}
+
+fn copy_dir(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    chunk: usize,
+    stats: Arc<ProxyStats>,
+    activity: Option<RelayActivity>,
+    pool: &BufferPool,
+) {
+    let mut buf = pool.get(chunk);
+    let chunk = chunk.min(buf.len()).max(1);
+    match copy_loop(
+        &mut from,
+        &mut to,
+        &mut buf[..chunk],
+        &stats,
+        activity.as_ref(),
+    ) {
+        CopyEnd::CleanEof => {
+            // Clean EOF: propagate as a half-close so the reverse
+            // direction (e.g. a reply still in flight) survives.
+            let _ = to.shutdown(Shutdown::Write);
+        }
+        CopyEnd::Error => {
+            // Hard error: reset both ends.
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// Bridge `a` and `b` until either side closes. Blocks until both
@@ -110,20 +156,48 @@ pub fn pump_tracked(
     stats: Arc<ProxyStats>,
     activity: Option<RelayActivity>,
 ) -> u64 {
+    // Throwaway two-segment pool: standalone pumps see the pooled code
+    // path; servers share one pool across relays via [`pump_pooled`].
+    let pool = BufferPool::with_counters(
+        PoolConfig {
+            seg_bytes: chunk.max(1),
+            max_retained: 2,
+        },
+        stats.pool_hits.clone(),
+        stats.pool_misses.clone(),
+    );
+    pump_pooled(a, b, chunk, stats, activity, &pool)
+}
+
+/// [`pump_tracked`] drawing chunk buffers from a caller-shared
+/// [`BufferPool`] — the server path, where relays churn and the pool
+/// amortizes staging-buffer allocation across all of them.
+pub fn pump_pooled(
+    a: TcpStream,
+    b: TcpStream,
+    chunk: usize,
+    stats: Arc<ProxyStats>,
+    activity: Option<RelayActivity>,
+    pool: &BufferPool,
+) -> u64 {
     let before = stats.snapshot().relayed_bytes;
     let (a2, b2) = (a.try_clone(), b.try_clone());
     match (a2, b2) {
         (Ok(a2), Ok(b2)) => {
             let s1 = stats.clone();
             let act = activity.clone();
-            let t = thread::spawn(move || copy_dir(a2, b2, chunk, s1, act));
-            copy_dir(b, a, chunk, stats.clone(), activity);
+            let p = pool.clone();
+            let t = thread::spawn(move || copy_dir(a2, b2, chunk, s1, act, &p));
+            copy_dir(b, a, chunk, stats.clone(), activity, pool);
             let _ = t.join();
         }
         _ => {
-            // Clone failure: fall back to one direction only (rare;
-            // keeps the relay from wedging).
-            copy_dir(a, b, chunk, stats.clone(), activity);
+            // Clone failure: the pair cannot be pumped bidirectionally.
+            // Degrading to one-directional copying would silently break
+            // transparency, so reset both ends and account the failure.
+            stats.pump_clone_failures.inc();
+            let _ = a.shutdown(Shutdown::Both);
+            let _ = b.shutdown(Shutdown::Both);
         }
     }
     stats.snapshot().relayed_bytes - before
@@ -194,5 +268,135 @@ mod tests {
         w.join().unwrap();
         assert_eq!(got, data);
         assert_eq!(stats.snapshot().relayed_bytes, 100_000);
+    }
+
+    /// A writer that accepts exactly `limit` bytes, then fails hard —
+    /// the deterministic analogue of a peer killed mid-transfer.
+    struct DyingWriter {
+        limit: usize,
+        written: usize,
+    }
+
+    impl Write for DyingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written >= self.limit {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "peer died",
+                ));
+            }
+            let n = buf.len().min(self.limit - self.written);
+            self.written += n;
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Byte-accounting pin: when the write side dies mid-transfer, only
+    /// bytes that actually landed count toward `relayed_bytes` — the
+    /// chunk whose write failed must not inflate the counter.
+    #[test]
+    fn failed_writes_do_not_inflate_relayed_bytes() {
+        let stats = ProxyStats::default();
+        let payload = vec![7u8; 10_000];
+        let mut from = std::io::Cursor::new(payload);
+        // Dies 1500 bytes in: mid-way through the second 1024-byte
+        // chunk, so the failing write_all has partially succeeded.
+        let mut to = DyingWriter {
+            limit: 1500,
+            written: 0,
+        };
+        let mut buf = [0u8; 1024];
+        let end = copy_loop(&mut from, &mut to, &mut buf, &stats, None);
+        assert_eq!(end, CopyEnd::Error);
+        // Exactly one full chunk succeeded; the second chunk's write
+        // failed after a partial transfer and is not counted.
+        assert_eq!(stats.snapshot().relayed_bytes, 1024);
+    }
+
+    /// Same property over real sockets: kill the receiving app socket
+    /// mid-transfer and confirm the counter never exceeds what the
+    /// sender pushed (the old code counted reads before writes, so a
+    /// failed write inflated the total).
+    #[test]
+    fn killed_receiver_caps_byte_accounting() {
+        let (mut left_app, left_relay) = socket_pair();
+        let (right_app, right_relay) = socket_pair();
+        let stats = Arc::new(ProxyStats::default());
+        pump_detached(left_relay, right_relay, 2048, stats.clone());
+
+        // Kill the read side immediately: pending relay writes will
+        // eventually fail (RST once the receive buffer logic kicks in).
+        drop(right_app);
+        let chunk = vec![3u8; 4096];
+        let mut sent = 0u64;
+        for _ in 0..256 {
+            match left_app.write_all(&chunk) {
+                Ok(()) => sent += chunk.len() as u64,
+                Err(_) => break,
+            }
+        }
+        drop(left_app);
+        // Give the pump a moment to drain/fail.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.snapshot().relayed_bytes > sent && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            stats.snapshot().relayed_bytes <= sent,
+            "relayed_bytes {} exceeds bytes sent {}",
+            stats.snapshot().relayed_bytes,
+            sent
+        );
+    }
+
+    /// A fresh activity clock reads as *just touched*, not idle since
+    /// some epoch — the regression that made new relays instantly
+    /// reapable under a short idle timeout.
+    #[test]
+    fn fresh_relay_activity_is_not_idle() {
+        let a = RelayActivity::new();
+        assert!(
+            a.idle_for() < Duration::from_secs(1),
+            "fresh activity clock reports {:?} idle",
+            a.idle_for()
+        );
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_pumps() {
+        let stats = Arc::new(ProxyStats::default());
+        let pool = BufferPool::with_counters(
+            PoolConfig {
+                seg_bytes: 4096,
+                max_retained: 8,
+            },
+            stats.pool_hits.clone(),
+            stats.pool_misses.clone(),
+        );
+        for _ in 0..3 {
+            let (mut l, lr) = socket_pair();
+            let (mut r, rr) = socket_pair();
+            let s = stats.clone();
+            let p = pool.clone();
+            let t = thread::spawn(move || pump_pooled(lr, rr, 1024, s, None, &p));
+            l.write_all(b"abc").unwrap();
+            drop(l);
+            let mut got = Vec::new();
+            r.read_to_end(&mut got).unwrap();
+            assert_eq!(got, b"abc");
+            drop(r);
+            t.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert!(
+            snap.pool_hits >= 2,
+            "later pumps must reuse pooled buffers (hits={}, misses={})",
+            snap.pool_hits,
+            snap.pool_misses
+        );
     }
 }

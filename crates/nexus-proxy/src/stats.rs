@@ -45,10 +45,27 @@ pub struct ProxyStats {
     /// Relay requests refused because the target endpoint was not in
     /// the synced bind table (inner server, registration required).
     pub relays_unauthorized: Counter,
+    /// `pump_tracked` pairs whose stream clone failed; both sockets are
+    /// reset rather than silently degrading to one-directional copy.
+    pub pump_clone_failures: Counter,
+    /// Buffer-pool segment reuses (free-list pops).
+    pub pool_hits: Counter,
+    /// Buffer-pool allocations (free list empty or over-size request).
+    pub pool_misses: Counter,
+    /// Segments read by a pump (one successful `read` call each).
+    pub pump_segments: Counter,
+    /// Reactor flushes that drained more than one read in a single
+    /// write syscall (the coalescing win).
+    pub pump_coalesced_writes: Counter,
+    /// Reactor flushes whose single syscall spanned both staged
+    /// segments via vectored I/O.
+    pub pump_vectored_writes: Counter,
     /// 1 while the inner server's control session is live, else 0.
     pub inner_alive: Gauge,
     /// Currently active relay-table entries.
     pub active_relays: Gauge,
+    /// Relays currently owned by reactor threads (multiplexed mode).
+    pub reactor_relays: Gauge,
     /// First control message read+dispatch time.
     pub control_handshake_ns: Histogram,
     /// ConnectReq service: dial target + reply.
@@ -91,8 +108,15 @@ impl ProxyStats {
             inner_reconnects: c("inner_reconnects"),
             bind_syncs: c("bind_syncs"),
             relays_unauthorized: c("relays_unauthorized"),
+            pump_clone_failures: c("pump_clone_failures"),
+            pool_hits: c("pool_hits"),
+            pool_misses: c("pool_misses"),
+            pump_segments: c("pump_segments"),
+            pump_coalesced_writes: c("pump_coalesced_writes"),
+            pump_vectored_writes: c("pump_vectored_writes"),
             inner_alive: g("inner_alive"),
             active_relays: g("active_relays"),
+            reactor_relays: g("reactor_relays"),
             control_handshake_ns: h("control_handshake_ns"),
             connect_req_ns: h("connect_req_ns"),
             bind_req_ns: h("bind_req_ns"),
@@ -125,6 +149,11 @@ impl ProxyStats {
             inner_deaths: self.inner_deaths.get(),
             inner_reconnects: self.inner_reconnects.get(),
             relays_unauthorized: self.relays_unauthorized.get(),
+            pump_clone_failures: self.pump_clone_failures.get(),
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            pump_segments: self.pump_segments.get(),
+            pump_coalesced_writes: self.pump_coalesced_writes.get(),
         }
     }
 }
@@ -144,6 +173,11 @@ pub struct ProxySnapshot {
     pub inner_deaths: u64,
     pub inner_reconnects: u64,
     pub relays_unauthorized: u64,
+    pub pump_clone_failures: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pump_segments: u64,
+    pub pump_coalesced_writes: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Integration tests for the multiplexed reactor data plane
+//! ([`nexus_proxy::reactor`]) behind a real outer server: byte-identical
+//! transfer across a chunk-size sweep, half-close semantics, idle-reaper
+//! integration (including the fresh-relay regression), and graceful
+//! drain — the same liveness guarantees the thread-pair pump gives.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use firewall::vnet::VNet;
+use firewall::{Policy, NXPORT, OUTER_PORT};
+use nexus_proxy::{
+    nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv, PumpMode,
+};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+fn real_world() -> VNet {
+    let net = VNet::new();
+    let rwcp = net.add_site("rwcp", Some(Policy::typical("rwcp")));
+    let dmz = net.add_site("dmz", None);
+    let etl = net.add_site("etl", None);
+    net.add_host("rwcp-sun", rwcp);
+    let inner_ref = net.add_host("rwcp-inner", rwcp);
+    net.add_host("rwcp-outer", dmz);
+    net.add_host("etl-sun", etl);
+    net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
+    net
+}
+
+fn reactor_outer(net: &VNet, cfg: OuterConfig) -> OuterServer {
+    OuterServer::start(net.clone(), cfg.with_pump_mode(PumpMode::Reactor)).unwrap()
+}
+
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let end = std::time::Instant::now() + deadline;
+    while !cond() {
+        assert!(std::time::Instant::now() < end, "timed out waiting: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Chunk-size sweep, 512 B – 64 KiB: the relay must be byte-identical
+/// and honour half-close at every configured chunk size. The client
+/// writes the full payload, half-closes, and still receives the echo —
+/// so EOF propagation must not tear down the reply direction.
+#[test]
+fn chunk_sweep_is_byte_identical_with_half_close() {
+    for &chunk in &[512usize, 2048, 8192, 65536] {
+        let net = real_world();
+        let _inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+        let mut cfg = OuterConfig::new("rwcp-outer").with_inner("rwcp-inner", NXPORT);
+        cfg.chunk = chunk;
+        let outer = reactor_outer(&net, cfg);
+        let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+
+        let l = net.bind("etl-sun", 7400).unwrap();
+        let payload: Vec<u8> = (0..150_000u32)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
+        let want = payload.clone();
+        let srv = std::thread::spawn(move || {
+            let (mut s, _) = l.accept().unwrap();
+            let mut got = Vec::new();
+            s.read_to_end(&mut got).unwrap();
+            assert_eq!(got, want, "chunk={}", want.len());
+            s.write_all(&got).unwrap();
+        });
+
+        let mut s = nx_proxy_connect(&net, &env, "rwcp-sun", ("etl-sun", 7400)).unwrap();
+        s.write_all(&payload).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut echoed = Vec::new();
+        s.read_to_end(&mut echoed).unwrap();
+        assert_eq!(echoed, payload, "chunk={chunk}");
+        srv.join().unwrap();
+        drop(s);
+        wait_until("relay table drain", Duration::from_secs(5), || {
+            outer.active_relays() == 0
+        });
+    }
+}
+
+/// Regression: a *fresh* relay must not be instantly reapable. With
+/// `RelayActivity::new` initializing the clock to 0 instead of "now", a
+/// relay that had not yet moved a byte looked idle-since-epoch and a
+/// short idle timeout could reap it at birth.
+#[test]
+fn fresh_relay_survives_short_idle_timeout() {
+    let net = real_world();
+    let _inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = reactor_outer(
+        &net,
+        OuterConfig::new("rwcp-outer")
+            .with_inner("rwcp-inner", NXPORT)
+            .with_idle_timeout(Duration::from_millis(400)),
+    );
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = net.bind("etl-sun", 7500).unwrap();
+    let _acceptor = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = l.accept() {
+            held.push(s);
+        }
+    });
+    // Open the relay and send nothing at all.
+    let _idle = nx_proxy_connect(&net, &env, "rwcp-sun", ("etl-sun", 7500)).unwrap();
+    wait_until("relay tracked", Duration::from_secs(5), || {
+        outer.active_relays() == 1
+    });
+    // Well inside the idle window a traffic-free relay must still be
+    // alive: the reaper ticks every idle_timeout/4, so by 200 ms it has
+    // swept a fresh entry several times.
+    std::thread::sleep(Duration::from_millis(200));
+    let snap = outer.stats();
+    assert_eq!(
+        (snap.idle_reaped, outer.active_relays()),
+        (0, 1),
+        "fresh relay reaped before its idle timeout"
+    );
+    // ... and once the timeout genuinely elapses, it is reaped.
+    wait_until("idle reap", Duration::from_secs(5), || {
+        outer.stats().idle_reaped >= 1 && outer.active_relays() == 0
+    });
+}
+
+/// The idle-reaper reads reactor relays through the same shared
+/// activity clock: traffic defers reaping, silence triggers it.
+#[test]
+fn reactor_relays_are_reaped_only_when_idle() {
+    let net = real_world();
+    let _inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = reactor_outer(
+        &net,
+        OuterConfig::new("rwcp-outer")
+            .with_inner("rwcp-inner", NXPORT)
+            .with_idle_timeout(Duration::from_millis(150)),
+    );
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = net.bind("etl-sun", 7600).unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = l.accept().unwrap();
+        let mut b = [0u8; 1];
+        while s.read_exact(&mut b).is_ok() {
+            if s.write_all(&b).is_err() {
+                break;
+            }
+        }
+    });
+    let mut s = nx_proxy_connect(&net, &env, "rwcp-sun", ("etl-sun", 7600)).unwrap();
+    // Keep the relay busy well past the idle timeout: activity renews.
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(50));
+        s.write_all(b"x").unwrap();
+        let mut b = [0u8; 1];
+        s.read_exact(&mut b).unwrap();
+    }
+    assert_eq!(outer.stats().idle_reaped, 0, "active relay was reaped");
+    assert_eq!(outer.active_relays(), 1);
+    // Now go silent (but keep the sockets open): the reaper cuts it.
+    wait_until("idle reap", Duration::from_secs(5), || {
+        outer.stats().idle_reaped >= 1 && outer.active_relays() == 0
+    });
+    drop(s);
+    srv.join().unwrap();
+}
+
+/// Graceful drain in reactor mode: shutdown with an in-flight relay
+/// lets it finish and the table reports empty.
+#[test]
+fn reactor_drain_finishes_in_flight_relays() {
+    let net = real_world();
+    let _inner = InnerServer::start(net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let outer = reactor_outer(
+        &net,
+        OuterConfig::new("rwcp-outer").with_inner("rwcp-inner", NXPORT),
+    );
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+    let l = net.bind("etl-sun", 7700).unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = l.accept().unwrap();
+        let mut b = [0u8; 3];
+        s.read_exact(&mut b).unwrap();
+        b
+    });
+    let mut s = nx_proxy_connect(&net, &env, "rwcp-sun", ("etl-sun", 7700)).unwrap();
+    s.write_all(b"end").unwrap();
+    assert_eq!(&srv.join().unwrap(), b"end");
+    drop(s);
+    assert!(outer.drain(Duration::from_secs(5)), "drain timed out");
+    assert_eq!(outer.active_relays(), 0);
+}

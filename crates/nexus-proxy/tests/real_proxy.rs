@@ -154,9 +154,22 @@ fn inside_to_inside_through_both_servers() {
     s.read_exact(&mut back).unwrap();
     assert_eq!(back, data);
     srv.join().unwrap();
-    // Both relay daemons moved the bytes (>= payload both ways).
-    assert!(tb._outer.stats().relayed_bytes >= 2 * 65536);
-    assert!(tb._inner.stats().relayed_bytes >= 2 * 65536);
+    // Both relay daemons moved the bytes (>= payload both ways). Byte
+    // accounting lands *after* each write, so the pump thread may still
+    // be bumping the counter when the app-level echo completes — poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let outer = tb._outer.stats().relayed_bytes;
+        let inner = tb._inner.stats().relayed_bytes;
+        if outer >= 2 * 65536 && inner >= 2 * 65536 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "relayed_bytes stalled: outer={outer} inner={inner}"
+        );
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
 }
 
 #[test]

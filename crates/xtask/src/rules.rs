@@ -25,6 +25,11 @@ pub enum Rule {
     /// thread forever. Mark deliberate blocking sites with
     /// `lint:allow(deadline-io)`.
     DeadlineIo,
+    /// `vec![0u8; ...]` in the relay data-plane hot files: per-chunk
+    /// allocation is what the shared [`BufferPool`] exists to remove.
+    /// The pool's own sanctioned allocation site carries
+    /// `lint:allow(hot-path-alloc)`.
+    HotPathAlloc,
 }
 
 pub const ALL: &[Rule] = &[
@@ -35,6 +40,7 @@ pub const ALL: &[Rule] = &[
     Rule::RequireUnwrapOr,
     Rule::BareAtomicCounter,
     Rule::DeadlineIo,
+    Rule::HotPathAlloc,
 ];
 
 impl Rule {
@@ -47,6 +53,7 @@ impl Rule {
             Rule::RequireUnwrapOr => "require-unwrap-or",
             Rule::BareAtomicCounter => "bare-atomic-counter",
             Rule::DeadlineIo => "deadline-io",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -67,6 +74,10 @@ impl Rule {
             Rule::DeadlineIo => {
                 "blocking read_exact/accept needs a read timeout, non-blocking mode, \
                  or an explicit lint:allow(deadline-io)"
+            }
+            Rule::HotPathAlloc => {
+                "no vec![0u8; ...] in pump/reactor/pool hot loops; take a segment \
+                 from the shared BufferPool"
             }
         }
     }
@@ -97,6 +108,14 @@ const STD_SYNC_EXEMPT: &[&str] = &["crates/wacs-sync/", "crates/xtask/"];
 /// (its instruments *are* atomics) and this analyzer.
 const ATOMIC_COUNTER_EXEMPT: &[&str] = &["crates/wacs-obs/", "crates/xtask/"];
 
+/// The relay data-plane hot files: every staging buffer there must come
+/// from the shared `BufferPool`, not a per-call `vec![0u8; ...]`.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/nexus-proxy/src/pump.rs",
+    "crates/nexus-proxy/src/reactor.rs",
+    "crates/nexus-proxy/src/pool.rs",
+];
+
 /// Analyze one file; `path` is workspace-relative with `/` separators.
 pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
     let masked = mask(source);
@@ -105,6 +124,7 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
     let mut out = Vec::new();
 
     let port_site = PORT_DEFINITION_SITES.contains(&path);
+    let hot_path = HOT_PATH_FILES.contains(&path);
     let sync_exempt = STD_SYNC_EXEMPT.iter().any(|p| path.starts_with(p));
     let atomic_exempt = ATOMIC_COUNTER_EXEMPT.iter().any(|p| path.starts_with(p));
     // File-level deadline evidence: a file that configures timeouts or
@@ -193,6 +213,14 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
                     Rule::DeadlineIo,
                     "blocking I/O with no deadline in this file; set a read timeout \
                      (or mark the site deliberate)"
+                        .into(),
+                );
+            }
+            if hot_path && line.contains("vec![0u8;") {
+                push(
+                    Rule::HotPathAlloc,
+                    "per-call buffer allocation in a relay hot loop; draw a pooled \
+                     segment from the shared BufferPool"
                         .into(),
                 );
             }
@@ -577,6 +605,29 @@ fn f(s: &mut TcpStream) -> io::Result<()> {
         // Test code may block freely.
         let test = "#[cfg(test)]\nmod tests {\n    fn t(s: &mut TcpStream) { s.read_exact(&mut [0; 4]).unwrap(); }\n}\n";
         assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flagged_only_in_data_plane_files() {
+        let src = "fn f(chunk: usize) {\n    let _buf = vec![0u8; chunk];\n}\n";
+        for path in super::HOT_PATH_FILES {
+            assert_eq!(
+                rules_hit(path, src),
+                vec![(2, Rule::HotPathAlloc)],
+                "{path}"
+            );
+        }
+        // Everywhere else a zeroed vec is unremarkable.
+        assert!(rules_hit("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_escape_hatch_and_test_exemption() {
+        let marked =
+            "fn f(n: usize) {\n    let _b = vec![0u8; n]; // lint:allow(hot-path-alloc)\n}\n";
+        assert!(rules_hit("crates/nexus-proxy/src/pool.rs", marked).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![0u8; 16]; }\n}\n";
+        assert!(rules_hit("crates/nexus-proxy/src/pump.rs", test).is_empty());
     }
 
     #[test]
