@@ -19,6 +19,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== xtask lint"
 cargo run -q -p xtask -- lint
 
+echo "== xtask check (model checker, smoke tier)"
+cargo run -q -p xtask -- check
+
 echo "== cargo test"
 cargo test --workspace -q
 

@@ -21,6 +21,10 @@
 //! Usage:
 //!   proxy_bench [--scenario NAME|all] [--smoke] [--out DIR]
 //!   proxy_bench --check FILE...     # validate existing BENCH files
+//!   proxy_bench --check --against-git [--allow-regression] FILE...
+//!       # additionally diff per-mode p99_ns against the version of
+//!       # each file committed at git HEAD; fail if one regressed by
+//!       # more than 20% (--allow-regression downgrades to a warning)
 
 use firewall::vnet::VNet;
 use firewall::{NXPORT, OUTER_PORT};
@@ -55,13 +59,29 @@ fn main() -> std::process::ExitCode {
 
 fn run(args: &[String]) -> io::Result<()> {
     if let Some(pos) = args.iter().position(|a| a == "--check") {
-        let files = &args[pos + 1..];
+        let against_git = args.iter().any(|a| a == "--against-git");
+        let allow_regression = args.iter().any(|a| a == "--allow-regression");
+        let files: Vec<&String> = args[pos + 1..]
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .collect();
         if files.is_empty() {
             return Err(io::Error::other("--check requires at least one file"));
         }
+        let mut regressed = false;
         for f in files {
             check_file(f)?;
+            if against_git {
+                regressed |= check_against_git(f, allow_regression)?;
+            }
             println!("ok: {f}");
+        }
+        if regressed {
+            return Err(io::Error::other(format!(
+                "p99 regressed by more than {P99_REGRESSION_PCT}% vs the committed \
+                 baseline; investigate, or re-run with --allow-regression to \
+                 accept the new trajectory"
+            )));
         }
         return Ok(());
     }
@@ -740,6 +760,61 @@ fn chaos(cfg: &ScenarioCfg, mode: PumpMode) -> io::Result<ModeStats> {
 // Schema validation (used after every run and by `--check`).
 // ---------------------------------------------------------------------
 
+/// Budget for the `--against-git` p99 guard: a freshly generated
+/// BENCH file whose per-mode `p99_ns` exceeds the committed (git
+/// HEAD) version by more than this many percent fails the check.
+const P99_REGRESSION_PCT: u64 = 20;
+
+/// Compare per-mode `p99_ns` of `new_json` against the committed
+/// `old_json`. Pure; returns one message per regressed mode.
+fn p99_regressions(old_json: &str, new_json: &str) -> Vec<String> {
+    // Modes appear in document order: thread_pair, then reactor.
+    const MODES: [&str; 2] = ["thread_pair", "reactor"];
+    let old = extract_all(old_json, "p99_ns");
+    let new = extract_all(new_json, "p99_ns");
+    let mut out = Vec::new();
+    for (i, mode) in MODES.iter().enumerate() {
+        let (Some(&o), Some(&n)) = (old.get(i), new.get(i)) else {
+            continue;
+        };
+        if o > 0 && n.saturating_mul(100) > o.saturating_mul(100 + P99_REGRESSION_PCT) {
+            out.push(format!(
+                "{mode}: p99 {n} ns vs committed {o} ns \
+                 (+{}%, budget {P99_REGRESSION_PCT}%)",
+                (n.saturating_mul(100) / o).saturating_sub(100),
+            ));
+        }
+    }
+    out
+}
+
+/// The `--against-git` guard for one file: diff its p99s against the
+/// version committed at git HEAD. Returns whether the file regressed
+/// (always `false` under `--allow-regression`, which only warns).
+/// A file with no committed baseline (new scenario, or no repo) is
+/// skipped with a note.
+fn check_against_git(path: &str, allow_regression: bool) -> io::Result<bool> {
+    let rel = path.strip_prefix("./").unwrap_or(path);
+    let out = std::process::Command::new("git")
+        .args(["show", &format!("HEAD:{rel}")])
+        .output()?;
+    if !out.status.success() {
+        println!("  (no committed baseline for {path}; skipping p99 guard)");
+        return Ok(false);
+    }
+    let committed = String::from_utf8_lossy(&out.stdout).into_owned();
+    let current = std::fs::read_to_string(path)?;
+    let regressions = p99_regressions(&committed, &current);
+    for r in &regressions {
+        if allow_regression {
+            println!("  warning: {path}: {r} (accepted via --allow-regression)");
+        } else {
+            eprintln!("  {path}: {r}");
+        }
+    }
+    Ok(!allow_regression && !regressions.is_empty())
+}
+
 fn check_file(path: &str) -> io::Result<()> {
     let json = std::fs::read_to_string(path)?;
     let name = std::path::Path::new(path)
@@ -844,5 +919,40 @@ mod tests {
         assert!(validate(&doc, "fanin").is_err());
         let broken = doc.replace("\"p95_ns\":2", "\"p95_ns\":9");
         assert!(validate(&broken, "latency").is_err());
+    }
+
+    fn two_mode_doc(tp_p99: u64, re_p99: u64) -> String {
+        format!(
+            r#"{{"modes":{{"thread_pair":{{"p99_ns":{tp_p99}}},"reactor":{{"p99_ns":{re_p99}}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn p99_guard_passes_within_budget() {
+        let old = two_mode_doc(1000, 2000);
+        // Exactly +20% is within budget; only strictly-over fails.
+        assert!(p99_regressions(&old, &two_mode_doc(1200, 2400)).is_empty());
+        assert!(p99_regressions(&old, &two_mode_doc(900, 1500)).is_empty());
+    }
+
+    #[test]
+    fn p99_guard_flags_each_regressed_mode() {
+        let old = two_mode_doc(1000, 2000);
+        let r = p99_regressions(&old, &two_mode_doc(1201, 2000));
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].starts_with("thread_pair:"), "{r:?}");
+        let r = p99_regressions(&old, &two_mode_doc(1300, 5000));
+        assert_eq!(r.len(), 2, "{r:?}");
+        assert!(r[1].starts_with("reactor:"), "{r:?}");
+    }
+
+    #[test]
+    fn p99_guard_tolerates_missing_or_zero_baselines() {
+        // Old doc without p99s (schema drift) or with a zero p99
+        // (degenerate) must not divide by zero or false-positive.
+        assert!(p99_regressions("{}", &two_mode_doc(9999, 9999)).is_empty());
+        let zero = two_mode_doc(0, 2000);
+        let r = p99_regressions(&zero, &two_mode_doc(5000, 2000));
+        assert!(r.is_empty(), "{r:?}");
     }
 }

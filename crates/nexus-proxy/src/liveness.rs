@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use wacs_sync::OrderedMutex;
 
 /// Heartbeat tuning for the outer↔inner control channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeartbeatConfig {
     /// How often the outer server pings the inner server.
     pub interval: Duration,
@@ -47,7 +47,7 @@ impl Default for HeartbeatConfig {
 /// (a Pong, or any frame) and polls `expired(now)` from its ping
 /// timer; `next_seq()` numbers outgoing pings so stale pongs can be
 /// told apart in traces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HeartbeatMonitor {
     cfg: HeartbeatConfig,
     last_seen: u64,
@@ -72,6 +72,13 @@ impl HeartbeatMonitor {
         self.last_seen = self.last_seen.max(now);
     }
 
+    /// Timestamp of the latest observed proof of life (monotone: a
+    /// late-arriving stale observation never moves it backwards —
+    /// verified exhaustively by `wacs-check`).
+    pub fn last_seen(&self) -> u64 {
+        self.last_seen
+    }
+
     /// Has the peer been silent longer than the timeout?
     pub fn expired(&self, now: u64) -> bool {
         now.saturating_sub(self.last_seen) > self.cfg.timeout.as_nanos() as u64
@@ -86,7 +93,7 @@ impl HeartbeatMonitor {
 
 /// Circuit-breaker states, exported so observers can mirror them into
 /// a gauge (`0` closed, `1` open, `2` half-open).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BreakerState {
     /// Dials flow freely; consecutive failures are counted.
     Closed,
@@ -108,7 +115,7 @@ impl BreakerState {
 }
 
 /// Breaker tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BreakerConfig {
     /// Consecutive failures that trip the breaker open.
     pub threshold: u32,
@@ -131,7 +138,7 @@ impl Default for BreakerConfig {
 /// Transitions: `Closed --N failures--> Open --cooldown--> HalfOpen`;
 /// a half-open probe success closes the breaker, a failure re-opens
 /// it (restarting the cooldown).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     state: BreakerState,
@@ -153,6 +160,13 @@ impl CircuitBreaker {
         self.state
     }
 
+    /// Instant the breaker last tripped open (meaningful while the
+    /// state is `Open`/`HalfOpen`); exposed for the model checker's
+    /// cooldown invariant.
+    pub fn opened_at(&self) -> u64 {
+        self.opened_at
+    }
+
     /// May a dial proceed at `now`? An open breaker whose cooldown has
     /// elapsed transitions to half-open and admits exactly one probe.
     pub fn allow(&mut self, now: u64) -> bool {
@@ -171,10 +185,23 @@ impl CircuitBreaker {
         }
     }
 
-    /// A dial succeeded: close the breaker and reset the failure run.
+    /// A dial succeeded. In `Closed` this resets the failure run; a
+    /// `HalfOpen` probe success closes the breaker. A success arriving
+    /// while `Open` is *stale* — the dial was admitted before the trip
+    /// and its late outcome must not close the breaker without a
+    /// half-open probe (found by the `wacs-check` breaker model:
+    /// `[Dial, Dial, Fail, Fail → Open, stale Success → Closed]`; the
+    /// shared breaker really does race like this, outer dialer vs
+    /// client).
     pub fn on_success(&mut self) {
-        self.state = BreakerState::Closed;
-        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+            }
+            BreakerState::Open => {}
+        }
     }
 
     /// A dial failed at `now`. Returns `true` if this failure tripped
@@ -202,13 +229,15 @@ impl CircuitBreaker {
     }
 }
 
-/// Admission refusal, distinguishing the two bounds.
+/// Admission refusal, distinguishing the bounds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionReject {
     /// The server-wide concurrent-relay cap is reached.
     Total { limit: u32 },
     /// This peer's concurrent-relay cap is reached.
     PerPeer { peer: String, limit: u32 },
+    /// The server is draining for shutdown; no new admissions.
+    Draining,
 }
 
 impl std::fmt::Display for AdmissionReject {
@@ -220,6 +249,7 @@ impl std::fmt::Display for AdmissionReject {
             AdmissionReject::PerPeer { peer, limit } => {
                 write!(f, "relay busy: per-peer limit {limit} reached for {peer}")
             }
+            AdmissionReject::Draining => write!(f, "relay draining: no new admissions"),
         }
     }
 }
@@ -245,11 +275,12 @@ impl Default for AdmissionLimits {
 /// Bounded admission: a counting gate over (total, per-peer) relays.
 /// Pure bookkeeping — the owner wraps it in a lock and must pair every
 /// successful `try_admit` with exactly one `release`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AdmissionGate {
     limits: AdmissionLimits,
     total: u32,
     per_peer: HashMap<String, u32>,
+    draining: bool,
 }
 
 impl AdmissionGate {
@@ -258,6 +289,7 @@ impl AdmissionGate {
             limits,
             total: 0,
             per_peer: HashMap::new(),
+            draining: false,
         }
     }
 
@@ -265,8 +297,33 @@ impl AdmissionGate {
         self.total
     }
 
+    /// Is the gate refusing all new work for shutdown?
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Refuse every future `try_admit` with [`AdmissionReject::Draining`].
+    /// Releases still proceed so in-flight relays can finish.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Canonical snapshot of the bookkeeping — `(total, draining,
+    /// sorted per-peer counts)` — used by the model checker to hash
+    /// and compare states, and by its core invariant: `total` must
+    /// always equal the sum of the per-peer counts.
+    pub fn fingerprint(&self) -> (u32, bool, Vec<(String, u32)>) {
+        let mut peers: Vec<(String, u32)> =
+            self.per_peer.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        peers.sort();
+        (self.total, self.draining, peers)
+    }
+
     /// Admit one relay for `peer`, or refuse with the bound that hit.
     pub fn try_admit(&mut self, peer: &str) -> Result<(), AdmissionReject> {
+        if self.draining {
+            return Err(AdmissionReject::Draining);
+        }
         if self.total >= self.limits.max_total {
             return Err(AdmissionReject::Total {
                 limit: self.limits.max_total,
@@ -284,13 +341,22 @@ impl AdmissionGate {
         Ok(())
     }
 
-    /// Release one previously admitted relay for `peer`.
+    /// Release one previously admitted relay for `peer`. A release
+    /// with no matching admission is a pure no-op: decrementing
+    /// `total` for an unknown peer while other relays are active
+    /// leaks capacity (`total` drifts below the per-peer sum and
+    /// frees slots that are still occupied) — found by the
+    /// `wacs-check` admission model via `[Admit("a"),
+    /// Release("b")]` and pinned below.
     pub fn release(&mut self, peer: &str) {
-        self.total = self.total.saturating_sub(1);
         match self.per_peer.get_mut(peer) {
-            Some(n) if *n > 1 => *n -= 1,
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                self.total = self.total.saturating_sub(1);
+            }
             Some(_) => {
                 self.per_peer.remove(peer);
+                self.total = self.total.saturating_sub(1);
             }
             None => {}
         }
@@ -372,11 +438,14 @@ impl SharedBreaker {
 
     pub fn on_success(&self) {
         let mut b = self.inner.lock();
-        let was_closed = b.state() == BreakerState::Closed;
+        let before = b.state();
         b.on_success();
+        let after = b.state();
         drop(b);
-        self.mirror(BreakerState::Closed);
-        if !was_closed {
+        self.mirror(after);
+        // Count only genuine transitions to Closed (a stale success
+        // against an Open breaker changes nothing).
+        if before != BreakerState::Closed && after == BreakerState::Closed {
             if let Some(o) = &self.obs {
                 o.closes.inc();
             }
@@ -500,6 +569,70 @@ mod tests {
         // Releasing an unknown peer is a no-op, not an underflow.
         g.release("ghost");
         assert_eq!(g.active(), 0);
+    }
+
+    /// Counterexample replay (wacs-check admission model): a ghost
+    /// release while another peer is active must not leak capacity.
+    /// Pre-fix, `release("b")` decremented `total` unconditionally,
+    /// leaving `total = 0` with peer `a` still admitted — the per-peer
+    /// sum and `total` diverged and a stuck peer could free slots it
+    /// never held.
+    #[test]
+    fn ghost_release_with_active_peers_does_not_leak_capacity() {
+        let mut g = AdmissionGate::new(AdmissionLimits {
+            max_total: 1,
+            max_per_peer: 1,
+        });
+        assert!(g.try_admit("a").is_ok());
+        g.release("b"); // trace step 2: release of a never-admitted peer
+        let (total, _, peers) = g.fingerprint();
+        let sum: u32 = peers.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, sum, "total must track the per-peer sum");
+        assert_eq!(g.active(), 1, "peer a is still admitted");
+        // The leaked slot must not admit a second relay past the cap.
+        assert_eq!(g.try_admit("c"), Err(AdmissionReject::Total { limit: 1 }));
+    }
+
+    /// Counterexample replay (wacs-check breaker model): a stale
+    /// success from a dial admitted *before* the breaker tripped must
+    /// not close it without a half-open probe. Pre-fix trace:
+    /// allow, allow (two dials in flight), fail, fail (trips open at
+    /// threshold 2), then the surviving dial reports success →
+    /// breaker snapped Open→Closed with the WAN leg still dark.
+    #[test]
+    fn stale_success_does_not_close_an_open_breaker() {
+        let mut b = breaker(2, 100);
+        assert!(b.allow(0));
+        assert!(b.allow(0)); // two concurrent dials admitted while Closed
+        assert!(!b.on_failure(0));
+        assert!(b.on_failure(0), "second failure trips the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_success(); // the other dial's late success arrives
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "only a half-open probe may close the breaker"
+        );
+        // The legitimate path still works: cooldown, probe, close.
+        assert!(b.allow(101 * MS));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn drain_refuses_new_admissions_but_allows_releases() {
+        let mut g = AdmissionGate::new(AdmissionLimits {
+            max_total: 4,
+            max_per_peer: 4,
+        });
+        assert!(g.try_admit("a").is_ok());
+        g.begin_drain();
+        assert!(g.draining());
+        assert_eq!(g.try_admit("b"), Err(AdmissionReject::Draining));
+        g.release("a");
+        assert_eq!(g.active(), 0);
+        assert_eq!(g.try_admit("a"), Err(AdmissionReject::Draining));
     }
 
     #[test]

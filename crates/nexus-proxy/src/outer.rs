@@ -154,6 +154,7 @@ pub struct OuterServer {
     /// Rendezvous registry: rdv port → client private endpoint.
     rdv: Arc<OrderedMutex<HashMap<u16, (String, u16)>>>,
     relays: RelayTable,
+    admission: Arc<OrderedMutex<AdmissionGate>>,
     breaker: SharedBreaker,
     reactor: Option<Arc<PumpReactor>>,
     threads: Vec<thread::JoinHandle<()>>,
@@ -241,6 +242,7 @@ impl OuterServer {
             shutdown,
             rdv,
             relays,
+            admission: ctx.admission.clone(),
             breaker,
             reactor,
             threads,
@@ -288,6 +290,11 @@ impl OuterServer {
     /// relay table drained completely.
     pub fn drain(&self, timeout: Duration) -> bool {
         self.shutdown();
+        // Close the admission gate first: a connect racing the drain
+        // must see a typed refusal, not squeeze in a fresh relay while
+        // we wait for the table to empty (the wacs-check admission
+        // model's no-admit-after-drain invariant).
+        self.admission.lock().begin_drain();
         let deadline = Instant::now() + timeout;
         loop {
             if self.relays.lock().is_empty() {

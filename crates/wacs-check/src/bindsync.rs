@@ -1,0 +1,194 @@
+//! Model of the generation-counted bind-table synchronisation
+//! (`OuterServer::sync_binds` against the rendezvous generation
+//! counter).
+//!
+//! The real code snapshots the inner server's bind table while
+//! clients keep rebinding concurrently. Staleness is made detectable
+//! by a generation counter: the syncer must read the generation
+//! **before** snapshotting the table, so that any concurrent change
+//! makes the recorded generation *older* than the table it shipped —
+//! an honest "I may be stale" marker that triggers a follow-up sync.
+//! Reading in the opposite order lets a sync claim the *newest*
+//! generation for a *stale* table, and the staleness is never
+//! repaired.
+//!
+//! The model abstracts the table to its generation number (table
+//! content == generation at which it was last changed) and checks:
+//!
+//! * **Honesty**: whenever the synced generation equals the live
+//!   generation, the synced table is the live table.
+//! * **Monotonicity**: the synced generation never moves backwards.
+//!
+//! `read_gen_first: false` reproduces the buggy ordering; the checker
+//! finds the classic 3-step interleaving `[StartSync, Change,
+//! FinishSync]`.
+
+use crate::explore::{explore_bfs, Model, Report};
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BsState {
+    /// Live generation on the rendezvous side (bumped by rebinds).
+    gen: u8,
+    /// Live table content, abstracted to the generation that wrote it.
+    table: u8,
+    /// In-flight sync: the value read by `StartSync`.
+    inflight: Option<u8>,
+    /// Outer server's installed snapshot.
+    synced_gen: u8,
+    synced_table: u8,
+    /// History variable for the monotonicity invariant.
+    prev_synced_gen: u8,
+}
+
+#[derive(Clone, Debug)]
+pub enum BsAction {
+    /// A client rebinds: the table changes and the generation bumps.
+    Change,
+    /// The syncer performs its first read.
+    StartSync,
+    /// The syncer performs its second read and installs the snapshot.
+    FinishSync,
+}
+
+pub struct BindSyncModel {
+    pub max_gen: u8,
+    /// `true` is the shipped ordering (generation before table);
+    /// `false` is the inversion the checker must catch.
+    pub read_gen_first: bool,
+}
+
+impl BindSyncModel {
+    pub fn smoke() -> Self {
+        BindSyncModel {
+            max_gen: 4,
+            read_gen_first: true,
+        }
+    }
+
+    pub fn deep() -> Self {
+        BindSyncModel {
+            max_gen: 8,
+            read_gen_first: true,
+        }
+    }
+}
+
+impl Model for BindSyncModel {
+    type State = BsState;
+    type Action = BsAction;
+
+    fn name(&self) -> &'static str {
+        "bindsync"
+    }
+
+    fn initial(&self) -> BsState {
+        BsState {
+            gen: 0,
+            table: 0,
+            inflight: None,
+            synced_gen: 0,
+            synced_table: 0,
+            prev_synced_gen: 0,
+        }
+    }
+
+    fn actions(&self, s: &BsState, out: &mut Vec<BsAction>) {
+        if s.gen < self.max_gen {
+            out.push(BsAction::Change);
+        }
+        if s.inflight.is_none() {
+            out.push(BsAction::StartSync);
+        } else {
+            out.push(BsAction::FinishSync);
+        }
+    }
+
+    fn apply(&self, s: &BsState, a: &BsAction) -> BsState {
+        let mut t = *s;
+        t.prev_synced_gen = s.synced_gen;
+        match a {
+            BsAction::Change => {
+                t.gen += 1;
+                t.table = t.gen;
+            }
+            BsAction::StartSync => {
+                t.inflight = Some(if self.read_gen_first { s.gen } else { s.table });
+            }
+            BsAction::FinishSync => {
+                if let Some(first) = s.inflight {
+                    if self.read_gen_first {
+                        // Shipped order: gen was read first; the table
+                        // is read now (possibly newer — honest).
+                        t.synced_gen = first;
+                        t.synced_table = s.table;
+                    } else {
+                        // Inverted order: table was read first; the
+                        // gen read now may be newer than the table.
+                        t.synced_gen = s.gen;
+                        t.synced_table = first;
+                    }
+                    t.inflight = None;
+                }
+            }
+        }
+        t
+    }
+
+    fn invariant(&self, s: &BsState) -> Result<(), String> {
+        if s.synced_gen == s.gen && s.synced_table != s.table {
+            return Err(format!(
+                "sync claims generation {} (current) but shipped table from generation {}",
+                s.synced_gen, s.synced_table
+            ));
+        }
+        if s.synced_gen < s.prev_synced_gen {
+            return Err(format!(
+                "synced generation moved backwards: {} -> {}",
+                s.prev_synced_gen, s.synced_gen
+            ));
+        }
+        if s.synced_gen > s.gen {
+            return Err(format!(
+                "synced generation {} is ahead of the live generation {}",
+                s.synced_gen, s.gen
+            ));
+        }
+        Ok(())
+    }
+}
+
+pub fn verify(deep: bool) -> Report {
+    let m = if deep {
+        BindSyncModel::deep()
+    } else {
+        BindSyncModel::smoke()
+    };
+    explore_bfs(&m, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_bfs;
+
+    #[test]
+    fn shipped_read_order_is_honest_exhaustively() {
+        let r = verify(false);
+        assert!(r.ok(), "{r}");
+        assert!(r.states > 30, "state space suspiciously small: {r}");
+    }
+
+    #[test]
+    fn checker_finds_the_inverted_read_order_minimally() {
+        let m = BindSyncModel {
+            max_gen: 4,
+            read_gen_first: false,
+        };
+        let r = explore_bfs(&m, 100_000);
+        let cx = r.violation.expect("inverted order must be caught");
+        // Minimal: StartSync (reads table 0), Change (gen 1),
+        // FinishSync (claims gen 1 with table 0).
+        assert_eq!(cx.trace.len(), 3, "{:?}", cx.trace);
+        assert!(cx.reason.contains("claims generation"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Model of the `wacs_sync::channel` bounded MPMC channel's
+//! monitor discipline (mutex + two condvars, `notify_one` on each
+//! side).
+//!
+//! Queue operations are monitor-atomic in the real implementation, so
+//! the model treats each send/recv as one atomic action and focuses
+//! on what the monitor *cannot* make atomic: who gets woken, and
+//! whether every state that must make progress can. The
+//! `notify_one` choice is the nondeterminism — a `Send`/`Recv`
+//! action is split per wake target (one successor per blocked waiter
+//! on the notified condvar).
+//!
+//! The **no lost wakeup** property is exactly the explorer's wedge
+//! check: a state where some thread still has work, every runnable
+//! action is exhausted, and the run is not accepting, is a deadlock —
+//! some blocked thread missed the notification that should have
+//! re-enabled it. The real channel notifies `not_empty` on every
+//! send and `not_full` on every pop ([`wacs_sync::channel`]); the
+//! `recv_notifies: false` variant models the classic
+//! "only notify when the queue *was* full" optimisation, which this
+//! model shows loses wakeups under two producers.
+
+use crate::explore::{explore_bfs, Model, Report};
+
+/// One thread's progress: items left to move, and whether it is
+/// parked on its condvar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Thread {
+    remaining: u8,
+    blocked: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ChState {
+    queue: u8,
+    producers: Vec<Thread>,
+    consumers: Vec<Thread>,
+}
+
+#[derive(Clone, Debug)]
+pub enum ChAction {
+    /// Producer `t` pushes; `wake` is the blocked consumer chosen by
+    /// `notify_one(not_empty)`, if any are parked.
+    Send { t: usize, wake: Option<usize> },
+    /// Producer `t` finds the queue full and parks on `not_full`.
+    SendBlock { t: usize },
+    /// Consumer `t` pops; `wake` is the blocked producer chosen by
+    /// `notify_one(not_full)`, if any are parked.
+    Recv { t: usize, wake: Option<usize> },
+    /// Consumer `t` finds the queue empty and parks on `not_empty`.
+    RecvBlock { t: usize },
+}
+
+pub struct ChannelModel {
+    pub cap: u8,
+    pub producers: usize,
+    pub consumers: usize,
+    pub per_producer: u8,
+    /// Does a pop notify `not_full`? The real channel always does.
+    pub recv_notifies: bool,
+    /// Does a push notify `not_empty`? The real channel always does.
+    pub send_notifies: bool,
+}
+
+impl ChannelModel {
+    pub fn smoke() -> Self {
+        ChannelModel {
+            cap: 1,
+            producers: 2,
+            consumers: 2,
+            per_producer: 2,
+            recv_notifies: true,
+            send_notifies: true,
+        }
+    }
+
+    pub fn deep() -> Self {
+        ChannelModel {
+            cap: 2,
+            producers: 3,
+            consumers: 2,
+            per_producer: 2,
+            recv_notifies: true,
+            send_notifies: true,
+        }
+    }
+
+    fn total_items(&self) -> u16 {
+        self.producers as u16 * u16::from(self.per_producer)
+    }
+}
+
+impl Model for ChannelModel {
+    type State = ChState;
+    type Action = ChAction;
+
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn initial(&self) -> ChState {
+        let total = self.total_items();
+        let per_consumer = total / self.consumers as u16;
+        let mut consumers: Vec<Thread> = (0..self.consumers)
+            .map(|_| Thread {
+                remaining: per_consumer as u8,
+                blocked: false,
+            })
+            .collect();
+        // Distribute any remainder so consumers drain everything.
+        let mut rem = total - per_consumer * self.consumers as u16;
+        for c in &mut consumers {
+            if rem == 0 {
+                break;
+            }
+            c.remaining += 1;
+            rem -= 1;
+        }
+        ChState {
+            queue: 0,
+            producers: (0..self.producers)
+                .map(|_| Thread {
+                    remaining: self.per_producer,
+                    blocked: false,
+                })
+                .collect(),
+            consumers,
+        }
+    }
+
+    fn actions(&self, s: &ChState, out: &mut Vec<ChAction>) {
+        for (t, p) in s.producers.iter().enumerate() {
+            if p.remaining == 0 || p.blocked {
+                continue;
+            }
+            if s.queue < self.cap {
+                if self.send_notifies {
+                    let parked: Vec<usize> = s
+                        .consumers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.blocked)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if parked.is_empty() {
+                        out.push(ChAction::Send { t, wake: None });
+                    } else {
+                        for w in parked {
+                            out.push(ChAction::Send { t, wake: Some(w) });
+                        }
+                    }
+                } else {
+                    out.push(ChAction::Send { t, wake: None });
+                }
+            } else {
+                out.push(ChAction::SendBlock { t });
+            }
+        }
+        for (t, c) in s.consumers.iter().enumerate() {
+            if c.remaining == 0 || c.blocked {
+                continue;
+            }
+            if s.queue > 0 {
+                if self.recv_notifies {
+                    let parked: Vec<usize> = s
+                        .producers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.blocked)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if parked.is_empty() {
+                        out.push(ChAction::Recv { t, wake: None });
+                    } else {
+                        for w in parked {
+                            out.push(ChAction::Recv { t, wake: Some(w) });
+                        }
+                    }
+                } else {
+                    out.push(ChAction::Recv { t, wake: None });
+                }
+            } else {
+                out.push(ChAction::RecvBlock { t });
+            }
+        }
+    }
+
+    fn apply(&self, s: &ChState, a: &ChAction) -> ChState {
+        let mut t = s.clone();
+        match a {
+            ChAction::Send { t: i, wake } => {
+                t.queue += 1;
+                t.producers[*i].remaining -= 1;
+                if let Some(w) = wake {
+                    t.consumers[*w].blocked = false;
+                }
+            }
+            ChAction::SendBlock { t: i } => t.producers[*i].blocked = true,
+            ChAction::Recv { t: i, wake } => {
+                t.queue -= 1;
+                t.consumers[*i].remaining -= 1;
+                if let Some(w) = wake {
+                    t.producers[*w].blocked = false;
+                }
+            }
+            ChAction::RecvBlock { t: i } => t.consumers[*i].blocked = true,
+        }
+        t
+    }
+
+    fn invariant(&self, s: &ChState) -> Result<(), String> {
+        if s.queue > self.cap {
+            return Err(format!("queue {} over capacity {}", s.queue, self.cap));
+        }
+        for (i, p) in s.producers.iter().enumerate() {
+            if p.blocked && p.remaining == 0 {
+                return Err(format!("producer {i} parked with nothing left to send"));
+            }
+        }
+        for (i, c) in s.consumers.iter().enumerate() {
+            if c.blocked && c.remaining == 0 {
+                return Err(format!("consumer {i} parked with nothing left to receive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A run may stop only when every thread has finished its quota.
+    /// Anything else with no enabled action is a wedge — a lost
+    /// wakeup.
+    fn accepting(&self, s: &ChState) -> bool {
+        s.producers.iter().all(|p| p.remaining == 0) && s.consumers.iter().all(|c| c.remaining == 0)
+    }
+}
+
+pub fn verify(deep: bool) -> Report {
+    let m = if deep {
+        ChannelModel::deep()
+    } else {
+        ChannelModel::smoke()
+    };
+    explore_bfs(&m, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_bfs;
+
+    #[test]
+    fn real_notify_discipline_has_no_lost_wakeups() {
+        let r = verify(false);
+        assert!(r.ok(), "{r}");
+        assert!(r.states > 50, "state space suspiciously small: {r}");
+    }
+
+    #[test]
+    fn deep_config_also_clean() {
+        let r = verify(true);
+        assert!(r.ok(), "{r}");
+    }
+
+    #[test]
+    fn checker_finds_the_lost_wakeup_when_recv_stops_notifying() {
+        let m = ChannelModel {
+            recv_notifies: false,
+            ..ChannelModel::smoke()
+        };
+        let r = explore_bfs(&m, 2_000_000);
+        let cx = r
+            .violation
+            .expect("dropping the not_full notification must wedge");
+        assert!(cx.reason.contains("wedge"), "{}", cx.reason);
+        // The trace must end with some producer parked forever.
+        assert!(
+            cx.trace.iter().any(|a| a.contains("SendBlock")),
+            "{:?}",
+            cx.trace
+        );
+    }
+
+    #[test]
+    fn checker_finds_the_lost_wakeup_when_send_stops_notifying() {
+        let m = ChannelModel {
+            send_notifies: false,
+            ..ChannelModel::smoke()
+        };
+        let r = explore_bfs(&m, 2_000_000);
+        let cx = r
+            .violation
+            .expect("dropping the not_empty notification must wedge");
+        assert!(cx.reason.contains("wedge"), "{}", cx.reason);
+        assert!(
+            cx.trace.iter().any(|a| a.contains("RecvBlock")),
+            "{:?}",
+            cx.trace
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! `wacs-check` — exhaustive model checking for the workspace's
+//! liveness and concurrency state machines.
+//!
+//! Where `xtask lint` reasons about the *source* (token-level rules,
+//! the static lock-order graph), this crate reasons about the
+//! *semantics*: it drives the real production types — and faithful
+//! abstractions where the real code is I/O-bound — through **every**
+//! reachable state under bounded interleaving, and checks safety
+//! invariants in each one. Violations come back as minimal
+//! replayable action traces (see EXPERIMENTS.md for how to read
+//! them).
+//!
+//! Models and their headline invariants:
+//!
+//! * [`heartbeat`] — `HeartbeatMonitor`: `last_seen` monotone under
+//!   stale deliveries; `expired` definitionally consistent.
+//! * [`breaker`] — `CircuitBreaker`: never closes without a
+//!   half-open probe; trips exactly at the threshold; cooldown
+//!   gates the probe.
+//! * [`admission`] — `AdmissionGate`: capacity conservation (ghost
+//!   releases are no-ops); bounds respected; no admission after
+//!   drain.
+//! * [`bindsync`] — generation-counted bind-table sync: the
+//!   read-generation-first ordering never claims a current
+//!   generation for a stale table; synced generations are monotone.
+//! * [`channel`] — the `wacs_sync` bounded channel's monitor
+//!   discipline: no lost wakeups (wedge-freedom) under the
+//!   notify-one-on-every-operation protocol.
+//! * [`lockpair`] — nested `OrderedMutex` acquisition: one global
+//!   nesting order is deadlock-free across all interleavings
+//!   (verified with the sleep-set DFS engine).
+//!
+//! Two of these invariants began life as counterexamples: the
+//! breaker's stale-success close and the admission gate's
+//! ghost-release capacity leak were found by these models, fixed in
+//! `nexus_proxy::liveness`, and pinned there by regression tests.
+//! The buggy variants live on in this crate's test suite as
+//! spec-level models the checker must still catch.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod admission;
+pub mod bindsync;
+pub mod breaker;
+pub mod channel;
+pub mod explore;
+pub mod heartbeat;
+pub mod lockpair;
+
+pub use explore::{explore_bfs, explore_dfs_sleep, Counterexample, Model, Report};
+
+/// Run every model at the smoke (`deep = false`, < 30 s total, CI
+/// tier) or deep (`deep = true`) bound. Callers treat a report with
+/// a violation or `exhausted == false` as failure.
+pub fn run_all(deep: bool) -> Vec<Report> {
+    vec![
+        heartbeat::verify(deep),
+        breaker::verify(deep),
+        admission::verify(deep),
+        bindsync::verify(deep),
+        channel::verify(deep),
+        lockpair::verify(deep),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tier_is_exhaustive_and_clean() {
+        for r in run_all(false) {
+            assert!(r.ok(), "{r}");
+        }
+    }
+}

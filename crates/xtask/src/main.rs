@@ -30,14 +30,17 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod lexer;
 mod mask;
 mod rules;
 mod scan;
+mod wsrules;
 
 pub use rules::{Rule, Violation};
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    eprintln!("       cargo run -p xtask -- check [--deep]");
     eprintln!("       cargo run -p xtask -- rules");
     ExitCode::from(2)
 }
@@ -55,6 +58,7 @@ fn main() -> ExitCode {
             };
             run_lint(&root)
         }
+        Some("check") => run_check(args.iter().any(|a| a == "--deep")),
         Some("rules") => {
             for rule in rules::ALL {
                 println!("{:<14} {}", rule.name(), rule.summary());
@@ -62,6 +66,39 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+/// Exhaustively explore the liveness/concurrency state machines
+/// (`wacs-check`): the smoke tier by default (< 30 s), `--deep` for
+/// the full documented bounds.
+fn run_check(deep: bool) -> ExitCode {
+    let reports = wacs_check::run_all(deep);
+    let mut failed = false;
+    for r in &reports {
+        println!("{r}");
+        if let Some(cx) = &r.violation {
+            failed = true;
+            println!("  counterexample ({}):", cx.reason);
+            for (i, step) in cx.trace.iter().enumerate() {
+                println!("    {:>3}. {step}", i + 1);
+            }
+        }
+        if !r.exhausted {
+            failed = true;
+            println!("  exploration hit the state bound before exhausting the space");
+        }
+    }
+    if failed {
+        println!("xtask check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask check: {} models exhaustively verified ({} tier)",
+            reports.len(),
+            if deep { "deep" } else { "smoke" }
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -76,32 +113,43 @@ fn workspace_root() -> PathBuf {
 }
 
 fn run_lint(root: &Path) -> ExitCode {
-    let files = scan::library_sources(root);
+    let Ok(files) = wsrules::load_files(root) else {
+        eprintln!("xtask lint: unreadable sources under {}", root.display());
+        return ExitCode::FAILURE;
+    };
     if files.is_empty() {
         eprintln!("xtask lint: no sources found under {}", root.display());
         return ExitCode::FAILURE;
     }
     let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            eprintln!("xtask lint: unreadable file {}", path.display());
-            return ExitCode::FAILURE;
-        };
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        violations.extend(rules::analyze(&rel.to_string_lossy(), &text));
-        scanned += 1;
+    for (rel, text) in &files {
+        violations.extend(rules::analyze(rel, text));
     }
+    let ws = wsrules::analyze_root(root, &files);
+    violations.extend(ws.violations);
     for v in &violations {
         println!("{v}");
     }
+    println!(
+        "xtask lint: lock-order graph: {} locks, {} nesting edges, {} cycle(s); \
+         {} metric keys checked; {} frame variants covered",
+        ws.lock_nodes,
+        ws.lock_edges,
+        violations
+            .iter()
+            .filter(|v| v.rule == Rule::LockOrder)
+            .count(),
+        ws.metric_keys,
+        ws.frame_variants,
+    );
     if violations.is_empty() {
-        println!("xtask lint: {scanned} files clean");
+        println!("xtask lint: {} files clean", files.len());
         ExitCode::SUCCESS
     } else {
         println!(
-            "xtask lint: {} violation(s) in {scanned} files",
-            violations.len()
+            "xtask lint: {} violation(s) in {} files",
+            violations.len(),
+            files.len()
         );
         ExitCode::FAILURE
     }

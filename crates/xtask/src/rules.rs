@@ -30,6 +30,15 @@ pub enum Rule {
     /// The pool's own sanctioned allocation site carries
     /// `lint:allow(hot-path-alloc)`.
     HotPathAlloc,
+    /// A cycle in the static lock-order graph over
+    /// `Ordered{Mutex,RwLock}` acquisition sites (see `wsrules`).
+    LockOrder,
+    /// A `wacs-obs` metric key registered in code but absent from the
+    /// EXPERIMENTS.md schema table (see `wsrules`).
+    CounterSchema,
+    /// A `protocol::Msg` variant never built by the malformed-frame
+    /// fuzz sweep (see `wsrules`).
+    FrameCoverage,
 }
 
 pub const ALL: &[Rule] = &[
@@ -41,6 +50,9 @@ pub const ALL: &[Rule] = &[
     Rule::BareAtomicCounter,
     Rule::DeadlineIo,
     Rule::HotPathAlloc,
+    Rule::LockOrder,
+    Rule::CounterSchema,
+    Rule::FrameCoverage,
 ];
 
 impl Rule {
@@ -54,6 +66,9 @@ impl Rule {
             Rule::BareAtomicCounter => "bare-atomic-counter",
             Rule::DeadlineIo => "deadline-io",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::LockOrder => "lock-order",
+            Rule::CounterSchema => "counter-schema",
+            Rule::FrameCoverage => "frame-coverage",
         }
     }
 
@@ -79,6 +94,11 @@ impl Rule {
                 "no vec![0u8; ...] in pump/reactor/pool hot loops; take a segment \
                  from the shared BufferPool"
             }
+            Rule::LockOrder => "the static lock-order graph over Ordered locks must be acyclic",
+            Rule::CounterSchema => {
+                "every registered wacs-obs metric key must appear in EXPERIMENTS.md"
+            }
+            Rule::FrameCoverage => "every protocol::Msg variant must be hit by the fuzz sweep",
         }
     }
 }
@@ -315,8 +335,9 @@ fn std_sync_use_names_lock(line: &str) -> bool {
 /// Per-line flags: is this line inside a `#[cfg(test)]` / `#[test]`
 /// region? Determined by brace tracking on the masked source: a test
 /// attribute arms the tracker; the next `{` opens a region that ends
-/// when depth returns to its opening level.
-fn test_region_lines(masked: &str) -> Vec<bool> {
+/// when depth returns to its opening level. Shared with the
+/// workspace-level rules in `wsrules`.
+pub(crate) fn test_region_lines(masked: &str) -> Vec<bool> {
     let mut flags = Vec::new();
     let mut depth: i32 = 0;
     let mut armed = false;
