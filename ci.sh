@@ -37,7 +37,7 @@ cargo test -q --test table2_decomposition
 echo "== liveness / admission / breaker tests"
 cargo test -q -p nexus-proxy --test liveness
 
-echo "== bench smoke (harness runs + committed BENCH files validate)"
+echo "== bench smoke (all scenarios incl. shard_scaling + committed BENCH files validate)"
 cargo build -q --release -p wacs-bench --bin proxy_bench
 ./target/release/proxy_bench --scenario all --smoke --out target/bench-smoke
 ./target/release/proxy_bench --check BENCH_*.json

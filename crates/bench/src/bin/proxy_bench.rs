@@ -2,7 +2,8 @@
 //! data plane (thread-pair pump vs multiplexed reactor).
 //!
 //! Four named scenarios, each run under **both** pump modes against a
-//! real-socket outer server on the loopback [`firewall::vnet`]:
+//! real-socket outer server on the loopback [`firewall::vnet`], plus a
+//! virtual-time fleet-scaling scenario:
 //!
 //! | scenario | shape |
 //! |---|---|
@@ -10,6 +11,7 @@
 //! | `fanin` | many concurrent relays to one sink, small echoes |
 //! | `latency` | one relay, small-message echo round trips |
 //! | `chaos` | bulk transfers with seeded mid-transfer kills + idle reaping |
+//! | `shard_scaling` | virtual-time (netsim) fan-in cells over a sharded outer fleet: the same cell workload at 1/2/4 shards (Table 2's fan-in shape, relay service queues per shard), plus a kill-one-shard chaos cell that must finish with zero lost sequence numbers |
 //!
 //! Seeds are fixed, payloads derive from [`netsim::SimRng`], and each
 //! run emits a schema-versioned `BENCH_<scenario>.json` (integer-only,
@@ -28,10 +30,11 @@
 
 use firewall::vnet::VNet;
 use firewall::{NXPORT, OUTER_PORT};
-use netsim::SimRng;
+use netsim::prelude::*;
+use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, RelayModel, SimOuterServer, SimProxyEnv};
 use nexus_proxy::{
     nx_proxy_bind, nx_proxy_connect, AdmissionLimits, InnerConfig, InnerServer, OuterConfig,
-    OuterServer, ProxyEnv, ProxySnapshot, PumpMode,
+    OuterServer, ProxyEnv, ProxySnapshot, PumpMode, ShardStats,
 };
 use std::io::{self, Read, Write};
 use std::net::Shutdown;
@@ -40,11 +43,18 @@ use std::thread;
 use std::time::{Duration, Instant};
 use wacs_obs::json::JsonWriter;
 use wacs_obs::{Histogram, Registry};
+use wacs_sync::Mutex;
 
 /// Bumped whenever the emitted JSON shape changes.
 const SCHEMA_VERSION: u64 = 1;
 
-const SCENARIOS: &[&str] = &["bulk_throughput", "fanin", "latency", "chaos"];
+const SCENARIOS: &[&str] = &[
+    "bulk_throughput",
+    "fanin",
+    "latency",
+    "chaos",
+    "shard_scaling",
+];
 
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -309,6 +319,9 @@ struct ScenarioCfg {
 }
 
 fn run_scenario(name: &str, smoke: bool) -> io::Result<String> {
+    if name == "shard_scaling" {
+        return shard_scaling(smoke);
+    }
     let (cfg, runner): (ScenarioCfg, ScenarioRunner) = match name {
         "bulk_throughput" => (
             ScenarioCfg {
@@ -757,6 +770,480 @@ fn chaos(cfg: &ScenarioCfg, mode: PumpMode) -> io::Result<ModeStats> {
 }
 
 // ---------------------------------------------------------------------
+// shard_scaling: virtual-time fan-in cells over a sharded outer fleet.
+// ---------------------------------------------------------------------
+//
+// This scenario runs on the netsim virtual clock, not wall time: a
+// relay shard is one select-loop process, so each shard serializes its
+// messages through one service queue (`RelayModel`). Fan-in cells
+// (one bound sink + one sender each) HRW-distribute across the fleet,
+// so the same workload at 1/2/4 shards measures how the fleet divides
+// the relay service bottleneck — the Table 2 shape, per shard count.
+// The `killshard` cell reuses the netsim fault layer to crash the
+// shard serving cell 0 mid-run; stop-and-wait sequence numbers with
+// exactly-once accept at the sink prove the breaker-driven failover
+// loses nothing.
+
+/// Control port of every sim shard (same port, distinct hosts).
+const SHARD_CTRL: u16 = 4097;
+
+/// App-level poll timer token for the cell senders.
+const CELL_POLL: u64 = 3;
+
+#[derive(Default)]
+struct CellState {
+    advertised: Option<(NodeId, u16)>,
+    received: u64,
+    done_at_ns: Option<u64>,
+}
+
+type CellRef = Arc<Mutex<CellState>>;
+
+/// Fleet-bound sink of one fan-in cell: counts relayed messages,
+/// records per-message relay latency, and stamps the virtual
+/// completion time. In echo mode (the kill cell) it accepts sequence
+/// numbers exactly once (expected-next rule) and echoes every one.
+struct CellSink {
+    nx: NxClient,
+    cell: CellRef,
+    expect: u64,
+    echo: bool,
+    hist: Histogram,
+}
+
+impl CellSink {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Bound { advertised }) => {
+                self.cell.lock().advertised = Some(advertised);
+            }
+            NxHandled::Event(NxEvent::BindLost) => {
+                self.cell.lock().advertised = None;
+            }
+            NxHandled::Data(d) => {
+                let flow = d.flow;
+                self.hist.record(ctx.now().since(d.sent_at).nanos());
+                if self.echo {
+                    let seq = d.expect::<u64>();
+                    {
+                        let mut c = self.cell.lock();
+                        if seq == c.received {
+                            c.received += 1;
+                            if c.received == self.expect {
+                                c.done_at_ns = Some(ctx.now().nanos());
+                            }
+                        }
+                    }
+                    let _ = ctx.send(flow, 64, seq);
+                } else {
+                    let mut c = self.cell.lock();
+                    c.received += 1;
+                    if c.received == self.expect {
+                        c.done_at_ns = Some(ctx.now().nanos());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for CellSink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(adv) = self.nx.bind(ctx) {
+            self.cell.lock().advertised = Some(adv);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: netsim::prelude::Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+/// Throughput sender: once the cell's sink is bound, connect and blast
+/// every message at once — the shard's relay queue serializes them.
+struct CellBlaster {
+    nx: NxClient,
+    cell: CellRef,
+    start_at: SimDuration,
+    msgs: u64,
+    msg_bytes: u64,
+}
+
+impl CellBlaster {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                for _ in 0..self.msgs {
+                    let _ = ctx.send(flow, self.msg_bytes, ());
+                }
+            }
+            NxHandled::Event(NxEvent::Refused { .. }) => {
+                ctx.set_timer(SimDuration::from_millis(10), CELL_POLL);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for CellBlaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_at, CELL_POLL);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
+        if token == CELL_POLL {
+            let adv = self.cell.lock().advertised;
+            match adv {
+                Some(dst) => self.nx.connect(ctx, dst, 11),
+                None => ctx.set_timer(SimDuration::from_millis(10), CELL_POLL),
+            }
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: netsim::prelude::Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+/// Chaos-cell sender: stop-and-wait sequence numbers, each echoed by
+/// the sink before the next goes out. A torn connection (the shard
+/// crash) re-dials the current advertised address and retransmits the
+/// unacknowledged number; the sink's exactly-once accept absorbs the
+/// duplicates.
+struct CellSeqSender {
+    nx: NxClient,
+    cell: CellRef,
+    start_at: SimDuration,
+    msgs: u64,
+    msg_bytes: u64,
+    next: u64,
+    flow: Option<FlowId>,
+}
+
+impl CellSeqSender {
+    fn poll_soon(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(20), CELL_POLL);
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                self.flow = Some(flow);
+                let _ = ctx.send(flow, self.msg_bytes, self.next);
+            }
+            NxHandled::Event(NxEvent::Refused { .. }) => {
+                self.poll_soon(ctx);
+            }
+            NxHandled::Data(d) => {
+                let seq = d.expect::<u64>();
+                if seq == self.next {
+                    self.next += 1;
+                    if self.next < self.msgs {
+                        if let Some(f) = self.flow {
+                            let _ = ctx.send(f, self.msg_bytes, self.next);
+                        }
+                    }
+                }
+            }
+            NxHandled::Flow(FlowEvent::Closed { flow, .. }) if Some(flow) == self.flow => {
+                self.flow = None;
+                if self.next < self.msgs {
+                    self.poll_soon(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for CellSeqSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_at, CELL_POLL);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
+        if token == CELL_POLL && self.flow.is_none() && self.next < self.msgs {
+            let adv = self.cell.lock().advertised;
+            match adv {
+                Some(dst) => self.nx.connect(ctx, dst, 11),
+                None => self.poll_soon(ctx),
+            }
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: netsim::prelude::Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+/// Per-cell measurement record for `shard_scaling`.
+struct ShardCellStats {
+    elapsed_ns: u64,
+    bytes: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    shards: u64,
+    cells: u64,
+    messages: u64,
+    completed: u64,
+    killed: u64,
+    binds_owned: u64,
+    redirects_sent: u64,
+    redirects_followed: u64,
+    failovers: u64,
+    map_syncs: u64,
+}
+
+impl ShardCellStats {
+    fn bytes_per_sec(&self) -> u64 {
+        ((u128::from(self.bytes) * 1_000_000_000) / u128::from(self.elapsed_ns.max(1))) as u64
+    }
+
+    fn to_json(&self) -> String {
+        let mut obs = JsonWriter::object();
+        obs.field_u64("binds_owned", self.binds_owned)
+            .field_u64("redirects_sent", self.redirects_sent)
+            .field_u64("redirects_followed", self.redirects_followed)
+            .field_u64("failovers", self.failovers)
+            .field_u64("map_syncs", self.map_syncs);
+        let mut w = JsonWriter::object();
+        w.field_u64("elapsed_ns", self.elapsed_ns)
+            .field_u64("bytes", self.bytes)
+            .field_u64("bytes_per_sec", self.bytes_per_sec())
+            .field_u64("p50_ns", self.p50_ns)
+            .field_u64("p95_ns", self.p95_ns)
+            .field_u64("p99_ns", self.p99_ns)
+            .field_u64("shards", self.shards)
+            .field_u64("cells", self.cells)
+            .field_u64("messages", self.messages)
+            .field_u64("completed", self.completed)
+            .field_u64("killed", self.killed)
+            .field_raw("obs", &obs.finish());
+        w.finish()
+    }
+}
+
+/// One shard-count cell run in virtual time. `kill` runs the chaos
+/// variant: stop-and-wait sequence traffic, and the shard serving
+/// cell 0 is crashed mid-run via the netsim fault layer.
+fn shard_cell(
+    seed: u64,
+    shards: usize,
+    cells: u64,
+    msgs: u64,
+    msg_bytes: u64,
+    kill: bool,
+) -> io::Result<ShardCellStats> {
+    let start_at = SimDuration::from_millis(300);
+    let mut topo = Topology::new();
+    let site = topo.add_site("bench", None);
+    let sw = topo.add_switch("sw", site);
+    let shard_hosts: Vec<NodeId> = (0..shards)
+        .map(|i| topo.add_host(format!("shard{i}"), site))
+        .collect();
+    let srv_hosts: Vec<NodeId> = (0..cells)
+        .map(|i| topo.add_host(format!("srv{i}"), site))
+        .collect();
+    let snd_hosts: Vec<NodeId> = (0..cells)
+        .map(|i| topo.add_host(format!("snd{i}"), site))
+        .collect();
+    let lan = 6.5e6;
+    for h in shard_hosts.iter().chain(&srv_hosts).chain(&snd_hosts) {
+        topo.add_link(*h, sw, SimDuration::from_micros(100), lan);
+    }
+    let members: Vec<(NodeId, u16)> = shard_hosts.iter().map(|h| (*h, SHARD_CTRL)).collect();
+
+    let registry = Registry::new();
+    let hist = registry.histogram("bench.shard.relay_ns");
+    let mut sim = Simulator::new(topo, NetConfig::default(), seed);
+    let shard_ids: Vec<ActorId> = (0..shards)
+        .map(|i| {
+            sim.spawn(
+                shard_hosts[i],
+                Box::new(
+                    SimOuterServer::new(SHARD_CTRL, None, RelayModel::default())
+                        .with_fleet(members.clone(), i)
+                        .with_obs(&registry),
+                ),
+            )
+        })
+        .collect();
+    let cell_refs: Vec<CellRef> = (0..cells).map(|_| CellRef::default()).collect();
+    for i in 0..cells as usize {
+        sim.spawn(
+            srv_hosts[i],
+            Box::new(CellSink {
+                nx: NxClient::new(SimProxyEnv::direct())
+                    .with_fleet(members.clone())
+                    .with_obs(&registry),
+                cell: cell_refs[i].clone(),
+                expect: msgs,
+                echo: kill,
+                hist: hist.clone(),
+            }),
+        );
+        if kill {
+            sim.spawn(
+                snd_hosts[i],
+                Box::new(CellSeqSender {
+                    nx: NxClient::new(SimProxyEnv::direct()),
+                    cell: cell_refs[i].clone(),
+                    start_at,
+                    msgs,
+                    msg_bytes,
+                    next: 0,
+                    flow: None,
+                }),
+            );
+        } else {
+            sim.spawn(
+                snd_hosts[i],
+                Box::new(CellBlaster {
+                    nx: NxClient::new(SimProxyEnv::direct()),
+                    cell: cell_refs[i].clone(),
+                    start_at,
+                    msgs,
+                    msg_bytes,
+                }),
+            );
+        }
+    }
+
+    let killed = if kill {
+        // Let the streams get going, then crash whichever shard is
+        // serving cell 0's bind (discovered mid-run, like an operator
+        // losing a random DMZ box).
+        let crash_at = start_at + SimDuration::from_millis(25 * msgs);
+        sim.run_until(SimTime(crash_at.nanos()));
+        let serving = cell_refs[0]
+            .lock()
+            .advertised
+            .ok_or_else(|| io::Error::other("cell 0 did not bind before the chaos point"))?
+            .0;
+        let victim = shard_hosts
+            .iter()
+            .position(|h| *h == serving)
+            .ok_or_else(|| io::Error::other("advertised host is not a shard"))?;
+        sim.install_faults(
+            FaultPlan::new(seed).crash(shard_ids[victim], SimDuration::from_millis(1)),
+        );
+        1
+    } else {
+        0
+    };
+    sim.run_until(SimTime(SimDuration::from_secs(600).nanos()));
+
+    let done: Vec<u64> = cell_refs
+        .iter()
+        .filter_map(|c| c.lock().done_at_ns)
+        .collect();
+    let completed = done.len() as u64;
+    if completed != cells {
+        return Err(io::Error::other(format!(
+            "shard_scaling: only {completed}/{cells} cells completed (shards={shards}, kill={kill})"
+        )));
+    }
+    let elapsed_ns = done
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(start_at.nanos());
+    let (p50_ns, p95_ns, p99_ns) = percentiles(&hist);
+    // Every fleet party shares this registry; counter handles are
+    // get-or-create by name, so these read the merged fleet totals.
+    let s = ShardStats::in_registry(&registry);
+    Ok(ShardCellStats {
+        elapsed_ns,
+        // Echo traffic crosses the relay queue twice per message.
+        bytes: cells * msgs * msg_bytes * if kill { 2 } else { 1 },
+        p50_ns,
+        p95_ns,
+        p99_ns,
+        shards: shards as u64,
+        cells,
+        messages: msgs,
+        completed,
+        killed,
+        binds_owned: s.binds_owned.get(),
+        redirects_sent: s.redirects_sent.get(),
+        redirects_followed: s.redirects_followed.get(),
+        failovers: s.failovers.get(),
+        map_syncs: s.map_syncs.get(),
+    })
+}
+
+fn shard_scaling(smoke: bool) -> io::Result<String> {
+    let seed = 0x54a2d;
+    let cells: u64 = if smoke { 6 } else { 12 };
+    let msgs: u64 = if smoke { 8 } else { 25 };
+    let msg_bytes: u64 = 4096;
+
+    let mut modes = JsonWriter::object();
+    let mut per_shard = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let st = shard_cell(seed, shards, cells, msgs, msg_bytes, false)?;
+        eprintln!(
+            "  shards{shards}: {} bytes/s over {} ms (virtual)",
+            st.bytes_per_sec(),
+            st.elapsed_ns / 1_000_000
+        );
+        modes.field_raw(&format!("shards{shards}"), &st.to_json());
+        per_shard.push(st);
+    }
+    let kill = shard_cell(seed, 4, cells, msgs, msg_bytes, true)?;
+    eprintln!(
+        "  killshard: {} cells completed, {} failovers",
+        kill.completed, kill.failovers
+    );
+    modes.field_raw("killshard", &kill.to_json());
+
+    let speedup_x1000 = per_shard[2].bytes_per_sec() * 1000 / per_shard[0].bytes_per_sec().max(1);
+    let mut config = JsonWriter::object();
+    config
+        .field_u64("cells", cells)
+        .field_u64("msgs_per_cell", msgs)
+        .field_u64("msg_bytes", msg_bytes);
+    let mut w = JsonWriter::object();
+    w.field_u64("schema_version", SCHEMA_VERSION)
+        .field_str("scenario", "shard_scaling")
+        .field_u64("seed", seed)
+        .field_u64("smoke", u64::from(smoke))
+        .field_raw("config", &config.finish())
+        .field_raw("modes", &modes.finish())
+        .field_u64("speedup_x1000", speedup_x1000);
+    Ok(w.finish())
+}
+
+// ---------------------------------------------------------------------
 // Schema validation (used after every run and by `--check`).
 // ---------------------------------------------------------------------
 
@@ -765,18 +1252,118 @@ fn chaos(cfg: &ScenarioCfg, mode: PumpMode) -> io::Result<ModeStats> {
 /// HEAD) version by more than this many percent fails the check.
 const P99_REGRESSION_PCT: u64 = 20;
 
+/// The balanced-brace span starting at `s[0] == '{'` (inclusive).
+fn brace_span(s: &str) -> Option<&str> {
+    let b = s.as_bytes();
+    if b.first() != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0u32;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Per-mode `p99_ns` values keyed by mode name, parsed from the
+/// `modes` object (document order preserved). A mode object without a
+/// `p99_ns` field is skipped.
+fn mode_p99s(json: &str) -> Vec<(String, u64)> {
+    let Some(pos) = json.find("\"modes\":{") else {
+        return Vec::new();
+    };
+    let Some(body) = brace_span(&json[pos + "\"modes\":".len()..]) else {
+        return Vec::new();
+    };
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 1; // past the opening brace
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(name_len) = body[i + 1..].find('"') else {
+            break;
+        };
+        let name = body[i + 1..i + 1 + name_len].to_string();
+        let after_key = i + 1 + name_len + 1; // past the closing quote
+                                              // The value must be `:{...}`; skip the whole object span so
+                                              // nested keys (percentiles, obs counters) are never mistaken
+                                              // for mode names.
+        let Some(span) = body
+            .get(after_key..)
+            .and_then(|rest| rest.strip_prefix(':'))
+            .and_then(brace_span)
+        else {
+            break;
+        };
+        if let Some(p99) = top_level_u64(span, "p99_ns") {
+            out.push((name, p99));
+        }
+        i = after_key + 1 + span.len();
+    }
+    out
+}
+
+/// The value of `"key":<digits>` at the **top level** of one
+/// brace-span object. Nested objects (a mode's `obs` counters) are
+/// skipped wholesale, never searched — they may carry keys that shadow
+/// the mode's own fields.
+fn top_level_u64(obj: &str, key: &str) -> Option<u64> {
+    let bytes = obj.as_bytes();
+    let mut i = 1; // past the opening brace
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let name_len = obj[i + 1..].find('"')?;
+        let name = &obj[i + 1..i + 1 + name_len];
+        let mut j = i + 1 + name_len + 1;
+        if bytes.get(j) != Some(&b':') {
+            // A string value, not a key; keep walking.
+            i = j;
+            continue;
+        }
+        j += 1;
+        if bytes.get(j) == Some(&b'{') {
+            j += brace_span(obj.get(j..)?)?.len();
+        } else if name == key {
+            let digits = obj[j..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap_or("");
+            return digits.parse().ok();
+        }
+        i = j;
+    }
+    None
+}
+
 /// Compare per-mode `p99_ns` of `new_json` against the committed
 /// `old_json`. Pure; returns one message per regressed mode.
+///
+/// Modes are paired **by name**, not by position: a committed file
+/// with a different mode set (a scenario that grew a mode, or a
+/// single-mode run) compares only the modes both documents share.
 fn p99_regressions(old_json: &str, new_json: &str) -> Vec<String> {
-    // Modes appear in document order: thread_pair, then reactor.
-    const MODES: [&str; 2] = ["thread_pair", "reactor"];
-    let old = extract_all(old_json, "p99_ns");
-    let new = extract_all(new_json, "p99_ns");
+    let old = mode_p99s(old_json);
     let mut out = Vec::new();
-    for (i, mode) in MODES.iter().enumerate() {
-        let (Some(&o), Some(&n)) = (old.get(i), new.get(i)) else {
+    for (mode, n) in mode_p99s(new_json) {
+        let Some((_, o)) = old.iter().find(|(m, _)| *m == mode) else {
             continue;
         };
+        let o = *o;
         if o > 0 && n.saturating_mul(100) > o.saturating_mul(100 + P99_REGRESSION_PCT) {
             out.push(format!(
                 "{mode}: p99 {n} ns vs committed {o} ns \
@@ -852,14 +1439,17 @@ fn validate(json: &str, scenario: &str) -> Result<(), String> {
     if !json.contains(&format!("\"scenario\":\"{scenario}\"")) {
         return Err(format!("scenario field is not {scenario:?}"));
     }
-    for key in ["\"thread_pair\":{", "\"reactor\":{"] {
-        if !json.contains(key) {
-            return Err(format!("missing mode object {key}"));
-        }
-    }
     for key in ["seed", "smoke", "speedup_x1000"] {
         if extract_all(json, key).len() != 1 {
             return Err(format!("missing top-level field {key:?}"));
+        }
+    }
+    if scenario == "shard_scaling" {
+        return validate_shard_scaling(json);
+    }
+    for key in ["\"thread_pair\":{", "\"reactor\":{"] {
+        if !json.contains(key) {
+            return Err(format!("missing mode object {key}"));
         }
     }
     for key in [
@@ -878,19 +1468,89 @@ fn validate(json: &str, scenario: &str) -> Result<(), String> {
             return Err(format!("field {key:?} must appear once per mode"));
         }
     }
+    validate_percentile_order(json, 2)
+}
+
+/// p50 ≤ p95 ≤ p99 in each of the `modes` mode objects.
+fn validate_percentile_order(json: &str, modes: usize) -> Result<(), String> {
     let (p50, p95, p99) = (
         extract_all(json, "p50_ns"),
         extract_all(json, "p95_ns"),
         extract_all(json, "p99_ns"),
     );
-    if p50.len() != 2 || p95.len() != 2 || p99.len() != 2 {
+    if p50.len() != modes || p95.len() != modes || p99.len() != modes {
         return Err("p50/p95/p99 must appear once per mode".to_string());
     }
-    for i in 0..2 {
+    for i in 0..modes {
         if !(p50[i] <= p95[i] && p95[i] <= p99[i]) {
             return Err(format!(
                 "percentile ordering violated in mode {i}: p50={} p95={} p99={}",
                 p50[i], p95[i], p99[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `shard_scaling` document: four cells (`shards1`, `shards2`,
+/// `shards4`, `killshard`), zero lost work everywhere, at least one
+/// breaker-driven failover in the chaos cell, and — for full
+/// (non-smoke) runs — the headline ≥1.5× fan-in speedup at 4 shards.
+fn validate_shard_scaling(json: &str) -> Result<(), String> {
+    // Scope the per-cell checks to the modes object: the run config
+    // also carries a "cells" field at the top level.
+    let modes = json
+        .find("\"modes\":{")
+        .and_then(|p| brace_span(&json[p + "\"modes\":".len()..]))
+        .ok_or_else(|| "missing modes object".to_string())?;
+    for key in [
+        "\"shards1\":{",
+        "\"shards2\":{",
+        "\"shards4\":{",
+        "\"killshard\":{",
+    ] {
+        if !modes.contains(key) {
+            return Err(format!("missing mode object {key}"));
+        }
+    }
+    for key in [
+        "elapsed_ns",
+        "bytes",
+        "bytes_per_sec",
+        "shards",
+        "cells",
+        "messages",
+        "completed",
+        "killed",
+        "failovers",
+        "redirects_sent",
+        "binds_owned",
+    ] {
+        if extract_all(modes, key).len() != 4 {
+            return Err(format!("field {key:?} must appear once per cell"));
+        }
+    }
+    if extract_all(modes, "killed") != vec![0, 0, 0, 1] {
+        return Err("exactly the killshard cell must kill one shard".to_string());
+    }
+    // Zero lost work: every cell completed its full fan-in, chaos
+    // included (the kill cell counts exactly-once accepted sequences).
+    let (cells, completed) = (extract_all(modes, "cells"), extract_all(modes, "completed"));
+    if cells != completed {
+        return Err(format!("incomplete cells: {completed:?} of {cells:?}"));
+    }
+    let failovers = extract_all(modes, "failovers");
+    if failovers[3] < 1 {
+        return Err("killshard cell recorded no breaker-driven failover".to_string());
+    }
+    validate_percentile_order(modes, 4)?;
+    // The acceptance ratio only binds on full runs; smoke runs are CI
+    // plumbing checks with tiny workloads.
+    if extract_all(json, "smoke") == vec![0] {
+        let speedup = extract_all(json, "speedup_x1000");
+        if speedup.first().is_none_or(|&s| s < 1500) {
+            return Err(format!(
+                "4-shard fan-in speedup {speedup:?} below the 1500 (×1000) floor"
             ));
         }
     }
@@ -954,5 +1614,66 @@ mod tests {
         let zero = two_mode_doc(0, 2000);
         let r = p99_regressions(&zero, &two_mode_doc(5000, 2000));
         assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn mode_p99s_keys_by_name_and_skips_nested_objects() {
+        // The per-mode obs sub-object carries unrelated counters; the
+        // parser must take the mode's own p99_ns, not one from inside
+        // a nested object, and must survive modes with no p99 at all.
+        let json = r#"{"modes":{"reactor":{"obs":{"p99_ns":77},"p99_ns":42},"bare":{"bytes":1},"thread_pair":{"p99_ns":9}}}"#;
+        assert_eq!(
+            mode_p99s(json),
+            vec![("reactor".to_string(), 42), ("thread_pair".to_string(), 9)]
+        );
+        assert!(mode_p99s(r#"{"speedup_x1000":3}"#).is_empty());
+    }
+
+    #[test]
+    fn p99_guard_keys_by_mode_name_not_position() {
+        // Regression for the positional-pairing bug: a committed
+        // baseline holding only one mode must pair that mode by NAME.
+        // Under index pairing, old reactor(2000) would be compared
+        // against new thread_pair(5000) — a false regression — while a
+        // genuine reactor regression would slip through unpaired.
+        let old = r#"{"modes":{"reactor":{"p99_ns":2000}}}"#;
+        assert!(p99_regressions(old, &two_mode_doc(5000, 2000)).is_empty());
+        let r = p99_regressions(old, &two_mode_doc(5000, 2401));
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].starts_with("reactor:"), "{r:?}");
+    }
+
+    fn shard_doc(killed: [u64; 4], failovers_kill: u64, smoke: u64, speedup: u64) -> String {
+        let cell = |shards: u64, completed: u64, killed: u64, failovers: u64| {
+            format!(
+                r#"{{"elapsed_ns":10,"bytes":5,"bytes_per_sec":2,"p50_ns":1,"p95_ns":2,"p99_ns":3,"shards":{shards},"cells":6,"messages":8,"completed":{completed},"killed":{killed},"obs":{{"binds_owned":6,"redirects_sent":1,"redirects_followed":1,"failovers":{failovers},"map_syncs":0}}}}"#
+            )
+        };
+        format!(
+            r#"{{"schema_version":1,"scenario":"shard_scaling","seed":7,"smoke":{smoke},"config":{{"cells":6,"msgs_per_cell":8,"msg_bytes":4096}},"modes":{{"shards1":{},"shards2":{},"shards4":{},"killshard":{}}},"speedup_x1000":{speedup}}}"#,
+            cell(1, 6, killed[0], 0),
+            cell(2, 6, killed[1], 0),
+            cell(4, 6, killed[2], 0),
+            cell(4, 6, killed[3], failovers_kill),
+        )
+    }
+
+    #[test]
+    fn validate_shard_scaling_enforces_chaos_and_speedup_floors() {
+        let ok = shard_doc([0, 0, 0, 1], 2, 1, 900);
+        assert_eq!(validate(&ok, "shard_scaling"), Ok(()));
+        // Non-smoke runs must clear the 1.5x fan-in speedup floor.
+        assert!(validate(&shard_doc([0, 0, 0, 1], 2, 0, 1499), "shard_scaling").is_err());
+        assert_eq!(
+            validate(&shard_doc([0, 0, 0, 1], 2, 0, 1500), "shard_scaling"),
+            Ok(())
+        );
+        // The chaos cell must actually kill a shard and fail over.
+        assert!(validate(&shard_doc([0, 0, 0, 0], 2, 1, 900), "shard_scaling").is_err());
+        assert!(validate(&shard_doc([0, 0, 0, 1], 0, 1, 900), "shard_scaling").is_err());
+        // Lost work anywhere is fatal.
+        let lossy =
+            shard_doc([0, 0, 0, 1], 2, 1, 900).replacen("\"completed\":6", "\"completed\":5", 1);
+        assert!(validate(&lossy, "shard_scaling").is_err());
     }
 }

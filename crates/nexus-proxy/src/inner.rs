@@ -6,21 +6,31 @@
 //! (Fig. 4 steps 4-5).
 //!
 //! Liveness layer (DESIGN.md §6b): a connection whose first frame is
-//! `Ping` or `BindSync` is a *control session* from the outer server —
-//! the inner server answers pings with pongs and mirrors `BindSync`
-//! into its authorized-endpoint set. With `require_registration` on,
-//! `RelayReq` for an endpoint absent from that set is refused, which
-//! hardens the nxport hole (a restarted inner server relays nothing
-//! until the outer server re-syncs its bind table).
+//! `Ping`, `BindSync` or `ShardSync` is a *control session* from an
+//! outer server — the inner server answers pings with pongs and
+//! mirrors `BindSync` into its authorized-endpoint table. With
+//! `require_registration` on, `RelayReq` for an endpoint absent from
+//! that table is refused, which hardens the nxport hole (a restarted
+//! inner server relays nothing until the outer server re-syncs its
+//! bind table).
+//!
+//! Fleet layer (DESIGN.md §6d): the authorization table is *sliced per
+//! shard*. A session that opens with `ShardSync { sender, .. }` owns
+//! the slice named by its control endpoint, and its `BindSync` frames
+//! replace only that slice — with one shared set, N outer shards would
+//! take turns clobbering each other's registrations. Sessions that
+//! never announce an identity (single-outer deployments) share the
+//! legacy solo slice, preserving the pre-fleet behaviour exactly.
 
 use crate::outer::PumpMode;
 use crate::pool::{BufferPool, PoolConfig};
 use crate::protocol::Msg;
 use crate::pump::{pump_pooled, RelayActivity, DEFAULT_CHUNK};
 use crate::reactor::{PumpReactor, ReactorConfig};
+use crate::shard::ShardStats;
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,12 +95,37 @@ impl InnerConfig {
     }
 }
 
+/// Slice name for sessions that never announce a shard identity.
+const SOLO_SLICE: &str = "solo";
+
+fn slice_key(host: &str, port: u16) -> String {
+    format!("{host}:{port}")
+}
+
+/// The sliced authorization table plus the installed fleet view.
+#[derive(Default)]
+struct AuthTable {
+    /// Shard control endpoint (`host:port`, or [`SOLO_SLICE`]) → the
+    /// client private endpoints that shard last announced.
+    slices: HashMap<String, HashSet<(String, u16)>>,
+    /// Highest shard-map generation installed so far (0 = none).
+    fleet_gen: u64,
+    /// Members of that map (control endpoints, fleet order).
+    fleet: Vec<(String, u16)>,
+}
+
+impl AuthTable {
+    fn contains(&self, ep: &(String, u16)) -> bool {
+        self.slices.values().any(|s| s.contains(ep))
+    }
+}
+
 /// A running inner server. Dropping the handle shuts it down.
 pub struct InnerServer {
     cfg: InnerConfig,
     stats: Arc<ProxyStats>,
     shutdown: Arc<AtomicBool>,
-    authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
+    authorized: Arc<OrderedMutex<AuthTable>>,
     reactor: Option<Arc<PumpReactor>>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
@@ -101,7 +136,10 @@ impl InnerServer {
         listener.set_nonblocking(true)?;
         let stats = Arc::new(ProxyStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let authorized = Arc::new(OrderedMutex::new("nexus.inner.authorized", HashSet::new()));
+        let authorized = Arc::new(OrderedMutex::new(
+            "nexus.inner.authorized",
+            AuthTable::default(),
+        ));
         // Same staging-pool/data-plane arrangement as the outer server:
         // one pool for every pump, reactor spun up only when selected.
         let pool = BufferPool::with_counters(
@@ -120,6 +158,7 @@ impl InnerServer {
             net,
             cfg: cfg.clone(),
             stats: stats.clone(),
+            shard_stats: Arc::new(ShardStats::in_registry(stats.registry())),
             authorized: authorized.clone(),
             shutdown: shutdown.clone(),
             pool,
@@ -166,11 +205,22 @@ impl InnerServer {
         (self.cfg.host.clone(), self.cfg.nxport)
     }
 
-    /// Endpoints currently announced via `BindSync` (sorted).
+    /// Endpoints currently announced via `BindSync`, the union over
+    /// every shard's slice (sorted, deduplicated).
     pub fn authorized_endpoints(&self) -> Vec<(String, u16)> {
-        let mut v: Vec<(String, u16)> = self.authorized.lock().iter().cloned().collect();
+        let tbl = self.authorized.lock();
+        let mut v: Vec<(String, u16)> = tbl.slices.values().flatten().cloned().collect();
+        drop(tbl);
         v.sort();
+        v.dedup();
         v
+    }
+
+    /// The installed fleet view: `(generation, members)`. Generation 0
+    /// with an empty list means no shard ever announced a map.
+    pub fn fleet_view(&self) -> (u64, Vec<(String, u16)>) {
+        let tbl = self.authorized.lock();
+        (tbl.fleet_gen, tbl.fleet.clone())
     }
 
     pub fn shutdown(&self) {
@@ -198,7 +248,8 @@ struct InnerCtx {
     net: VNet,
     cfg: InnerConfig,
     stats: Arc<ProxyStats>,
-    authorized: Arc<OrderedMutex<HashSet<(String, u16)>>>,
+    shard_stats: Arc<ShardStats>,
+    authorized: Arc<OrderedMutex<AuthTable>>,
     shutdown: Arc<AtomicBool>,
     /// Shared staging-buffer pool for every pump this server runs.
     pool: BufferPool,
@@ -208,11 +259,12 @@ struct InnerCtx {
 
 impl InnerCtx {
     /// First-frame dispatch: `RelayReq` starts a relay, `Ping`/
-    /// `BindSync` starts a control session; anything else is dropped.
+    /// `BindSync`/`ShardSync` starts a control session; anything else
+    /// is dropped.
     fn handle(&self, mut from_outer: TcpStream) {
         match Msg::read_from(&mut from_outer) {
             Ok(Msg::RelayReq { host, port }) => self.handle_relay(from_outer, host, port),
-            Ok(first @ (Msg::Ping { .. } | Msg::BindSync { .. })) => {
+            Ok(first @ (Msg::Ping { .. } | Msg::BindSync { .. } | Msg::ShardSync { .. })) => {
                 self.control_session(from_outer, first);
             }
             _ => { /* protocol error: drop */ }
@@ -267,13 +319,21 @@ impl InnerCtx {
     }
 
     /// Serve one outer-server control session until it closes or goes
-    /// silent past the control timeout. The authorized set survives
-    /// session death: a reconnecting outer server re-syncs it anyway,
-    /// and in the interim known-good binds keep relaying.
+    /// silent past the control timeout. Slices survive session death:
+    /// a reconnecting outer server re-syncs its slice anyway, and in
+    /// the interim known-good binds keep relaying.
+    ///
+    /// A fleet shard opens the session with `ShardSync { sender, .. }`,
+    /// which (a) installs the membership if its generation is strictly
+    /// newer than the held one, and (b) names the slice this session's
+    /// `BindSync` frames replace. A session that never announces
+    /// writes the [`SOLO_SLICE`] — single-outer deployments behave
+    /// exactly as before the fleet layer existed.
     fn control_session(&self, mut s: TcpStream, first: Msg) {
         if s.set_read_timeout(Some(self.cfg.control_timeout)).is_err() {
             return;
         }
+        let mut session_slice = SOLO_SLICE.to_string();
         let mut msg = first;
         loop {
             // A shut-down server must stop answering pings, or the
@@ -290,8 +350,38 @@ impl InnerCtx {
                     self.stats.hb_pongs.inc();
                 }
                 Msg::BindSync { binds } => {
-                    *self.authorized.lock() = binds.into_iter().collect();
+                    self.authorized
+                        .lock()
+                        .slices
+                        .insert(session_slice.clone(), binds.into_iter().collect());
                     self.stats.bind_syncs.inc();
+                }
+                Msg::ShardSync {
+                    gen,
+                    sender,
+                    members,
+                } => {
+                    // Session identity first: even a stale map names
+                    // its sender (control endpoints are stable across
+                    // shard restarts, which is exactly what lets a
+                    // replaced shard reclaim its old slice).
+                    if let Some((h, p)) = members.get(sender as usize) {
+                        session_slice = slice_key(h, *p);
+                    }
+                    let mut tbl = self.authorized.lock();
+                    if gen > tbl.fleet_gen {
+                        // Drop slices of shards no longer in the map:
+                        // a removed shard's authorizations die with
+                        // its membership, not with its TCP session.
+                        let keep: HashSet<String> =
+                            members.iter().map(|(h, p)| slice_key(h, *p)).collect();
+                        tbl.slices
+                            .retain(|k, _| k == SOLO_SLICE || keep.contains(k));
+                        tbl.fleet_gen = gen;
+                        tbl.fleet = members;
+                        self.shard_stats.map_syncs.inc();
+                        self.shard_stats.map_generation.set(gen as i64);
+                    }
                 }
                 _ => return, // unexpected frame on a control session
             }

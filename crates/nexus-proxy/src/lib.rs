@@ -32,18 +32,20 @@ pub mod pool;
 pub mod protocol;
 pub mod pump;
 pub mod reactor;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 
-pub use client::{nx_proxy_bind, nx_proxy_connect, NxListener, ProxyEnv};
+pub use client::{nx_proxy_bind, nx_proxy_connect, FleetRouter, NxListener, ProxyEnv};
 pub use inner::{InnerConfig, InnerServer};
 pub use liveness::{
     AdmissionGate, AdmissionLimits, AdmissionReject, BreakerConfig, BreakerState, CircuitBreaker,
     HeartbeatConfig, HeartbeatMonitor, SharedBreaker,
 };
-pub use outer::{OuterConfig, OuterServer, PumpMode};
+pub use outer::{FleetSpec, OuterConfig, OuterServer, PumpMode};
 pub use pool::{BufferPool, PoolConfig};
 pub use protocol::Msg;
 pub use pump::RelayActivity;
 pub use reactor::{PumpReactor, ReactorConfig};
+pub use shard::{bind_key, member_tag, ShardMap, ShardRoute, ShardRouter, ShardStats};
 pub use stats::{ProxySnapshot, ProxyStats};

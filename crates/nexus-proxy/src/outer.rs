@@ -16,6 +16,14 @@
 //! server keeps a control session to the inner server — Ping/Pong for
 //! dead-peer detection, `BindSync` so a restarted inner server learns
 //! the live bind registrations again.
+//!
+//! Fleet layer (DESIGN.md §6d): with [`OuterConfig::with_fleet`] this
+//! server is one shard of an N-outer deployment. Bind keys are owned
+//! by exactly one shard under the shared HRW [`ShardMap`]; a `BindReq`
+//! for a key this shard does not own is answered with a typed
+//! [`Msg::Redirect`] to the owner, and every control session to the
+//! inner server opens with a generation-counted [`Msg::ShardSync`] so
+//! the inner server can keep one authorization slice per shard.
 
 use crate::liveness::{
     AdmissionGate, AdmissionLimits, BreakerConfig, HeartbeatConfig, SharedBreaker,
@@ -24,6 +32,7 @@ use crate::pool::{BufferPool, PoolConfig};
 use crate::protocol::Msg;
 use crate::pump::{pump_pooled, RelayActivity, DEFAULT_CHUNK};
 use crate::reactor::{PumpReactor, ReactorConfig};
+use crate::shard::{bind_key, member_tag, ShardMap, ShardRoute, ShardStats};
 use crate::stats::{ProxySnapshot, ProxyStats};
 use firewall::vnet::VNet;
 use std::collections::HashMap;
@@ -47,6 +56,17 @@ pub enum PumpMode {
     /// sockets with pooled buffers and vectored write coalescing
     /// ([`crate::reactor::PumpReactor`]).
     Reactor,
+}
+
+/// Static membership of a sharded outer-server fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Control endpoints of every shard — the *same list in the same
+    /// order* on every shard, client, and inner server (indices are
+    /// the fleet-wide shard identities).
+    pub members: Vec<(String, u16)>,
+    /// This server's index in `members`.
+    pub self_index: usize,
 }
 
 /// Outer server configuration.
@@ -80,6 +100,10 @@ pub struct OuterConfig {
     /// Reactor tuning (threads, idle backoff); used when `pump_mode`
     /// is [`PumpMode::Reactor`].
     pub reactor: ReactorConfig,
+    /// Shard-fleet membership. `None` (the default) is the paper's
+    /// single-proxy deployment: no ownership checks, no redirects, no
+    /// shard-map announcements.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl OuterConfig {
@@ -95,6 +119,7 @@ impl OuterConfig {
             breaker: BreakerConfig::default(),
             pump_mode: PumpMode::default(),
             reactor: ReactorConfig::default(),
+            fleet: None,
         }
     }
 
@@ -132,6 +157,44 @@ impl OuterConfig {
         self.reactor = r;
         self
     }
+
+    /// Run as shard `self_index` of the fleet listed in `members`.
+    pub fn with_fleet(mut self, members: Vec<(String, u16)>, self_index: usize) -> Self {
+        self.fleet = Some(FleetSpec {
+            members,
+            self_index,
+        });
+        self
+    }
+}
+
+/// Live fleet state of one shard: the membership list plus its
+/// generation, updated only by [`OuterServer::install_fleet`].
+///
+/// The generation lives in an atomic *outside* the members lock so the
+/// heartbeat syncer can follow the BindSync honesty discipline: read
+/// the generation first, then snapshot the members. A concurrent
+/// install (which writes members *before* publishing the generation)
+/// can only make the announced generation stale relative to the
+/// shipped list — detectable, and repaired by the next sync.
+struct FleetState {
+    self_index: usize,
+    members: OrderedMutex<Vec<(String, u16)>>,
+    gen: AtomicU64, // lint:allow(bare-atomic-counter)
+    stats: ShardStats,
+}
+
+impl FleetState {
+    /// Snapshot the current [`ShardMap`] and the matching address book.
+    fn shard_map(&self) -> (ShardMap, Vec<(String, u16)>) {
+        let gen = self.gen.load(Ordering::Acquire);
+        let members = self.members.lock().clone();
+        let tags = members
+            .iter()
+            .map(|(h, p)| member_tag(&bind_key(h, *p)))
+            .collect();
+        (ShardMap::new(gen, tags), members)
+    }
 }
 
 /// One tracked relay pair. The streams are clones of the pump's, held
@@ -157,6 +220,7 @@ pub struct OuterServer {
     admission: Arc<OrderedMutex<AdmissionGate>>,
     breaker: SharedBreaker,
     reactor: Option<Arc<PumpReactor>>,
+    fleet: Option<Arc<FleetState>>,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -185,6 +249,16 @@ impl OuterServer {
             PumpMode::ThreadPair => None,
             PumpMode::Reactor => Some(PumpReactor::start(cfg.reactor, stats.clone(), pool.clone())),
         };
+        let fleet = cfg.fleet.as_ref().map(|spec| {
+            let shard_stats = ShardStats::in_registry(stats.registry());
+            shard_stats.map_generation.set(1);
+            Arc::new(FleetState {
+                self_index: spec.self_index,
+                members: OrderedMutex::new("nexus.outer.fleet", spec.members.clone()),
+                gen: AtomicU64::new(1), // lint:allow(bare-atomic-counter)
+                stats: shard_stats,
+            })
+        });
 
         let ctx = ServerCtx {
             net,
@@ -205,6 +279,7 @@ impl OuterServer {
             breaker: breaker.clone(),
             pool,
             reactor: reactor.clone(),
+            fleet: fleet.clone(),
         };
         let mut threads = Vec::new();
 
@@ -245,6 +320,7 @@ impl OuterServer {
             admission: ctx.admission.clone(),
             breaker,
             reactor,
+            fleet,
             threads,
         })
     }
@@ -279,6 +355,34 @@ impl OuterServer {
     /// their own outer-server dials).
     pub fn breaker(&self) -> SharedBreaker {
         self.breaker.clone()
+    }
+
+    /// Install a newer shard map (e.g. after replacing a dead shard).
+    /// Returns `false` — and changes nothing — unless `generation` is
+    /// strictly newer than the installed one. The heartbeat session
+    /// announces the new map to the inner server on its next tick.
+    pub fn install_fleet(&self, generation: u64, members: Vec<(String, u16)>) -> bool {
+        let Some(fleet) = &self.fleet else {
+            return false;
+        };
+        let mut cur = fleet.members.lock();
+        if generation <= fleet.gen.load(Ordering::Acquire) {
+            return false;
+        }
+        // Members first, generation last: a concurrent reader that
+        // paired the old generation with the new list would claim
+        // freshness it does not have (see `FleetState`).
+        *cur = members;
+        fleet.gen.store(generation, Ordering::Release);
+        fleet.stats.map_generation.set(generation as i64);
+        true
+    }
+
+    /// Generation of the installed shard map (0 when not in a fleet).
+    pub fn fleet_generation(&self) -> u64 {
+        self.fleet
+            .as_ref()
+            .map_or(0, |f| f.gen.load(Ordering::Acquire))
     }
 
     pub fn shutdown(&self) {
@@ -341,6 +445,8 @@ struct ServerCtx {
     pool: BufferPool,
     /// `Some` when `pump_mode` is [`PumpMode::Reactor`].
     reactor: Option<Arc<PumpReactor>>,
+    /// `Some` when this server is one shard of a fleet.
+    fleet: Option<Arc<FleetState>>,
 }
 
 impl ServerCtx {
@@ -352,7 +458,11 @@ impl ServerCtx {
             .record(started.elapsed().as_nanos() as u64);
         match msg {
             Ok(Msg::ConnectReq { host, port }) => self.handle_connect(stream, host, port),
-            Ok(Msg::BindReq { host, port }) => self.handle_bind(stream, host, port),
+            Ok(Msg::BindReq {
+                host,
+                port,
+                fallback,
+            }) => self.handle_bind(stream, host, port, fallback),
             _ => { /* protocol error or EOF: drop the connection */ }
         }
     }
@@ -488,6 +598,27 @@ impl ServerCtx {
         Ok(gen)
     }
 
+    /// Announce the shard map on the control session. Same honesty
+    /// discipline as [`sync_binds`](Self::sync_binds): generation read
+    /// before the member snapshot, so a racing install makes the
+    /// announced generation stale (re-sent next tick), never fresh for
+    /// an old list. No-op returning 0 outside a fleet.
+    fn sync_shard_map(&self, s: &mut TcpStream) -> io::Result<u64> {
+        let Some(fleet) = &self.fleet else {
+            return Ok(0);
+        };
+        let gen = fleet.gen.load(Ordering::Acquire);
+        let members = fleet.members.lock().clone();
+        Msg::ShardSync {
+            gen,
+            sender: fleet.self_index as u16,
+            members,
+        }
+        .write_to(s)?;
+        fleet.stats.map_syncs.inc();
+        Ok(gen)
+    }
+
     /// Keep a control session to the inner server: Ping/Pong liveness,
     /// BindSync on (re)connect and on bind-table changes. A silent or
     /// dead inner server breaks the session; each re-established
@@ -528,9 +659,11 @@ impl ServerCtx {
             }
             ever_alive = true;
 
-            // Full bind-table push on every (re)connect, then ping at
-            // the configured interval, re-syncing whenever the table
-            // generation moved.
+            // Shard map first (it names the authorization slice the
+            // BindSync lands in), then a full bind-table push, on
+            // every (re)connect; then ping at the configured interval,
+            // re-syncing whichever generation moved.
+            let mut shard_gen = self.sync_shard_map(&mut s).unwrap_or_default();
             let mut synced_gen = self.sync_binds(&mut s).unwrap_or_default();
             let mut seq: u32 = 0;
             loop {
@@ -538,6 +671,14 @@ impl ServerCtx {
                     let _ = s.shutdown(Shutdown::Both);
                     self.stats.inner_alive.set(0);
                     return;
+                }
+                if let Some(fleet) = &self.fleet {
+                    if fleet.gen.load(Ordering::Acquire) != shard_gen {
+                        match self.sync_shard_map(&mut s) {
+                            Ok(g) => shard_gen = g,
+                            Err(_) => break,
+                        }
+                    }
                 }
                 let gen = self.rdv_gen.load(Ordering::Relaxed);
                 if gen != synced_gen {
@@ -567,8 +708,39 @@ impl ServerCtx {
     /// Fig. 4 steps 1-2: allocate a rendezvous port for the client and
     /// relay arriving peers through the inner server. The registration
     /// lives as long as the client keeps its control connection open.
-    fn handle_bind(&self, mut ctrl: TcpStream, client_host: String, client_port: u16) {
+    fn handle_bind(
+        &self,
+        mut ctrl: TcpStream,
+        client_host: String,
+        client_port: u16,
+        fallback: bool,
+    ) {
         let started = Instant::now();
+        // Fleet routing: only the HRW owner of this bind key serves
+        // it; everyone else answers with the owner's control address,
+        // so clients with a stale map converge in one hop. Exception:
+        // a `fallback` request means the client could not reach the
+        // owner — serve it here rather than bounce it back to a dead
+        // shard.
+        if let Some(fleet) = &self.fleet {
+            let key = bind_key(&client_host, client_port);
+            let (map, members) = fleet.shard_map();
+            match map.route(fleet.self_index, &key) {
+                Some(ShardRoute::Own) => fleet.stats.binds_owned.inc(),
+                Some(ShardRoute::Redirect(owner)) if !fallback => {
+                    fleet.stats.redirects_sent.inc();
+                    let (host, port) = members[owner].clone();
+                    let _ = Msg::Redirect { host, port }.write_to(&mut ctrl);
+                    return;
+                }
+                Some(ShardRoute::Redirect(_)) => { /* fallback serve */ }
+                // Self not in the map (superseded membership): refuse.
+                None => {
+                    let _ = Msg::BindRep { rdv_port: 0 }.write_to(&mut ctrl);
+                    return;
+                }
+            }
+        }
         let listener = match self.net.bind(&self.cfg.host, 0) {
             Ok(l) => l,
             Err(_) => {

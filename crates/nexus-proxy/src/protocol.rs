@@ -26,7 +26,12 @@
 //!   accepting work the relay cannot finish);
 //! * `BindSync` — the outer server mirrors its live bind registrations
 //!   to the inner server, so a restarted inner server learns them
-//!   again and can refuse relay requests for unregistered endpoints.
+//!   again and can refuse relay requests for unregistered endpoints;
+//! * `Redirect` — cross-shard bind lookup: an outer shard that does
+//!   not own a bind key answers with the owner's control endpoint
+//!   instead of a bare failure (sharded fleet, DESIGN.md §6d);
+//! * `ShardSync` — generation-counted fleet-membership announcement,
+//!   the BindSync discipline applied to the shard map itself.
 
 use std::io::{self, Read, Write};
 
@@ -55,8 +60,16 @@ pub enum Msg {
     /// Outer → client: dial outcome. On `ok`, the stream is now a pipe.
     ConnectRep { ok: bool, detail: String },
     /// Client → outer: I listen privately at `host:port`; allocate a
-    /// rendezvous port on yourself and relay peers to me.
-    BindReq { host: String, port: u16 },
+    /// rendezvous port on yourself and relay peers to me. `fallback`
+    /// means the client *knows* this shard is not the key's HRW owner
+    /// but could not reach the owner (breaker open / dials failing) —
+    /// the shard must serve instead of redirecting, or a dead owner
+    /// would bounce clients forever.
+    BindReq {
+        host: String,
+        port: u16,
+        fallback: bool,
+    },
     /// Outer → client: rendezvous port allocated (0 = failure).
     BindRep { rdv_port: u16 },
     /// Outer → inner: a peer arrived for the client privately listening
@@ -72,10 +85,29 @@ pub enum Msg {
     /// later. Sent instead of a `ConnectRep`/`BindRep`.
     Busy,
     /// Outer → inner: the complete set of live bind registrations
-    /// (client private endpoints). Replaces the inner server's
-    /// authorization table; re-sent after every reconnect so a
-    /// restarted inner server re-learns the live binds.
+    /// (client private endpoints) *of the sending shard*. Replaces
+    /// that shard's slice of the inner server's authorization table;
+    /// re-sent after every reconnect so a restarted inner server
+    /// re-learns the live binds.
     BindSync { binds: Vec<(String, u16)> },
+    /// Outer → client: this shard does not own the requested bind
+    /// key. Retry against the owner shard's control endpoint
+    /// `host:port` — a typed "not mine, ask them" instead of a bare
+    /// NotFound, so one stale shard choice costs one extra hop.
+    Redirect { host: String, port: u16 },
+    /// Fleet membership, generation-counted: the shard-map twin of
+    /// `BindSync`. Receivers install it only if `gen` is strictly
+    /// newer than what they hold, so a replaced shard re-announcing
+    /// an old map cannot roll the fleet view back. `sender` is the
+    /// announcing shard's index in `members` — on a control session it
+    /// names the authorization slice the session's `BindSync` frames
+    /// belong to (the accept side of a loopback socket cannot see who
+    /// dialed, so identity must ride the wire).
+    ShardSync {
+        gen: u64,
+        sender: u16,
+        members: Vec<(String, u16)>,
+    },
 }
 
 const T_CONNECT_REQ: u8 = 1;
@@ -88,6 +120,8 @@ const T_PING: u8 = 7;
 const T_PONG: u8 = 8;
 const T_BUSY: u8 = 9;
 const T_BIND_SYNC: u8 = 10;
+const T_REDIRECT: u8 = 11;
+const T_SHARD_SYNC: u8 = 12;
 
 /// Encoding failure: a message field cannot be represented on the wire.
 ///
@@ -104,6 +138,15 @@ pub enum EncodeError {
         /// Actual byte length of the offending string.
         len: usize,
     },
+    /// The encoded frame (type byte + body) exceeds [`MAX_FRAME`].
+    /// Encode and decode enforce the same cap: a frame we refuse to
+    /// parse is a frame we refuse to produce. (Before this check the
+    /// length was cast `as u32` unchecked, so an oversize body would
+    /// be emitted only for the peer's decoder to reject it.)
+    FrameTooLarge {
+        /// Actual length of the oversize frame payload.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -113,6 +156,10 @@ impl std::fmt::Display for EncodeError {
                 f,
                 "{field} is {len} bytes; wire format caps strings at {} bytes",
                 u16::MAX
+            ),
+            EncodeError::FrameTooLarge { len } => write!(
+                f,
+                "frame payload is {len} bytes; control frames cap at {MAX_FRAME} bytes"
             ),
         }
     }
@@ -131,6 +178,10 @@ fn put_u16(buf: &mut Vec<u8>, v: u16) {
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
@@ -172,6 +223,13 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    fn get_u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_be_bytes(raw))
+    }
+
     fn get_str(&mut self) -> io::Result<String> {
         let n = self.get_u16()? as usize;
         let body = self.take(n)?;
@@ -201,10 +259,15 @@ impl Msg {
                 body.push(u8::from(*ok));
                 put_str(&mut body, "detail", detail)?;
             }
-            Msg::BindReq { host, port } => {
+            Msg::BindReq {
+                host,
+                port,
+                fallback,
+            } => {
                 body.push(T_BIND_REQ);
                 put_str(&mut body, "host", host)?;
                 put_u16(&mut body, *port);
+                body.push(u8::from(*fallback));
             }
             Msg::BindRep { rdv_port } => {
                 body.push(T_BIND_REP);
@@ -242,6 +305,38 @@ impl Msg {
                     put_u16(&mut body, *port);
                 }
             }
+            Msg::Redirect { host, port } => {
+                body.push(T_REDIRECT);
+                put_str(&mut body, "host", host)?;
+                put_u16(&mut body, *port);
+            }
+            Msg::ShardSync {
+                gen,
+                sender,
+                members,
+            } => {
+                body.push(T_SHARD_SYNC);
+                put_u64(&mut body, *gen);
+                put_u16(&mut body, *sender);
+                let count =
+                    u16::try_from(members.len()).map_err(|_| EncodeError::StringTooLong {
+                        field: "members",
+                        len: members.len(),
+                    })?;
+                put_u16(&mut body, count);
+                for (host, port) in members {
+                    put_str(&mut body, "host", host)?;
+                    put_u16(&mut body, *port);
+                }
+            }
+        }
+        // Enforce the cap symmetrically with `check_frame_len`: never
+        // emit a frame the peer's decoder is required to reject. The
+        // old `as u32` cast here could not truncate in practice (the
+        // u16 string caps bound the body), but an oversize frame
+        // would still have been *sent* and then refused remotely.
+        if body.len() > MAX_FRAME as usize {
+            return Err(EncodeError::FrameTooLarge { len: body.len() });
         }
         let mut framed = Vec::with_capacity(4 + body.len());
         framed.extend_from_slice(&(body.len() as u32).to_be_bytes());
@@ -273,9 +368,11 @@ impl Msg {
             }
             T_BIND_REQ => {
                 let host = cur.get_str()?;
+                let port = cur.get_u16()?;
                 Msg::BindReq {
                     host,
-                    port: cur.get_u16()?,
+                    port,
+                    fallback: cur.get_u8()? != 0,
                 }
             }
             T_BIND_REP => Msg::BindRep {
@@ -316,6 +413,36 @@ impl Msg {
                     binds.push((host, port));
                 }
                 Msg::BindSync { binds }
+            }
+            T_REDIRECT => {
+                let host = cur.get_str()?;
+                Msg::Redirect {
+                    host,
+                    port: cur.get_u16()?,
+                }
+            }
+            T_SHARD_SYNC => {
+                let gen = cur.get_u64()?;
+                let sender = cur.get_u16()?;
+                let count = cur.get_u16()? as usize;
+                // Same attacker-controlled-count bound as BindSync.
+                if count > cur.rest.len() / 4 {
+                    return Err(bad(&format!(
+                        "member count {count} exceeds frame ({} bytes left)",
+                        cur.rest.len()
+                    )));
+                }
+                let mut members = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let host = cur.get_str()?;
+                    let port = cur.get_u16()?;
+                    members.push((host, port));
+                }
+                Msg::ShardSync {
+                    gen,
+                    sender,
+                    members,
+                }
             }
             other => return Err(bad(&format!("unknown message type {other}"))),
         };
@@ -377,6 +504,12 @@ mod tests {
         roundtrip(Msg::BindReq {
             host: "rwcp-sun".into(),
             port: 40001,
+            fallback: false,
+        });
+        roundtrip(Msg::BindReq {
+            host: "rwcp-sun".into(),
+            port: 40001,
+            fallback: true,
         });
         roundtrip(Msg::BindRep { rdv_port: 6001 });
         roundtrip(Msg::BindRep { rdv_port: 0 });
@@ -445,6 +578,7 @@ mod tests {
             roundtrip(Msg::BindReq {
                 host: host.clone(),
                 port,
+                fallback: port & 1 == 0,
             });
             roundtrip(Msg::RelayReq { host, port });
         }
@@ -471,12 +605,56 @@ mod tests {
         let io_err = m.write_to(&mut Vec::new()).unwrap_err();
         assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
         assert!(io_err.to_string().contains("detail is 70000 bytes"));
-        // Exactly u16::MAX bytes still fits.
+        // A string at the u16 cap is fine *per-field*; the whole-frame
+        // cap now governs (see frame_length_boundary_at_max_frame).
         let edge = Msg::ConnectReq {
             host: "h".repeat(usize::from(u16::MAX)),
             port: 80,
         };
-        roundtrip(edge);
+        assert_eq!(
+            edge.encode().unwrap_err(),
+            EncodeError::FrameTooLarge {
+                len: usize::from(u16::MAX) + 5,
+            }
+        );
+    }
+
+    /// Encode enforces [`MAX_FRAME`] symmetrically with decode: the
+    /// largest encodable ConnectReq body is exactly `MAX_FRAME` bytes
+    /// (type + u16 len + host + port), and one byte more is a typed
+    /// `FrameTooLarge` — not a silently emitted frame the peer must
+    /// reject (the old `as u32` path).
+    #[test]
+    fn frame_length_boundary_at_max_frame() {
+        let fits = MAX_FRAME as usize - 5; // 1 type + 2 len + 2 port
+        roundtrip(Msg::ConnectReq {
+            host: "h".repeat(fits),
+            port: 80,
+        });
+        let err = Msg::ConnectReq {
+            host: "h".repeat(fits + 1),
+            port: 80,
+        }
+        .encode()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::FrameTooLarge {
+                len: MAX_FRAME as usize + 1,
+            }
+        );
+        // The io::Error mapping keeps the cause readable.
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("frame payload"), "{io_err}");
+        // Whatever encode emits, decode accepts: the caps agree.
+        let frame = Msg::BindSync {
+            binds: (0..4094).map(|i| ("aaaaaaaaah".into(), i)).collect(),
+        }
+        .encode()
+        .unwrap();
+        let len = u32::from_be_bytes(frame[0..4].try_into().unwrap());
+        assert!(len <= MAX_FRAME);
     }
 
     #[test]
@@ -489,6 +667,39 @@ mod tests {
         roundtrip(Msg::BindSync {
             binds: vec![("rwcp-sun".into(), 40001), ("compas0".into(), 40002)],
         });
+    }
+
+    #[test]
+    fn shard_messages_roundtrip() {
+        roundtrip(Msg::Redirect {
+            host: "outer2".into(),
+            port: 7002,
+        });
+        roundtrip(Msg::ShardSync {
+            gen: 0,
+            sender: 0,
+            members: vec![],
+        });
+        roundtrip(Msg::ShardSync {
+            gen: u64::MAX,
+            sender: 1,
+            members: vec![("outer0".into(), 7000), ("outer1".into(), 7001)],
+        });
+    }
+
+    /// A `ShardSync` whose declared member count exceeds what the
+    /// frame can hold is refused before any count-sized work, exactly
+    /// like `BindSync`.
+    #[test]
+    fn shard_sync_count_is_bounded_by_frame() {
+        let mut body = vec![T_SHARD_SYNC];
+        body.extend_from_slice(&7u64.to_be_bytes()); // gen
+        body.extend_from_slice(&0u16.to_be_bytes()); // sender
+        body.extend_from_slice(&u16::MAX.to_be_bytes()); // count 65535
+        body.extend_from_slice(&[0, 1, b'x', 0, 80][..]); // one real entry
+        let err = Msg::decode(&body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("member count"), "{err}");
     }
 
     /// The declared-length cap is enforced before the body buffer is

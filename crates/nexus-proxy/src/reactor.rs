@@ -14,9 +14,13 @@
 //! a nonblocking read/write per direction and treats `WouldBlock` as
 //! "not ready". An [`IdleBackoff`] keeps the sweep cheap when nothing
 //! moves — yield-spinning first (latency), then parking with an
-//! exponentially growing sleep capped in the low milliseconds
-//! (throughput of everyone else). A kernel poller drop-in would slot
-//! in behind the same `step` loop.
+//! exponentially growing timeout capped in the low milliseconds
+//! (throughput of everyone else). Parking uses `thread::park_timeout`
+//! rather than a sleep, and [`PumpReactor::register`] unparks the
+//! target worker: a fresh relay landing on a quiet reactor is swept
+//! immediately instead of waiting out the park interval (the former
+//! DESIGN.md §6c quiet-relay caveat). A kernel poller drop-in would
+//! slot in behind the same `step` loop.
 //!
 //! ## Zero-alloc forwarding
 //!
@@ -76,8 +80,12 @@ impl Default for ReactorConfig {
     }
 }
 
-/// Exponential idle backoff: yield while hot, sleep (doubling) while
-/// cold, reset on any progress.
+/// Exponential idle backoff: yield while hot, park (doubling timeout)
+/// while cold, reset on any progress. Parks are interruptible — an
+/// `unpark` from `register` ends them early, and `park_timeout`'s
+/// token semantics make the wakeup race-free: an unpark that lands
+/// between the empty-queue check and the park makes the park return
+/// immediately, so a registration can never be slept through.
 struct IdleBackoff {
     cfg: ReactorConfig,
     idle_sweeps: u32,
@@ -106,7 +114,7 @@ impl IdleBackoff {
                 .park_min
                 .saturating_mul(1u32 << doublings.min(31))
                 .min(self.cfg.park_max);
-            thread::sleep(park.max(Duration::from_micros(1)));
+            thread::park_timeout(park.max(Duration::from_micros(1)));
         }
     }
 }
@@ -129,6 +137,9 @@ struct Shared {
     pool: BufferPool,
     shutdown: AtomicBool,
     queues: Vec<OrderedMutex<Vec<NewRelay>>>,
+    /// Worker `Thread` handles (index-aligned with `queues`), filled
+    /// once by `start` so `register` can unpark the worker it fed.
+    wakers: OrderedMutex<Vec<thread::Thread>>,
     thread_relays: Vec<Gauge>,
     // Round-robin placement cursor (an index, not a metric).
     next: AtomicUsize,
@@ -162,6 +173,7 @@ impl PumpReactor {
             pool,
             shutdown: AtomicBool::new(false),
             queues,
+            wakers: OrderedMutex::new("nexus.reactor.wakers", Vec::new()),
             thread_relays,
             next: AtomicUsize::new(0),
         });
@@ -170,6 +182,10 @@ impl PumpReactor {
             let sh = shared.clone();
             handles.push(thread::spawn(move || worker_loop(&sh, idx)));
         }
+        shared
+            .wakers
+            .lock()
+            .extend(handles.iter().map(|h| h.thread().clone()));
         Arc::new(PumpReactor {
             shared,
             workers: OrderedMutex::new("nexus.reactor.workers", handles),
@@ -201,6 +217,13 @@ impl PumpReactor {
             activity,
             done,
         });
+        // Wake the worker: without this, a relay registered on a quiet
+        // reactor pays the full park interval before its first byte
+        // moves. Unpark's token means a worker about to park instead
+        // returns immediately — no lost-wakeup window.
+        if let Some(t) = self.shared.wakers.lock().get(idx) {
+            t.unpark();
+        }
     }
 
     /// Reactor threads configured (for relays-per-thread accounting).
@@ -646,6 +669,50 @@ mod tests {
         let mut echoed = Vec::new();
         client.read_to_end(&mut echoed).unwrap();
         assert_eq!(echoed, reply);
+    }
+
+    /// Regression (DESIGN.md §6c quiet-relay caveat, fixed): a relay
+    /// registered on a deeply parked reactor must move its first byte
+    /// promptly because `register` unparks the worker. Before the fix
+    /// the worker slept out its full park interval — with the 500 ms
+    /// park below, first-byte latency was the remaining park time
+    /// (hundreds of ms); with the unpark it is microseconds.
+    #[test]
+    fn quiet_reactor_first_byte_is_not_parked() {
+        let stats = Arc::new(ProxyStats::default());
+        let pool = BufferPool::with_counters(
+            PoolConfig {
+                seg_bytes: 4096,
+                max_retained: 16,
+            },
+            stats.pool_hits.clone(),
+            stats.pool_misses.clone(),
+        );
+        let cfg = ReactorConfig {
+            threads: 1,
+            idle_spin: 0,
+            park_min: Duration::from_millis(500),
+            park_max: Duration::from_millis(500),
+        };
+        let r = PumpReactor::start(cfg, stats, pool);
+        // Let the worker go quiet: with idle_spin = 0 it is inside a
+        // 500 ms park almost immediately.
+        thread::sleep(Duration::from_millis(100));
+        let (mut left_app, left_relay) = socket_pair();
+        let (mut right_app, right_relay) = socket_pair();
+        r.register(left_relay, right_relay, RelayActivity::new(), || {});
+        let t0 = std::time::Instant::now();
+        left_app.write_all(b"wake").unwrap();
+        let mut buf = [0u8; 4];
+        right_app.read_exact(&mut buf).unwrap();
+        let first_byte = t0.elapsed();
+        assert_eq!(&buf, b"wake");
+        // Well under the ~400 ms of park remaining at registration
+        // (generous for CI noise; the fixed path takes ~1 ms).
+        assert!(
+            first_byte < Duration::from_millis(250),
+            "first byte took {first_byte:?}: register did not wake the parked worker"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! back. Owners must forward unrecognized timer tokens through
 //! [`NxClient::on_timer`] (gate on [`NxClient::owns_timer`]).
 
-use super::{ProxyMsg, CTRL_MSG_BYTES};
+use super::{sim_shard_key, sim_shard_map, ProxyMsg, CTRL_MSG_BYTES};
+use crate::liveness::BreakerConfig;
+use crate::shard::{ShardRouter, ShardStats};
 use netsim::prelude::*;
 use std::collections::HashMap;
 use wacs_obs::{Counter, Histogram, Registry};
@@ -142,6 +144,17 @@ enum Pending {
     },
     /// Dialing the outer server to register a bind of `client_port`.
     OuterForBind { client_port: u16, attempt: u32 },
+    /// Dialing fleet shard `idx` (at `shard`) to register a bind of
+    /// `client_port`. `fallback` is set when the client knowingly
+    /// addresses a non-owner (the owner's breaker is open), telling
+    /// the shard to serve rather than redirect.
+    FleetForBind {
+        client_port: u16,
+        attempt: u32,
+        idx: usize,
+        shard: (NodeId, u16),
+        fallback: bool,
+    },
 }
 
 /// Deferred work attached to a timer token.
@@ -177,6 +190,17 @@ struct BindAwait {
     client_port: u16,
     attempt: u32,
     deadline_token: u64,
+    /// Fleet mode: the shard serving this bind, as `(index, node)` —
+    /// the node becomes the advertised rendezvous host on success and
+    /// the index is charged on failure.
+    shard: Option<(usize, NodeId)>,
+}
+
+/// Client-side fleet state: member endpoints plus the breaker-gated
+/// HRW router (the sim twin of the real path's `FleetRouter`).
+struct SimFleetClient {
+    members: Vec<(NodeId, u16)>,
+    router: ShardRouter,
 }
 
 /// Registry handles for the client machine's spans and counters.
@@ -192,6 +216,9 @@ struct ClientObs {
 /// The embedded client state machine.
 pub struct NxClient {
     env: SimProxyEnv,
+    /// When set, binds route across the outer-shard fleet instead of
+    /// `env.outer` (DESIGN.md §6d).
+    fleet: Option<SimFleetClient>,
     policy: RetryPolicy,
     pending: HashMap<u64, Pending>,
     /// Flows awaiting a `ConnectRep`.
@@ -208,6 +235,7 @@ pub struct NxClient {
     retries: u64,
     rebinds: u64,
     obs: Option<ClientObs>,
+    shard_obs: Option<ShardStats>,
     /// user token → when its `connect()` was issued (span bookkeeping;
     /// survives retries because retries keep the user token).
     connect_started: HashMap<u64, SimTime>,
@@ -223,6 +251,7 @@ impl NxClient {
     pub fn with_policy(env: SimProxyEnv, policy: RetryPolicy) -> Self {
         NxClient {
             env,
+            fleet: None,
             policy,
             pending: HashMap::new(),
             await_rep: HashMap::new(),
@@ -234,13 +263,25 @@ impl NxClient {
             retries: 0,
             rebinds: 0,
             obs: None,
+            shard_obs: None,
             connect_started: HashMap::new(),
             bind_started: None,
         }
     }
 
+    /// Route binds (and proxied connects) across an outer-shard fleet
+    /// instead of `env.outer`: HRW ownership picks the shard, per-shard
+    /// circuit breakers drive failover, and member hosts are still
+    /// dialed directly for rendezvous connects.
+    pub fn with_fleet(mut self, members: Vec<(NodeId, u16)>) -> Self {
+        let router = ShardRouter::new(sim_shard_map(1, &members), BreakerConfig::default());
+        self.fleet = Some(SimFleetClient { members, router });
+        self
+    }
+
     /// Record handshake/bind spans and retry counters under
-    /// `proxy.client.*` in `registry`.
+    /// `proxy.client.*` (and fleet routing under `wacs.shard.*`) in
+    /// `registry`.
     pub fn with_obs(mut self, registry: &Registry) -> Self {
         self.obs = Some(ClientObs {
             handshake_ns: registry.histogram("proxy.client.handshake_ns"),
@@ -248,7 +289,47 @@ impl NxClient {
             retries: registry.counter("proxy.client.retries"),
             rebinds: registry.counter("proxy.client.rebinds"),
         });
+        let shard = ShardStats::in_registry(registry);
+        if let Some(f) = &self.fleet {
+            shard.map_generation.set(f.router.map().generation() as i64);
+        }
+        self.shard_obs = Some(shard);
         self
+    }
+
+    /// Install a strictly newer fleet membership (relayed from a
+    /// `ShardSync` or pushed by the harness). Breakers of unchanged
+    /// shards keep their state.
+    pub fn fleet_install(&mut self, generation: u64, members: Vec<(NodeId, u16)>) -> bool {
+        let Some(f) = &mut self.fleet else {
+            return false;
+        };
+        let map = sim_shard_map(generation, &members);
+        if !f.router.install(map.generation(), map.tags().to_vec()) {
+            return false;
+        }
+        f.members = members;
+        if let Some(s) = &self.shard_obs {
+            s.map_generation.set(generation as i64);
+        }
+        true
+    }
+
+    /// Current fleet-map generation (0 when not in fleet mode).
+    pub fn fleet_generation(&self) -> u64 {
+        self.fleet
+            .as_ref()
+            .map_or(0, |f| f.router.map().generation())
+    }
+
+    /// Charge a failed bind interaction to shard `idx`'s breaker.
+    fn fleet_bind_failure(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        if let Some(f) = &mut self.fleet {
+            f.router.on_failure(idx, ctx.now().nanos());
+            if let Some(s) = &self.shard_obs {
+                s.failovers.inc();
+            }
+        }
     }
 
     /// Close the handshake span for `user_token` at `now` (called at
@@ -365,10 +446,32 @@ impl NxClient {
         user_token: u64,
         attempt: u32,
     ) {
+        // Where to dial: `None` means a plain connect to `dst` (direct
+        // mode, or `dst` is a rendezvous address on a proxy host);
+        // `Some(ep)` means issue a `ConnectReq` via `ep`.
+        let via: Option<(NodeId, u16)> = if let Some(f) = &mut self.fleet {
+            if f.members.is_empty() || f.members.iter().any(|m| m.0 == dst.0) {
+                None
+            } else {
+                // Any shard can serve a `ConnectReq`; prefer the HRW
+                // owner, let breakers skip shards known dead, and when
+                // everything is open probe the owner anyway (a refusal
+                // lands back in the normal retry path).
+                let key = sim_shard_key(dst);
+                let idx = match f.router.route(&key, ctx.now().nanos()) {
+                    Some(i) => i,
+                    None => f.router.map().owner(&key).unwrap_or(0),
+                };
+                Some(f.members[idx])
+            }
+        } else {
+            match self.env.outer {
+                Some(outer) if dst.0 != outer.0 => Some(outer),
+                _ => None,
+            }
+        };
         let tok = self.itoken();
-        match self.env.outer {
-            // Direct mode, or the destination *is* the outer server (a
-            // rendezvous address): plain connect.
+        match via {
             None => {
                 self.pending.insert(
                     tok,
@@ -380,18 +483,7 @@ impl NxClient {
                 );
                 ctx.connect(dst, tok);
             }
-            Some(outer) if dst.0 == outer.0 => {
-                self.pending.insert(
-                    tok,
-                    Pending::Direct {
-                        user_token,
-                        dst,
-                        attempt,
-                    },
-                );
-                ctx.connect(dst, tok);
-            }
-            Some(outer) => {
+            Some(ep) => {
                 self.pending.insert(
                     tok,
                     Pending::OuterForConnect {
@@ -400,13 +492,43 @@ impl NxClient {
                         attempt,
                     },
                 );
-                ctx.connect(outer, tok);
+                ctx.connect(ep, tok);
             }
         }
     }
 
     fn start_bind_dial(&mut self, ctx: &mut Ctx<'_>, client_port: u16, attempt: u32) {
-        if let Some(outer) = self.env.outer {
+        // Fleet mode: the breaker-gated ladder picks the shard, and a
+        // knowing non-owner dial carries the fallback flag so the shard
+        // serves instead of redirecting us back to a dead owner.
+        let fleet_target = match &mut self.fleet {
+            Some(f) if !f.members.is_empty() => {
+                let key = sim_shard_key((ctx.host(), client_port));
+                let idx = match f.router.route(&key, ctx.now().nanos()) {
+                    Some(i) => i,
+                    // Every breaker open: probe the owner anyway; the
+                    // refusal feeds the normal retry/backoff path.
+                    None => f.router.map().owner(&key).unwrap_or(0),
+                };
+                let fallback = f.router.map().owner(&key) != Some(idx);
+                Some((idx, f.members[idx], fallback))
+            }
+            _ => None,
+        };
+        if let Some((idx, shard, fallback)) = fleet_target {
+            let tok = self.itoken();
+            self.pending.insert(
+                tok,
+                Pending::FleetForBind {
+                    client_port,
+                    attempt,
+                    idx,
+                    shard,
+                    fallback,
+                },
+            );
+            ctx.connect(shard, tok);
+        } else if let Some(outer) = self.env.outer {
             let tok = self.itoken();
             self.pending.insert(
                 tok,
@@ -442,19 +564,16 @@ impl NxClient {
         #[allow(clippy::expect_used)]
         let port = ctx.listen(0).expect("ephemeral listen failed"); // lint:allow(unwrap-panic)
         self.private_port = Some(port);
-        match self.env.outer {
-            None => {
-                // Direct binds complete within the call: zero-length span.
-                if let Some(o) = &self.obs {
-                    o.bind_ns.record(0);
-                }
-                Some((ctx.host(), port))
+        if self.fleet.is_none() && self.env.outer.is_none() {
+            // Direct binds complete within the call: zero-length span.
+            if let Some(o) = &self.obs {
+                o.bind_ns.record(0);
             }
-            Some(_) => {
-                self.bind_started = Some(ctx.now());
-                self.start_bind_dial(ctx, port, 1);
-                None
-            }
+            Some((ctx.host(), port))
+        } else {
+            self.bind_started = Some(ctx.now());
+            self.start_bind_dial(ctx, port, 1);
+            None
         }
     }
 
@@ -523,6 +642,9 @@ impl NxClient {
                         return NxHandled::Consumed;
                     };
                     ctx.close(flow);
+                    if let Some((idx, _)) = b.shard {
+                        self.fleet_bind_failure(ctx, idx);
+                    }
                     self.retry_bind(ctx, b.client_port, b.attempt)
                 } else {
                     NxHandled::Consumed
@@ -569,7 +691,14 @@ impl NxClient {
                         attempt,
                     }) => {
                         let client = (ctx.host(), client_port);
-                        let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindReq { client });
+                        let _ = ctx.send(
+                            flow,
+                            CTRL_MSG_BYTES,
+                            ProxyMsg::BindReq {
+                                client,
+                                fallback: false,
+                            },
+                        );
                         let deadline_token = self.itoken();
                         self.timers
                             .insert(deadline_token, RetryAction::BindDeadline { flow });
@@ -579,6 +708,33 @@ impl NxClient {
                             client_port,
                             attempt,
                             deadline_token,
+                            shard: None,
+                        });
+                        NxHandled::Consumed
+                    }
+                    Some(Pending::FleetForBind {
+                        client_port,
+                        attempt,
+                        idx,
+                        shard,
+                        fallback,
+                    }) => {
+                        if let Some(f) = &mut self.fleet {
+                            f.router.on_success(idx);
+                        }
+                        let client = (ctx.host(), client_port);
+                        let _ =
+                            ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindReq { client, fallback });
+                        let deadline_token = self.itoken();
+                        self.timers
+                            .insert(deadline_token, RetryAction::BindDeadline { flow });
+                        ctx.set_timer(self.policy.reply_deadline, deadline_token);
+                        self.bind_await = Some(BindAwait {
+                            flow,
+                            client_port,
+                            attempt,
+                            deadline_token,
+                            shard: Some((idx, shard.0)),
                         });
                         NxHandled::Consumed
                     }
@@ -601,6 +757,18 @@ impl NxClient {
                         client_port,
                         attempt,
                     }) => self.retry_bind(ctx, client_port, attempt),
+                    Some(Pending::FleetForBind {
+                        client_port,
+                        attempt,
+                        idx,
+                        ..
+                    }) => {
+                        // A refused shard dial charges its breaker; the
+                        // retry re-routes and descends the ladder once
+                        // the breaker opens.
+                        self.fleet_bind_failure(ctx, idx);
+                        self.retry_bind(ctx, client_port, attempt)
+                    }
                     None => NxHandled::Consumed,
                 }
             }
@@ -625,6 +793,9 @@ impl NxClient {
                     return NxHandled::Consumed;
                 };
                 self.timers.remove(&b.deadline_token);
+                if let Some((idx, _)) = b.shard {
+                    self.fleet_bind_failure(ctx, idx);
+                }
                 self.retry_bind(ctx, b.client_port, b.attempt)
             }
             FlowEvent::Closed { flow, .. } if self.bind_ctrl == Some(flow) => {
@@ -632,8 +803,9 @@ impl NxClient {
                 // rendezvous registration is gone. Re-register the same
                 // private port and tell the owner the old address died.
                 self.bind_ctrl = None;
-                match (self.env.outer, self.private_port) {
-                    (Some(_), Some(port)) => {
+                let proxied = self.fleet.is_some() || self.env.outer.is_some();
+                match self.private_port {
+                    Some(port) if proxied => {
                         self.rebinds += 1;
                         self.retries += 1;
                         if let Some(o) = &self.obs {
@@ -692,30 +864,80 @@ impl NxClient {
             };
             self.timers.remove(&b.deadline_token);
             return match msg.expect::<ProxyMsg>() {
-                ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => match self.env.outer {
-                    Some(outer) => {
-                        self.bind_ctrl = Some(flow);
-                        if let Some(t0) = self.bind_started.take() {
-                            if let Some(o) = &self.obs {
-                                o.bind_ns.record(ctx.now().since(t0).nanos());
+                ProxyMsg::BindRep { rdv_port } if rdv_port != 0 => {
+                    // The advertised rendezvous host is whoever served
+                    // the bind: the fleet shard, or the single outer.
+                    let rdv_host = match (b.shard, self.env.outer) {
+                        (Some((idx, node)), _) => {
+                            if let Some(f) = &mut self.fleet {
+                                f.router.on_success(idx);
                             }
+                            Some(node)
                         }
-                        NxHandled::Event(NxEvent::Bound {
-                            advertised: (outer.0, rdv_port),
-                        })
+                        (None, Some(outer)) => Some(outer.0),
+                        // bind_await is only set in proxied mode; if the
+                        // env lost its outer address, fail cleanly.
+                        (None, None) => None,
+                    };
+                    match rdv_host {
+                        Some(node) => {
+                            self.bind_ctrl = Some(flow);
+                            if let Some(t0) = self.bind_started.take() {
+                                if let Some(o) = &self.obs {
+                                    o.bind_ns.record(ctx.now().since(t0).nanos());
+                                }
+                            }
+                            NxHandled::Event(NxEvent::Bound {
+                                advertised: (node, rdv_port),
+                            })
+                        }
+                        None => {
+                            ctx.close(flow);
+                            NxHandled::Event(NxEvent::BindFailed)
+                        }
                     }
-                    // bind_await is only set in proxied mode; if the env
-                    // lost its outer address, fail the bind cleanly.
-                    None => {
-                        ctx.close(flow);
-                        NxHandled::Event(NxEvent::BindFailed)
+                }
+                // A non-owner shard named the owner: follow the
+                // redirect with `fallback: false` (the redirecting
+                // shard's map is at least as fresh as ours).
+                ProxyMsg::Redirect { owner } if self.fleet.is_some() => {
+                    if let Some(s) = &self.shard_obs {
+                        s.redirects_followed.inc();
                     }
-                },
+                    ctx.close(flow);
+                    let idx = self
+                        .fleet
+                        .as_ref()
+                        .and_then(|f| f.members.iter().position(|m| *m == owner))
+                        .or(b.shard.map(|(i, _)| i))
+                        .unwrap_or(0);
+                    let tok = self.itoken();
+                    self.pending.insert(
+                        tok,
+                        Pending::FleetForBind {
+                            client_port: b.client_port,
+                            attempt: b.attempt + 1,
+                            idx,
+                            shard: owner,
+                            fallback: false,
+                        },
+                    );
+                    ctx.connect(owner, tok);
+                    NxHandled::Consumed
+                }
                 // `rdv_port: 0` is the server's explicit allocation
-                // failure — never a valid rendezvous. Reject it.
+                // failure (or a superseded shard's refusal) — never a
+                // valid rendezvous. In fleet mode charge the shard and
+                // retry elsewhere; single-outer fails the bind.
                 _ => {
                     ctx.close(flow);
-                    NxHandled::Event(NxEvent::BindFailed)
+                    match b.shard {
+                        Some((idx, _)) => {
+                            self.fleet_bind_failure(ctx, idx);
+                            self.retry_bind(ctx, b.client_port, b.attempt)
+                        }
+                        None => NxHandled::Event(NxEvent::BindFailed),
+                    }
                 }
             };
         }

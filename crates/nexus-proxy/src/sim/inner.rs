@@ -1,9 +1,15 @@
 //! The inner server as a simulation actor.
 
 use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, RELAY_TIMER};
+use crate::shard::ShardStats;
 use netsim::prelude::*;
 use std::collections::{HashMap, HashSet};
 use wacs_obs::{Counter, Histogram, Registry};
+
+/// Authorization slice name: the announcing shard's control endpoint,
+/// or `None` for sessions that never sent a `ShardSync` (single-outer
+/// deployments — the legacy solo slice).
+type SliceKey = Option<(NodeId, u16)>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -41,8 +47,17 @@ pub struct SimInnerServer {
     /// table. A restarted inner server starts with an *empty* table:
     /// it relays nothing until the outer server re-syncs.
     require_registration: bool,
-    authorized: HashSet<(NodeId, u16)>,
+    /// Authorization table, sliced per announcing shard (DESIGN.md
+    /// §6d): each shard's `BindSync` replaces only its own slice, so N
+    /// outer shards cannot clobber each other's registrations.
+    slices: HashMap<SliceKey, HashSet<(NodeId, u16)>>,
+    /// Control flow → the slice its `ShardSync` claimed.
+    session_slice: HashMap<FlowId, (NodeId, u16)>,
+    /// Highest shard-map generation installed so far (0 = none).
+    fleet_gen: u64,
+    fleet: Vec<(NodeId, u16)>,
     obs: Option<InnerObs>,
+    shard_obs: Option<ShardStats>,
 }
 
 impl SimInnerServer {
@@ -54,8 +69,12 @@ impl SimInnerServer {
             dials: HashMap::new(),
             next_token: 0,
             require_registration: false,
-            authorized: HashSet::new(),
+            slices: HashMap::new(),
+            session_slice: HashMap::new(),
+            fleet_gen: 0,
+            fleet: Vec::new(),
             obs: None,
+            shard_obs: None,
         }
     }
 
@@ -80,6 +99,7 @@ impl SimInnerServer {
             bind_syncs: c("bind_syncs"),
             relays_unauthorized: c("relays_unauthorized"),
         });
+        self.shard_obs = Some(ShardStats::in_registry(registry));
         self
     }
 
@@ -87,11 +107,22 @@ impl SimInnerServer {
         self.relay.forwarded
     }
 
-    /// Endpoints currently announced via `BindSync` (sorted).
+    /// Endpoints currently announced via `BindSync`, the union over
+    /// every shard's slice (sorted, deduplicated).
     pub fn authorized_endpoints(&self) -> Vec<(NodeId, u16)> {
-        let mut v: Vec<(NodeId, u16)> = self.authorized.iter().copied().collect();
+        let mut v: Vec<(NodeId, u16)> = self.slices.values().flatten().copied().collect();
         v.sort();
+        v.dedup();
         v
+    }
+
+    /// The installed fleet view: `(generation, members)`.
+    pub fn fleet_view(&self) -> (u64, Vec<(NodeId, u16)>) {
+        (self.fleet_gen, self.fleet.clone())
+    }
+
+    fn is_authorized(&self, ep: &(NodeId, u16)) -> bool {
+        self.slices.values().any(|s| s.contains(ep))
     }
 
     /// Handle one frame on an established control session.
@@ -108,9 +139,35 @@ impl SimInnerServer {
             }
             ProxyMsg::BindSync { binds } => {
                 ctx.trace(|| format!("inner: BindSync with {} endpoints", binds.len()));
-                self.authorized = binds.into_iter().collect();
+                let key = self.session_slice.get(&flow).copied();
+                self.slices.insert(key, binds.into_iter().collect());
                 if let Some(o) = &self.obs {
                     o.bind_syncs.inc();
+                }
+            }
+            ProxyMsg::ShardSync {
+                gen,
+                sender,
+                members,
+            } => {
+                // Session identity first: even a stale map names its
+                // sender (endpoints are stable across shard restarts,
+                // so a replaced shard reclaims its old slice).
+                if let Some(&ep) = members.get(sender as usize) {
+                    self.session_slice.insert(flow, ep);
+                }
+                if gen > self.fleet_gen {
+                    // Authorizations of shards no longer in the map
+                    // die with their membership.
+                    let keep: HashSet<(NodeId, u16)> = members.iter().copied().collect();
+                    self.slices
+                        .retain(|k, _| k.is_none_or(|ep| keep.contains(&ep)));
+                    self.fleet_gen = gen;
+                    self.fleet = members;
+                    if let Some(s) = &self.shard_obs {
+                        s.map_syncs.inc();
+                        s.map_generation.set(gen as i64);
+                    }
                 }
             }
             other => {
@@ -170,6 +227,7 @@ impl Actor for SimInnerServer {
             }
             FlowEvent::Closed { flow, .. } => {
                 self.roles.remove(&flow);
+                self.session_slice.remove(&flow);
                 if let Some(pair) = self.relay.on_closed(ctx, flow) {
                     self.roles.remove(&pair);
                 }
@@ -185,7 +243,7 @@ impl Actor for SimInnerServer {
                     ctx.trace(|| {
                         format!("inner: RelayReq for client {client:?} on flow {}", flow.0)
                     });
-                    if self.require_registration && !self.authorized.contains(&client) {
+                    if self.require_registration && !self.is_authorized(&client) {
                         if let Some(o) = &self.obs {
                             o.relays_unauthorized.inc();
                             o.relays_failed.inc();
@@ -199,9 +257,11 @@ impl Actor for SimInnerServer {
                     self.dials.insert(tok, (flow, ctx.now()));
                     ctx.connect(client, tok);
                 }
-                // First frame is Ping/BindSync: an outer-server control
-                // session, not a relay.
-                first @ (ProxyMsg::Ping { .. } | ProxyMsg::BindSync { .. }) => {
+                // First frame is Ping/BindSync/ShardSync: an
+                // outer-server control session, not a relay.
+                first @ (ProxyMsg::Ping { .. }
+                | ProxyMsg::BindSync { .. }
+                | ProxyMsg::ShardSync { .. }) => {
                     self.roles.insert(flow, Role::Control);
                     self.on_control(ctx, flow, first);
                 }

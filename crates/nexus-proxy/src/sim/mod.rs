@@ -17,6 +17,7 @@ pub use client::{NxClient, NxEvent, NxHandled, RetryPolicy, SimProxyEnv};
 pub use inner::SimInnerServer;
 pub use outer::SimOuterServer;
 
+use crate::shard::{member_tag, ShardMap};
 use netsim::prelude::*;
 use std::collections::{HashMap, VecDeque};
 use wacs_obs::{Histogram, Registry};
@@ -32,6 +33,10 @@ pub enum ProxyMsg {
     },
     BindReq {
         client: (NodeId, u16),
+        /// The client could not reach the HRW owner of this bind key
+        /// (breaker open / dials failing) and is knowingly asking a
+        /// non-owner to serve; do not redirect back.
+        fallback: bool,
     },
     BindRep {
         rdv_port: u16,
@@ -51,14 +56,48 @@ pub enum ProxyMsg {
     Pong {
         seq: u32,
     },
-    /// Outer→inner: full replacement of the authorized bind table.
+    /// Outer→inner: full replacement of the authorized bind table
+    /// (of the sending shard's slice, in a fleet).
     BindSync {
         binds: Vec<(NodeId, u16)>,
+    },
+    /// Outer→client: this shard does not own the requested bind key;
+    /// retry against the owner's control endpoint.
+    Redirect {
+        owner: (NodeId, u16),
+    },
+    /// Fleet membership, generation-counted (the shard-map twin of
+    /// `BindSync`). `sender` indexes `members` and names the
+    /// authorization slice of the announcing control session.
+    ShardSync {
+        gen: u64,
+        sender: u16,
+        members: Vec<(NodeId, u16)>,
     },
 }
 
 /// Declared wire size of a control message (bytes).
 pub const CTRL_MSG_BYTES: u64 = 32;
+
+/// Stable shard key for a sim endpoint — the sim twin of
+/// [`crate::shard::bind_key`] (node id stands in for the host name).
+pub fn sim_shard_key(ep: (NodeId, u16)) -> Vec<u8> {
+    let mut v = Vec::with_capacity(7);
+    v.extend_from_slice(&ep.0 .0.to_be_bytes());
+    v.push(b':');
+    v.extend_from_slice(&ep.1.to_be_bytes());
+    v
+}
+
+/// Derive the fleet [`ShardMap`] from sim member endpoints; every
+/// party holding the same list computes the same ownership.
+pub fn sim_shard_map(generation: u64, members: &[(NodeId, u16)]) -> ShardMap {
+    let tags = members
+        .iter()
+        .map(|m| member_tag(&sim_shard_key(*m)))
+        .collect();
+    ShardMap::new(generation, tags)
+}
 
 /// Cost model of one relay server process.
 #[derive(Debug, Clone, Copy)]

@@ -1,10 +1,14 @@
 //! The outer server as a simulation actor.
 
-use super::{ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, HB_RETRY, HB_TICK, RELAY_TIMER};
+use super::{
+    sim_shard_key, sim_shard_map, ProxyMsg, RelayCore, RelayModel, CTRL_MSG_BYTES, HB_RETRY,
+    HB_TICK, RELAY_TIMER,
+};
 use crate::liveness::{
     AdmissionGate, AdmissionLimits, BreakerConfig, BreakerState, CircuitBreaker, HeartbeatConfig,
     HeartbeatMonitor,
 };
+use crate::shard::{ShardRoute, ShardStats};
 use netsim::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -90,6 +94,17 @@ struct OuterObs {
     breaker_state: Gauge,
 }
 
+/// Fleet membership of one sim outer shard (DESIGN.md §6d): the
+/// generation-counted member list plus a dirty flag driving
+/// `ShardSync` re-announcements on the heartbeat session.
+struct SimFleet {
+    self_index: usize,
+    gen: u64,
+    members: Vec<(NodeId, u16)>,
+    /// The map changed since the last announcement.
+    dirty: bool,
+}
+
 /// The outer server actor. Spawn it on a host *outside* the firewall.
 pub struct SimOuterServer {
     ctrl_port: u16,
@@ -106,6 +121,8 @@ pub struct SimOuterServer {
     /// Flow → admission key, released exactly once per admitted flow.
     admitted: HashMap<FlowId, String>,
     obs: Option<OuterObs>,
+    fleet: Option<SimFleet>,
+    shard_obs: Option<ShardStats>,
 }
 
 impl SimOuterServer {
@@ -122,7 +139,22 @@ impl SimOuterServer {
             gate: None,
             admitted: HashMap::new(),
             obs: None,
+            fleet: None,
+            shard_obs: None,
         }
+    }
+
+    /// Run as shard `self_index` of the fleet listed in `members`
+    /// (control endpoints, the same list in the same order everywhere)
+    /// — the sim twin of `OuterConfig::with_fleet`.
+    pub fn with_fleet(mut self, members: Vec<(NodeId, u16)>, self_index: usize) -> Self {
+        self.fleet = Some(SimFleet {
+            self_index,
+            gen: 1,
+            members,
+            dirty: false,
+        });
+        self
     }
 
     /// Enable the heartbeat control session to the inner server (with
@@ -175,7 +207,30 @@ impl SimOuterServer {
             inner_alive: g("inner_alive"),
             breaker_state: g("breaker_state"),
         });
+        if self.fleet.is_some() {
+            let s = ShardStats::in_registry(registry);
+            s.map_generation.set(1);
+            self.shard_obs = Some(s);
+        }
         self
+    }
+
+    /// Install a strictly newer fleet membership; the heartbeat
+    /// session re-announces it on its next tick. `false` = stale.
+    pub fn install_fleet(&mut self, generation: u64, members: Vec<(NodeId, u16)>) -> bool {
+        let Some(f) = &mut self.fleet else {
+            return false;
+        };
+        if generation <= f.gen {
+            return false;
+        }
+        f.gen = generation;
+        f.members = members;
+        f.dirty = true;
+        if let Some(s) = &self.shard_obs {
+            s.map_generation.set(generation as i64);
+        }
+        true
     }
 
     /// Messages forwarded so far (diagnostics for tests/benches).
@@ -246,6 +301,26 @@ impl SimOuterServer {
         }
     }
 
+    /// Announce the shard map on the control session (fleet only): it
+    /// names the slice the following `BindSync` frames belong to, so
+    /// it must precede them on every (re)connect.
+    fn send_shard_sync(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let Some(f) = &mut self.fleet else { return };
+        let _ = ctx.send(
+            flow,
+            CTRL_MSG_BYTES,
+            ProxyMsg::ShardSync {
+                gen: f.gen,
+                sender: f.self_index as u16,
+                members: f.members.clone(),
+            },
+        );
+        f.dirty = false;
+        if let Some(s) = &self.shard_obs {
+            s.map_syncs.inc();
+        }
+    }
+
     fn send_ping(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let seq = match &mut self.live {
             Some(l) => match &mut l.monitor {
@@ -296,6 +371,9 @@ impl SimOuterServer {
             self.declare_inner_dead(ctx, flow, interval);
             return;
         }
+        if self.fleet.as_ref().is_some_and(|f| f.dirty) {
+            self.send_shard_sync(ctx, flow);
+        }
         if dirty {
             self.send_bind_sync(ctx, flow);
         }
@@ -345,29 +423,68 @@ impl SimOuterServer {
                 );
                 ctx.connect(dst, tok);
             }
-            ProxyMsg::BindReq { client } => match ctx.listen(0) {
-                Ok(port) => {
-                    ctx.trace(|| format!("outer: BindReq client={client:?} -> rdv port {port}"));
-                    self.rdv.insert(port, client);
-                    if let Some(l) = &mut self.live {
-                        l.rdv_dirty = true;
+            ProxyMsg::BindReq { client, fallback } => {
+                // Fleet routing: only the HRW owner serves this key;
+                // everyone else names the owner in a typed Redirect —
+                // unless the client flagged the request as a fallback
+                // (owner unreachable), in which case we serve rather
+                // than bounce it back to a dead shard.
+                if let Some(f) = &self.fleet {
+                    let map = sim_shard_map(f.gen, &f.members);
+                    match map.route(f.self_index, &sim_shard_key(client)) {
+                        Some(ShardRoute::Own) => {
+                            if let Some(s) = &self.shard_obs {
+                                s.binds_owned.inc();
+                            }
+                        }
+                        Some(ShardRoute::Redirect(_)) if fallback => { /* fallback serve */ }
+                        Some(ShardRoute::Redirect(owner)) => {
+                            let owner = f.members[owner];
+                            if let Some(s) = &self.shard_obs {
+                                s.redirects_sent.inc();
+                            }
+                            let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::Redirect { owner });
+                            ctx.close(flow);
+                            return;
+                        }
+                        // Superseded membership: refuse.
+                        None => {
+                            let _ =
+                                ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
+                            return;
+                        }
                     }
-                    self.roles
-                        .insert(flow, Role::BindControl { rdv_port: port });
-                    if let Some(o) = &self.obs {
-                        o.binds.inc();
-                        // Served within one event: zero virtual time.
-                        o.bind_req_ns.record(0);
-                    }
-                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
                 }
-                Err(_) => {
-                    let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
-                }
-            },
+                self.handle_bind(ctx, flow, client);
+            }
             other => {
                 ctx.trace(|| format!("outer: unexpected request {other:?}"));
                 ctx.close(flow);
+            }
+        }
+    }
+
+    /// Fig. 4 steps 1-2 (sim): allocate a rendezvous port and register
+    /// the client against it.
+    fn handle_bind(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, client: (NodeId, u16)) {
+        match ctx.listen(0) {
+            Ok(port) => {
+                ctx.trace(|| format!("outer: BindReq client={client:?} -> rdv port {port}"));
+                self.rdv.insert(port, client);
+                if let Some(l) = &mut self.live {
+                    l.rdv_dirty = true;
+                }
+                self.roles
+                    .insert(flow, Role::BindControl { rdv_port: port });
+                if let Some(o) = &self.obs {
+                    o.binds.inc();
+                    // Served within one event: zero virtual time.
+                    o.bind_req_ns.record(0);
+                }
+                let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: port });
+            }
+            Err(_) => {
+                let _ = ctx.send(flow, CTRL_MSG_BYTES, ProxyMsg::BindRep { rdv_port: 0 });
             }
         }
     }
@@ -503,8 +620,13 @@ impl Actor for SimOuterServer {
                             o.inner_reconnects.inc();
                         }
                     }
-                    // Re-register all live binds, then start pinging —
-                    // the recovery contract a restarted inner relies on.
+                    // Shard map first (it names the authorization
+                    // slice), then re-register all live binds, then
+                    // start pinging — the recovery contract a
+                    // restarted inner server relies on.
+                    if self.fleet.is_some() {
+                        self.send_shard_sync(ctx, flow);
+                    }
                     self.send_bind_sync(ctx, flow);
                     self.send_ping(ctx, flow);
                     ctx.set_timer(sd(interval), HB_TICK);

@@ -13,8 +13,9 @@ use nexus_proxy::sim::{
     NxClient, NxEvent, NxHandled, RelayModel, SimInnerServer, SimOuterServer, SimProxyEnv,
 };
 use nexus_proxy::{
-    nx_proxy_bind, nx_proxy_connect, AdmissionLimits, BreakerConfig, HeartbeatConfig, InnerConfig,
-    InnerServer, OuterConfig, OuterServer, ProxyEnv,
+    bind_key, member_tag, nx_proxy_bind, nx_proxy_connect, AdmissionLimits, BreakerConfig,
+    FleetRouter, HeartbeatConfig, InnerConfig, InnerServer, Msg, OuterConfig, OuterServer,
+    ProxyEnv, ShardMap,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -582,4 +583,534 @@ fn real_drain_finishes_in_flight_relays() {
     drop(s);
     assert!(outer.drain(Duration::from_secs(5)), "drain timed out");
     assert_eq!(outer.active_relays(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Sharded outer fleet: kill-one-shard chaos (DESIGN.md §6d).
+// ---------------------------------------------------------------------
+
+struct FleetNet {
+    topo: Topology,
+    rwcp_sun: NodeId,
+    inner_host: NodeId,
+    outer0: NodeId,
+    outer1: NodeId,
+    etl_sun: NodeId,
+}
+
+/// The liveness topology with a second outer-server host in the DMZ.
+fn build_fleet() -> FleetNet {
+    let mut topo = Topology::new();
+    let rwcp = topo.add_site("rwcp", None);
+    let dmz = topo.add_site("dmz", None);
+    let etl = topo.add_site("etl", None);
+    let rwcp_sun = topo.add_host("rwcp-sun", rwcp);
+    let inner_host = topo.add_host("rwcp-inner", rwcp);
+    let rwcp_sw = topo.add_switch("rwcp-sw", rwcp);
+    let gw = topo.add_switch("rwcp-gw", dmz);
+    let outer0 = topo.add_host("rwcp-outer0", dmz);
+    let outer1 = topo.add_host("rwcp-outer1", dmz);
+    let etl_sw = topo.add_switch("etl-sw", etl);
+    let etl_sun = topo.add_host("etl-sun", etl);
+    let lan = 6.5e6;
+    let us = SimDuration::from_micros;
+    topo.add_link(rwcp_sun, rwcp_sw, us(100), lan);
+    topo.add_link(inner_host, rwcp_sw, us(100), lan);
+    topo.add_link(rwcp_sw, gw, us(200), lan);
+    topo.add_link(outer0, gw, us(100), lan);
+    topo.add_link(outer1, gw, us(100), lan);
+    topo.add_link(gw, etl_sw, SimDuration::from_millis(3), 170e3);
+    topo.add_link(etl_sw, etl_sun, us(100), lan);
+    topo.sites[rwcp.0 as usize].policy = Some(Policy::typical_with_nxport(
+        "rwcp",
+        inner_host.0,
+        SIM_NXPORT,
+    ));
+    FleetNet {
+        topo,
+        rwcp_sun,
+        inner_host,
+        outer0,
+        outer1,
+        etl_sun,
+    }
+}
+
+type FleetSharedRef = Arc<Mutex<FleetShared>>;
+
+#[derive(Default)]
+struct FleetShared {
+    advertised: Option<(NodeId, u16)>,
+    /// The gridmpi-style sequence numbers the server accepted, in
+    /// order, deduplicated by the expected-next rule.
+    accepted: Vec<u64>,
+    done: bool,
+    log: Vec<String>,
+}
+
+/// Server bound through the fleet: accepts relayed connections and
+/// echoes each sequence number (idempotently accepting it).
+struct FleetSeqServer {
+    nx: NxClient,
+    shared: FleetSharedRef,
+}
+
+impl FleetSeqServer {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Bound { advertised }) => {
+                let mut sh = self.shared.lock();
+                sh.advertised = Some(advertised);
+                sh.log.push("bound".into());
+            }
+            NxHandled::Event(NxEvent::BindLost) => {
+                // The serving shard died: the old rendezvous address
+                // is gone; a re-bind is already underway.
+                let mut sh = self.shared.lock();
+                sh.advertised = None;
+                sh.log.push("bind_lost".into());
+            }
+            NxHandled::Event(NxEvent::Accepted { .. }) => {
+                self.shared.lock().log.push("accepted".into());
+            }
+            NxHandled::Data(d) => {
+                let flow = d.flow;
+                let seq = d.expect::<u64>();
+                {
+                    // Exactly-once accept: only the expected-next
+                    // sequence advances; retransmits are echoed but
+                    // not re-accepted.
+                    let mut sh = self.shared.lock();
+                    if seq == sh.accepted.len() as u64 {
+                        sh.accepted.push(seq);
+                    }
+                }
+                let _ = ctx.send(flow, 64, seq);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for FleetSeqServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(adv) = self.nx.bind(ctx) {
+            self.shared.lock().advertised = Some(adv);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+const FLEET_POLL: u64 = 2;
+
+/// Sends `total` sequence numbers, one at a time, each acknowledged by
+/// the server's echo before the next goes out. A dead connection (the
+/// shard crash tears the relay down) re-dials the *current* advertised
+/// address and retransmits the unacknowledged sequence number.
+struct FleetSeqSender {
+    nx: NxClient,
+    shared: FleetSharedRef,
+    start_at: SimDuration,
+    total: u64,
+    next: u64,
+    flow: Option<FlowId>,
+}
+
+impl FleetSeqSender {
+    fn poll_soon(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(20), FLEET_POLL);
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, h: NxHandled) {
+        match h {
+            NxHandled::Event(NxEvent::Connected { flow, .. }) => {
+                self.flow = Some(flow);
+                ctx.send(flow, 64, self.next).unwrap();
+            }
+            NxHandled::Event(NxEvent::Refused { .. }) => {
+                // Stale rendezvous address (the bind moved shards
+                // under us): wait for the fresh Bound and re-dial.
+                self.poll_soon(ctx);
+            }
+            NxHandled::Data(d) => {
+                let seq = d.expect::<u64>();
+                if seq == self.next {
+                    self.next += 1;
+                    if self.next == self.total {
+                        self.shared.lock().done = true;
+                    } else if let Some(f) = self.flow {
+                        let _ = ctx.send(f, 64, self.next);
+                    }
+                }
+            }
+            NxHandled::Flow(FlowEvent::Closed { flow, .. }) if Some(flow) == self.flow => {
+                self.flow = None;
+                if self.next < self.total {
+                    self.poll_soon(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for FleetSeqSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_at, FLEET_POLL);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.nx.owns_timer(token) {
+            let h = self.nx.on_timer(ctx, token);
+            self.handle(ctx, h);
+            return;
+        }
+        if token == FLEET_POLL && self.flow.is_none() && self.next < self.total {
+            let adv = self.shared.lock().advertised;
+            match adv {
+                Some(dst) => self.nx.connect(ctx, dst, 9),
+                None => self.poll_soon(ctx),
+            }
+        }
+    }
+    fn on_flow(&mut self, ctx: &mut Ctx<'_>, ev: FlowEvent) {
+        let h = self.nx.on_flow(ctx, ev);
+        self.handle(ctx, h);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Delivery) {
+        let h = self.nx.on_message(ctx, msg);
+        self.handle(ctx, h);
+    }
+}
+
+const FLEET_TOTAL: u64 = 40;
+
+/// One kill-one-shard chaos run: a 2-shard fleet relays a stop-and-wait
+/// sequence stream; at t=1.5s the shard *currently serving the bind*
+/// is crashed (no restart). Returns the registry snapshot JSON, the
+/// accepted sequence numbers, and the event log.
+fn sim_fleet_kill_one_shard_run(seed: u64) -> (String, Vec<u64>, Vec<String>) {
+    let net = build_fleet();
+    let registry = Registry::new();
+    let shared: FleetSharedRef = Arc::default();
+    let mut sim = Simulator::new(net.topo.clone(), NetConfig::default(), seed);
+    let model = RelayModel::default();
+    let hb = HeartbeatConfig {
+        interval: Duration::from_millis(250),
+        timeout: Duration::from_secs(1),
+    };
+    let br = BreakerConfig {
+        threshold: 3,
+        cooldown: Duration::from_millis(500),
+    };
+    let members = vec![(net.outer0, CTRL_PORT), (net.outer1, CTRL_PORT)];
+    let outer_ids = [
+        sim.spawn(
+            net.outer0,
+            Box::new(
+                SimOuterServer::new(CTRL_PORT, Some((net.inner_host, SIM_NXPORT)), model)
+                    .with_fleet(members.clone(), 0)
+                    .with_liveness(hb, br)
+                    .with_obs(&registry),
+            ),
+        ),
+        sim.spawn(
+            net.outer1,
+            Box::new(
+                SimOuterServer::new(CTRL_PORT, Some((net.inner_host, SIM_NXPORT)), model)
+                    .with_fleet(members.clone(), 1)
+                    .with_liveness(hb, br)
+                    .with_obs(&registry),
+            ),
+        ),
+    ];
+    sim.spawn(
+        net.inner_host,
+        Box::new(
+            SimInnerServer::new(SIM_NXPORT, model)
+                .with_registration_required()
+                .with_obs(&registry),
+        ),
+    );
+    sim.spawn(
+        net.rwcp_sun,
+        Box::new(FleetSeqServer {
+            nx: NxClient::new(SimProxyEnv::direct())
+                .with_fleet(members.clone())
+                .with_obs(&registry),
+            shared: shared.clone(),
+        }),
+    );
+    sim.spawn(
+        net.etl_sun,
+        Box::new(FleetSeqSender {
+            nx: NxClient::new(SimProxyEnv::direct()),
+            shared: shared.clone(),
+            start_at: SimDuration::from_millis(500),
+            total: FLEET_TOTAL,
+            next: 0,
+            flow: None,
+        }),
+    );
+    // Let the stream get going, then kill whichever shard owns the
+    // bind (deterministic per seed, discovered mid-run).
+    sim.run_until(SimTime(SimDuration::from_millis(1500).nanos()));
+    let serving = shared
+        .lock()
+        .advertised
+        .expect("bind did not complete before the chaos point")
+        .0;
+    let victim = if serving == net.outer0 {
+        outer_ids[0]
+    } else {
+        outer_ids[1]
+    };
+    sim.install_faults(FaultPlan::new(seed).crash(victim, SimDuration::from_millis(1)));
+    sim.run_until(SimTime(SimDuration::from_secs(60).nanos()));
+    let sh = shared.lock();
+    (
+        registry.snapshot().to_json(),
+        sh.accepted.clone(),
+        sh.log.clone(),
+    )
+}
+
+/// The tentpole acceptance scenario: killing the serving shard
+/// mid-relay loses the rendezvous address, the client's breaker-driven
+/// failover re-binds on the survivor (a knowing-fallback request the
+/// survivor serves instead of redirecting), and the sequence stream
+/// finishes with every number delivered exactly once, in order.
+#[test]
+fn sim_fleet_survives_killing_the_serving_shard() {
+    let (json, accepted, log) = sim_fleet_kill_one_shard_run(17);
+    assert_eq!(
+        accepted,
+        (0..FLEET_TOTAL).collect::<Vec<u64>>(),
+        "lost or duplicated sequence numbers; log {log:?}"
+    );
+    // The bind moved shards: lost once, bound at least twice.
+    assert!(log.contains(&"bind_lost".to_string()), "{log:?}");
+    assert!(log.iter().filter(|l| *l == "bound").count() >= 2, "{log:?}");
+    let snap = parse_counters(&json);
+    let counter = |name: &str| snap.get(name).map_or(0, |v| v.0);
+    // Breaker-driven failover: the dead owner's dials were charged
+    // before the ladder descended to the survivor.
+    assert!(counter("wacs.shard.failovers") >= 1, "{json}");
+    assert!(counter("proxy.client.rebinds") >= 1, "{json}");
+    // Both shards announced the map; the inner server installed it.
+    assert!(counter("wacs.shard.map_syncs") >= 2, "{json}");
+}
+
+/// Same seed ⇒ byte-identical snapshots and accepted streams, shard
+/// kill and all.
+#[test]
+fn sim_fleet_kill_one_shard_is_deterministic() {
+    let (a, acc_a, log_a) = sim_fleet_kill_one_shard_run(31);
+    let (b, acc_b, log_b) = sim_fleet_kill_one_shard_run(31);
+    assert_eq!(a, b);
+    assert_eq!(acc_a, acc_b);
+    assert_eq!(log_a, log_b);
+}
+
+// ---------------------------------------------------------------------
+// Sharded outer fleet on real sockets.
+// ---------------------------------------------------------------------
+
+const FLEET_HOSTS: [&str; 2] = ["rwcp-outer-a", "rwcp-outer-b"];
+
+fn real_fleet_world() -> RealWorld {
+    let net = VNet::new();
+    let rwcp = net.add_site("rwcp", Some(Policy::typical("rwcp")));
+    let dmz = net.add_site("dmz", None);
+    let etl = net.add_site("etl", None);
+    net.add_host("rwcp-sun", rwcp);
+    let inner_ref = net.add_host("rwcp-inner", rwcp);
+    for h in FLEET_HOSTS {
+        net.add_host(h, dmz);
+    }
+    net.add_host("etl-sun", etl);
+    net.reload_policy(rwcp, Policy::typical_with_nxport("rwcp", inner_ref, NXPORT));
+    RealWorld { net }
+}
+
+fn fleet_members() -> Vec<(String, u16)> {
+    FLEET_HOSTS
+        .iter()
+        .map(|h| ((*h).to_string(), OUTER_PORT))
+        .collect()
+}
+
+/// The fleet map every party computes from the member list — used here
+/// to pick a known owner / non-owner pair for the raw-protocol leg.
+fn fleet_map() -> ShardMap {
+    let tags = fleet_members()
+        .iter()
+        .map(|(h, p)| member_tag(&bind_key(h, *p)))
+        .collect();
+    ShardMap::new(1, tags)
+}
+
+fn start_fleet(w: &RealWorld) -> Vec<Option<OuterServer>> {
+    let members = fleet_members();
+    (0..members.len())
+        .map(|idx| {
+            Some(
+                OuterServer::start(
+                    w.net.clone(),
+                    OuterConfig::new(FLEET_HOSTS[idx])
+                        .with_inner("rwcp-inner", NXPORT)
+                        .with_fleet(members.clone(), idx)
+                        .with_heartbeat(HeartbeatConfig {
+                            interval: Duration::from_millis(20),
+                            timeout: Duration::from_millis(120),
+                        })
+                        .with_breaker(BreakerConfig {
+                            threshold: 2,
+                            cooldown: Duration::from_millis(40),
+                        }),
+                )
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Raw-protocol shard discipline: a non-owner answers a routable
+/// `BindReq` with `Redirect` naming the owner, and the same request
+/// flagged `fallback: true` (the client knowingly aimed at a
+/// non-owner) is served instead of bounced.
+#[test]
+fn real_non_owner_redirects_and_fallback_serves() {
+    let w = real_fleet_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let fleet = start_fleet(&w);
+
+    // Pick a bind key and compute its owner the same way every fleet
+    // party does, so we can aim deliberately at the non-owner.
+    let (host, port) = ("rwcp-sun", 7007u16);
+    let map = fleet_map();
+    let owner = map.owner(&bind_key(host, port)).unwrap();
+    let non_owner = 1 - owner;
+
+    // Leg 1: the non-owner must not serve a first-choice request.
+    let mut s = w
+        .net
+        .dial(host, FLEET_HOSTS[non_owner], OUTER_PORT)
+        .unwrap();
+    Msg::BindReq {
+        host: host.to_string(),
+        port,
+        fallback: false,
+    }
+    .write_to(&mut s)
+    .unwrap();
+    assert_eq!(
+        Msg::read_from(&mut s).unwrap(),
+        Msg::Redirect {
+            host: FLEET_HOSTS[owner].to_string(),
+            port: OUTER_PORT,
+        }
+    );
+
+    // Leg 2: the identical request with the fallback flag is served —
+    // this is what keeps a dead owner from becoming a redirect loop.
+    let mut s = w
+        .net
+        .dial(host, FLEET_HOSTS[non_owner], OUTER_PORT)
+        .unwrap();
+    Msg::BindReq {
+        host: host.to_string(),
+        port,
+        fallback: true,
+    }
+    .write_to(&mut s)
+    .unwrap();
+    match Msg::read_from(&mut s).unwrap() {
+        Msg::BindRep { rdv_port } => assert_ne!(rdv_port, 0, "fallback bind refused"),
+        other => panic!("expected BindRep, got {other:?}"),
+    }
+
+    let json = fleet[non_owner].as_ref().unwrap().obs_snapshot().to_json();
+    assert!(json.contains("wacs.shard.redirects_sent"), "{json}");
+}
+
+/// Breaker-driven failover on real sockets: kill the shard serving a
+/// bind; subsequent binds through the fleet env succeed on the
+/// survivor, the router's failover counter moves, and a relay
+/// round-trip works end to end through a fallback-served bind.
+#[test]
+fn real_fleet_fails_over_when_a_shard_dies() {
+    let w = real_fleet_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let mut fleet = start_fleet(&w);
+    let router = FleetRouter::new(
+        fleet_members(),
+        BreakerConfig {
+            threshold: 2,
+            cooldown: Duration::from_millis(50),
+        },
+    );
+    let env = ProxyEnv::via_fleet(router.clone());
+
+    // First bind lands on whichever shard owns the ephemeral key; the
+    // advertised rendezvous host names the serving shard.
+    let first = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+    let serving = first.advertised.0.clone();
+    let victim = FLEET_HOSTS.iter().position(|h| *h == serving).unwrap();
+    let survivor = FLEET_HOSTS[1 - victim];
+    drop(first);
+    fleet[victim].take();
+
+    // Every bind must keep succeeding; keys owned by the dead shard
+    // descend the ladder (charging its breaker) and are fallback-served
+    // by the survivor. Loop until the failover counter proves the
+    // descent happened at least once.
+    let mut last = None;
+    for _ in 0..12 {
+        let l = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+        assert_eq!(l.advertised.0, survivor, "bind served by a dead shard");
+        last = Some(l);
+        let json = router.obs_snapshot().to_json();
+        if parse_counters(&json)
+            .get("wacs.shard.failovers")
+            .is_some_and(|v| v.0 >= 1)
+        {
+            break;
+        }
+    }
+    let json = router.obs_snapshot().to_json();
+    let snap = parse_counters(&json);
+    assert!(
+        snap.get("wacs.shard.failovers").is_some_and(|v| v.0 >= 1),
+        "no failover recorded: {json}"
+    );
+
+    // The surviving bind still relays traffic end to end.
+    let listener = last.unwrap();
+    let adv = listener.advertised.clone();
+    let srv = std::thread::spawn(move || {
+        let mut s = listener.accept().unwrap();
+        let mut b = [0u8; 4];
+        s.read_exact(&mut b).unwrap();
+        s.write_all(&b).unwrap();
+        b
+    });
+    let mut peer = w.net.dial("etl-sun", &adv.0, adv.1).unwrap();
+    peer.write_all(b"mpi0").unwrap();
+    let mut echo = [0u8; 4];
+    peer.read_exact(&mut echo).unwrap();
+    assert_eq!(&echo, b"mpi0");
+    assert_eq!(&srv.join().unwrap(), b"mpi0");
 }

@@ -170,10 +170,19 @@ fn random_msgs(rng: &mut SimRng) -> Vec<Msg> {
         let p = s(8).len() as u16;
         binds.push((h, p));
     }
+    let nmembers = s(4).len();
+    let mut members: Vec<(String, u16)> = Vec::with_capacity(nmembers);
+    for _ in 0..nmembers {
+        let h = s(32);
+        let p = s(8).len() as u16;
+        members.push((h, p));
+    }
     let port = rng.below(u64::from(u16::MAX) + 1) as u16;
     let rdv_port = rng.below(u64::from(u16::MAX) + 1) as u16;
     let ok = rng.below(2) == 1;
     let seq = rng.below(u64::from(u32::MAX) + 1) as u32;
+    let gen = rng.below(1 << 32);
+    let sender = rng.below(16) as u16;
     vec![
         Msg::ConnectReq {
             host: host.clone(),
@@ -183,14 +192,24 @@ fn random_msgs(rng: &mut SimRng) -> Vec<Msg> {
         Msg::BindReq {
             host: host.clone(),
             port,
+            fallback: !ok,
         },
         Msg::BindRep { rdv_port },
-        Msg::RelayReq { host, port },
+        Msg::RelayReq {
+            host: host.clone(),
+            port,
+        },
         Msg::RelayRep { ok },
         Msg::Ping { seq },
         Msg::Pong { seq },
         Msg::Busy,
         Msg::BindSync { binds },
+        Msg::Redirect { host, port },
+        Msg::ShardSync {
+            gen,
+            sender,
+            members,
+        },
     ]
 }
 
@@ -209,17 +228,36 @@ fn every_record_type_roundtrips() {
     }
 }
 
-/// The u16 string-length boundary: exactly 65535 bytes encodes and
-/// round-trips; 65536 is refused with the typed error, field-accurate.
+/// Both encode-side caps are exact and fire in field order. The
+/// largest `BindReq` whose frame payload is exactly [`MAX_FRAME`]
+/// round-trips; one more byte is refused with the symmetric
+/// [`EncodeError::FrameTooLarge`] (the cap the decoder enforces); and
+/// a string past the u16 wire-length limit is the typed, field-named
+/// [`EncodeError::StringTooLong`].
 #[test]
 fn string_length_boundary_is_exact() {
-    let fits = "h".repeat(usize::from(u16::MAX));
+    // BindReq payload: type(1) + hlen(2) + host + port(2) + fallback(1).
+    let max_host = MAX_FRAME as usize - 6;
     let msg = Msg::BindReq {
-        host: fits.clone(),
+        host: "h".repeat(max_host),
         port: 1,
+        fallback: true,
     };
     let framed = msg.encode().unwrap();
+    assert_eq!(framed.len() - 4, MAX_FRAME as usize);
     assert_eq!(Msg::decode(&framed[4..]).unwrap(), msg);
+
+    let over_frame = Msg::BindReq {
+        host: "h".repeat(max_host + 1),
+        port: 1,
+        fallback: true,
+    };
+    assert_eq!(
+        over_frame.encode().unwrap_err(),
+        EncodeError::FrameTooLarge {
+            len: MAX_FRAME as usize + 1,
+        }
+    );
 
     let over = "h".repeat(usize::from(u16::MAX) + 1);
     for (msg, field) in [
@@ -234,6 +272,7 @@ fn string_length_boundary_is_exact() {
             Msg::BindReq {
                 host: over.clone(),
                 port: 1,
+                fallback: false,
             },
             "host",
         ),
@@ -295,7 +334,7 @@ fn random_buffers_never_panic() {
         if round % 2 == 0 && !bytes.is_empty() {
             // Half the corpus gets a valid type tag so the field
             // parsers (not just the tag switch) see the fuzz.
-            bytes[0] = (rng.below(10) + 1) as u8;
+            bytes[0] = (rng.below(12) + 1) as u8;
         }
         let _ = Msg::decode(&bytes);
     }

@@ -29,6 +29,10 @@
 //! * [`lockpair`] — nested `OrderedMutex` acquisition: one global
 //!   nesting order is deadlock-free across all interleavings
 //!   (verified with the sleep-set DFS engine).
+//! * [`shard`] — the outer-fleet `ShardMap`: total ownership, the
+//!   failover ladder is a permutation, breaker-driven descent lands
+//!   on the shrunken-map owner, redirects converge in one hop, and
+//!   installs are strictly generation-monotone.
 //!
 //! Two of these invariants began life as counterexamples: the
 //! breaker's stale-success close and the admission gate's
@@ -46,6 +50,7 @@ pub mod channel;
 pub mod explore;
 pub mod heartbeat;
 pub mod lockpair;
+pub mod shard;
 
 pub use explore::{explore_bfs, explore_dfs_sleep, Counterexample, Model, Report};
 
@@ -60,6 +65,7 @@ pub fn run_all(deep: bool) -> Vec<Report> {
         bindsync::verify(deep),
         channel::verify(deep),
         lockpair::verify(deep),
+        shard::verify(deep),
     ]
 }
 

@@ -956,6 +956,6 @@ pub enum Msg {
         );
         assert!(report.lock_nodes >= 5, "nodes: {}", report.lock_nodes);
         assert!(report.metric_keys >= 40, "keys: {}", report.metric_keys);
-        assert_eq!(report.frame_variants, 10);
+        assert_eq!(report.frame_variants, 12);
     }
 }
