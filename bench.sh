@@ -4,7 +4,7 @@
 # a quiet machine; absolute numbers are machine-specific, but the
 # mode-vs-mode ratios are what the committed trajectory tracks.
 #
-#   ./bench.sh                # every scenario (including shard_scaling)
+#   ./bench.sh                # every scenario (incl. shard_scaling, stripe_scaling)
 #   ./bench.sh bulk_throughput  # one scenario
 #   ./bench.sh all --allow-regression  # accept a >20% p99 regression
 #

@@ -37,7 +37,11 @@ cargo test -q --test table2_decomposition
 echo "== liveness / admission / breaker tests"
 cargo test -q -p nexus-proxy --test liveness
 
-echo "== bench smoke (all scenarios incl. shard_scaling + committed BENCH files validate)"
+echo "== striped bulk plane (reassembly battery + sim stripes; chaos is in fault_recovery)"
+cargo test -q -p rmf --test stripe_reassembly
+cargo test -q -p nexus-proxy --test stripes
+
+echo "== bench smoke (all scenarios incl. shard_scaling, stripe_scaling + committed BENCH files validate)"
 cargo build -q --release -p wacs-bench --bin proxy_bench
 ./target/release/proxy_bench --scenario all --smoke --out target/bench-smoke
 ./target/release/proxy_bench --check BENCH_*.json

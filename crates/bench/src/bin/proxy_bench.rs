@@ -12,6 +12,7 @@
 //! | `latency` | one relay, small-message echo round trips |
 //! | `chaos` | bulk transfers with seeded mid-transfer kills + idle reaping |
 //! | `shard_scaling` | virtual-time (netsim) fan-in cells over a sharded outer fleet: the same cell workload at 1/2/4 shards (Table 2's fan-in shape, relay service queues per shard), plus a kill-one-shard chaos cell that must finish with zero lost sequence numbers |
+//! | `stripe_scaling` | virtual-time striped bulk transfer over the fleet: one multi-megabyte staging payload a single relay cannot saturate, moved at 1/2/4/8 parallel stripe lanes (GridFTP-style), plus a 1%-loss WAN cell and a kill-one-stripe chaos cell that must reassemble byte-exactly |
 //!
 //! Seeds are fixed, payloads derive from [`netsim::SimRng`], and each
 //! run emits a schema-versioned `BENCH_<scenario>.json` (integer-only,
@@ -31,10 +32,13 @@
 use firewall::vnet::VNet;
 use firewall::{NXPORT, OUTER_PORT};
 use netsim::prelude::*;
-use nexus_proxy::sim::{NxClient, NxEvent, NxHandled, RelayModel, SimOuterServer, SimProxyEnv};
+use nexus_proxy::sim::{
+    stripe_cell, NxClient, NxEvent, NxHandled, RelayModel, SimOuterServer, SimProxyEnv, StripeCell,
+    StripeSenderActor, StripeSinkActor,
+};
 use nexus_proxy::{
     nx_proxy_bind, nx_proxy_connect, AdmissionLimits, InnerConfig, InnerServer, OuterConfig,
-    OuterServer, ProxyEnv, ProxySnapshot, PumpMode, ShardStats,
+    OuterServer, ProxyEnv, ProxySnapshot, PumpMode, ShardStats, StripePlan, StripeStats,
 };
 use std::io::{self, Read, Write};
 use std::net::Shutdown;
@@ -54,6 +58,7 @@ const SCENARIOS: &[&str] = &[
     "latency",
     "chaos",
     "shard_scaling",
+    "stripe_scaling",
 ];
 
 fn main() -> std::process::ExitCode {
@@ -321,6 +326,9 @@ struct ScenarioCfg {
 fn run_scenario(name: &str, smoke: bool) -> io::Result<String> {
     if name == "shard_scaling" {
         return shard_scaling(smoke);
+    }
+    if name == "stripe_scaling" {
+        return stripe_scaling(smoke);
     }
     let (cfg, runner): (ScenarioCfg, ScenarioRunner) = match name {
         "bulk_throughput" => (
@@ -1244,6 +1252,278 @@ fn shard_scaling(smoke: bool) -> io::Result<String> {
 }
 
 // ---------------------------------------------------------------------
+// stripe_scaling: striped bulk transfer over the sharded relay fleet.
+// ---------------------------------------------------------------------
+
+/// Per-cell measurement record for `stripe_scaling`.
+struct StripeCellStats {
+    elapsed_ns: u64,
+    bytes: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    streams: u64,
+    shards: u64,
+    chunks: u64,
+    chunk_bytes: u64,
+    completed: u64,
+    killed: u64,
+    drop_ppm: u64,
+    failovers: u64,
+    dup_chunks: u64,
+    resent_chunks: u64,
+    conflicts: u64,
+}
+
+impl StripeCellStats {
+    fn bytes_per_sec(&self) -> u64 {
+        ((u128::from(self.bytes) * 1_000_000_000) / u128::from(self.elapsed_ns.max(1))) as u64
+    }
+
+    /// Goodput as a fraction (×1000) of the aggregate relay-copy
+    /// bandwidth the lanes *could* use (`streams` relay queues at
+    /// [`RelayModel::default`]'s copy rate): how close striping gets
+    /// to saturating the parallel service capacity.
+    fn utilization_x1000(&self) -> u64 {
+        let capacity = (RelayModel::default().bandwidth as u64).max(1) * self.streams.max(1);
+        self.bytes_per_sec() * 1000 / capacity
+    }
+
+    fn to_json(&self) -> String {
+        let mut obs = JsonWriter::object();
+        obs.field_u64("failovers", self.failovers)
+            .field_u64("dup_chunks", self.dup_chunks)
+            .field_u64("resent_chunks", self.resent_chunks)
+            .field_u64("conflicts", self.conflicts);
+        let mut w = JsonWriter::object();
+        w.field_u64("elapsed_ns", self.elapsed_ns)
+            .field_u64("bytes", self.bytes)
+            .field_u64("bytes_per_sec", self.bytes_per_sec())
+            .field_u64("utilization_x1000", self.utilization_x1000())
+            .field_u64("p50_ns", self.p50_ns)
+            .field_u64("p95_ns", self.p95_ns)
+            .field_u64("p99_ns", self.p99_ns)
+            .field_u64("streams", self.streams)
+            .field_u64("shards", self.shards)
+            .field_u64("chunks", self.chunks)
+            .field_u64("chunk_bytes", self.chunk_bytes)
+            .field_u64("completed", self.completed)
+            .field_u64("killed", self.killed)
+            .field_u64("drop_ppm", self.drop_ppm)
+            .field_raw("obs", &obs.finish());
+        w.finish()
+    }
+}
+
+/// One striped-transfer cell in virtual time: `streams` lanes over a
+/// fleet of `shards` relay shards, each lane pinned to its own shard
+/// (`with_bind_lane`). `drop_ppm` injects per-traversal chunk loss
+/// (sim-TCP retransmits keep flows reliable, so loss costs time, not
+/// bytes). `kill` crashes the shard serving stripe 0 mid-transfer.
+fn stripe_cell_run(
+    seed: u64,
+    shards: usize,
+    streams: u16,
+    total_len: u64,
+    chunk: u32,
+    drop_ppm: u64,
+    kill: bool,
+) -> io::Result<StripeCellStats> {
+    let start_at = SimDuration::from_millis(300);
+    let mut topo = Topology::new();
+    let site = topo.add_site("bench", None);
+    let sw = topo.add_switch("sw", site);
+    let shard_hosts: Vec<NodeId> = (0..shards)
+        .map(|i| topo.add_host(format!("shard{i}"), site))
+        .collect();
+    let rx_host = topo.add_host("rx", site);
+    let tx_host = topo.add_host("tx", site);
+    let lan = 6.5e6;
+    for h in shard_hosts.iter().chain([&rx_host, &tx_host]) {
+        topo.add_link(*h, sw, SimDuration::from_micros(100), lan);
+    }
+    let members: Vec<(NodeId, u16)> = shard_hosts.iter().map(|h| (*h, SHARD_CTRL)).collect();
+
+    let registry = Registry::new();
+    let lane_hist = registry.histogram("wacs.stripe.stripe_ns");
+    let mut sim = Simulator::new(topo, NetConfig::default(), seed);
+    let shard_ids: Vec<ActorId> = (0..shards)
+        .map(|i| {
+            sim.spawn(
+                shard_hosts[i],
+                Box::new(
+                    SimOuterServer::new(SHARD_CTRL, None, RelayModel::default())
+                        .with_fleet(members.clone(), i)
+                        .with_obs(&registry),
+                ),
+            )
+        })
+        .collect();
+    let plan = StripePlan::new(total_len, streams, chunk).map_err(io::Error::from)?;
+    let data: Arc<Vec<u8>> = Arc::new(
+        (0..total_len as usize)
+            .map(|i| ((i * 131 + 17) % 251) as u8)
+            .collect(),
+    );
+    let stats = StripeStats::in_registry(&registry);
+    let cell: StripeCell = stripe_cell(streams);
+    for stripe in 0..streams {
+        sim.spawn(
+            rx_host,
+            Box::new(
+                StripeSinkActor::new(
+                    NxClient::new(SimProxyEnv::direct())
+                        .with_fleet(members.clone())
+                        .with_bind_lane(stripe)
+                        .with_obs(&registry),
+                    stripe,
+                    cell.clone(),
+                )
+                .with_stats(stats.clone()),
+            ),
+        );
+        sim.spawn(
+            tx_host,
+            Box::new(
+                StripeSenderActor::new(
+                    NxClient::new(SimProxyEnv::direct()),
+                    stripe,
+                    cell.clone(),
+                    data.clone(),
+                    plan,
+                    7,
+                    start_at,
+                )
+                .with_stats(stats.clone()),
+            ),
+        );
+    }
+
+    if drop_ppm > 0 {
+        sim.install_faults(FaultPlan::new(seed).drop_messages(drop_ppm as f64 / 1e6, false));
+    }
+    let killed = if kill {
+        // Let the lanes get going, then crash whichever shard is
+        // carrying stripe 0 (discovered mid-run, like the killshard
+        // cell one layer down).
+        let crash_at = start_at + SimDuration::from_millis(300);
+        sim.run_until(SimTime(crash_at.nanos()));
+        let serving = cell
+            .lock()
+            .advertised
+            .first()
+            .copied()
+            .flatten()
+            .ok_or_else(|| io::Error::other("stripe 0 did not bind before the chaos point"))?
+            .0;
+        let victim = shard_hosts
+            .iter()
+            .position(|h| *h == serving)
+            .ok_or_else(|| io::Error::other("advertised host is not a shard"))?;
+        sim.install_faults(
+            FaultPlan::new(seed).crash(shard_ids[victim], SimDuration::from_millis(1)),
+        );
+        1
+    } else {
+        0
+    };
+    sim.run_until(SimTime(SimDuration::from_secs(600).nanos()));
+
+    let c = cell.lock();
+    let Some((_, got)) = c.receiver.result() else {
+        return Err(io::Error::other(format!(
+            "stripe_scaling: transfer incomplete (streams={streams}, drop_ppm={drop_ppm}, \
+             kill={kill})"
+        )));
+    };
+    if got != **data {
+        return Err(io::Error::other(
+            "stripe_scaling: reassembled payload differs from the staged bytes",
+        ));
+    }
+    if !c.errors.is_empty() {
+        return Err(io::Error::other(format!(
+            "stripe_scaling: {} typed reassembly errors",
+            c.errors.len()
+        )));
+    }
+    let elapsed_ns = c
+        .done_at_ns
+        .unwrap_or(0)
+        .saturating_sub(start_at.nanos())
+        .max(1);
+    let (p50_ns, p95_ns, p99_ns) = percentiles(&lane_hist);
+    Ok(StripeCellStats {
+        elapsed_ns,
+        bytes: total_len,
+        p50_ns,
+        p95_ns,
+        p99_ns,
+        streams: u64::from(streams),
+        shards: shards as u64,
+        chunks: plan.chunk_count(),
+        chunk_bytes: u64::from(chunk),
+        completed: 1,
+        killed,
+        drop_ppm,
+        failovers: c.failovers,
+        dup_chunks: stats.dup_chunks.get(),
+        resent_chunks: stats.resent_chunks.get(),
+        conflicts: stats.conflicts.get(),
+    })
+}
+
+fn stripe_scaling(smoke: bool) -> io::Result<String> {
+    let seed = 0x57a1e;
+    let total_len: u64 = if smoke { 1 << 20 } else { 8 << 20 };
+    let chunk: u32 = 64 * 1024;
+    let shards = 8;
+
+    let mut modes = JsonWriter::object();
+    let mut sweep = Vec::new();
+    for streams in [1u16, 2, 4, 8] {
+        let st = stripe_cell_run(seed, shards, streams, total_len, chunk, 0, false)?;
+        eprintln!(
+            "  streams{streams}: {} bytes/s, utilization {}/1000, over {} ms (virtual)",
+            st.bytes_per_sec(),
+            st.utilization_x1000(),
+            st.elapsed_ns / 1_000_000
+        );
+        modes.field_raw(&format!("streams{streams}"), &st.to_json());
+        sweep.push(st);
+    }
+    let lossy = stripe_cell_run(seed, shards, 4, total_len, chunk, 10_000, false)?;
+    eprintln!(
+        "  lossy4 (1% loss): {} bytes/s over {} ms (virtual)",
+        lossy.bytes_per_sec(),
+        lossy.elapsed_ns / 1_000_000
+    );
+    modes.field_raw("lossy4", &lossy.to_json());
+    let kill = stripe_cell_run(seed, shards, 4, total_len, chunk, 0, true)?;
+    eprintln!(
+        "  killstripe: reassembled exactly, {} lane failovers, {} resent chunks",
+        kill.failovers, kill.resent_chunks
+    );
+    modes.field_raw("killstripe", &kill.to_json());
+
+    let speedup_x1000 = sweep[2].bytes_per_sec() * 1000 / sweep[0].bytes_per_sec().max(1);
+    let mut config = JsonWriter::object();
+    config
+        .field_u64("total_len", total_len)
+        .field_u64("chunk_bytes", u64::from(chunk))
+        .field_u64("shards", shards as u64);
+    let mut w = JsonWriter::object();
+    w.field_u64("schema_version", SCHEMA_VERSION)
+        .field_str("scenario", "stripe_scaling")
+        .field_u64("seed", seed)
+        .field_u64("smoke", u64::from(smoke))
+        .field_raw("config", &config.finish())
+        .field_raw("modes", &modes.finish())
+        .field_u64("speedup_x1000", speedup_x1000);
+    Ok(w.finish())
+}
+
+// ---------------------------------------------------------------------
 // Schema validation (used after every run and by `--check`).
 // ---------------------------------------------------------------------
 
@@ -1447,6 +1727,9 @@ fn validate(json: &str, scenario: &str) -> Result<(), String> {
     if scenario == "shard_scaling" {
         return validate_shard_scaling(json);
     }
+    if scenario == "stripe_scaling" {
+        return validate_stripe_scaling(json);
+    }
     for key in ["\"thread_pair\":{", "\"reactor\":{"] {
         if !json.contains(key) {
             return Err(format!("missing mode object {key}"));
@@ -1551,6 +1834,78 @@ fn validate_shard_scaling(json: &str) -> Result<(), String> {
         if speedup.first().is_none_or(|&s| s < 1500) {
             return Err(format!(
                 "4-shard fan-in speedup {speedup:?} below the 1500 (×1000) floor"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `stripe_scaling` document: six cells (`streams1`, `streams2`,
+/// `streams4`, `streams8`, `lossy4`, `killstripe`), every transfer
+/// reassembled byte-exactly (a cell that doesn't errors out before
+/// emission, so `completed` is structural), loss confined to the lossy
+/// cell, a kill confined to the chaos cell with at least one lane
+/// failover, and — for full runs — the headline ≥2× bulk-throughput
+/// speedup at 4 stripes.
+fn validate_stripe_scaling(json: &str) -> Result<(), String> {
+    let modes = json
+        .find("\"modes\":{")
+        .and_then(|p| brace_span(&json[p + "\"modes\":".len()..]))
+        .ok_or_else(|| "missing modes object".to_string())?;
+    for key in [
+        "\"streams1\":{",
+        "\"streams2\":{",
+        "\"streams4\":{",
+        "\"streams8\":{",
+        "\"lossy4\":{",
+        "\"killstripe\":{",
+    ] {
+        if !modes.contains(key) {
+            return Err(format!("missing mode object {key}"));
+        }
+    }
+    for key in [
+        "elapsed_ns",
+        "bytes",
+        "bytes_per_sec",
+        "utilization_x1000",
+        "streams",
+        "shards",
+        "chunks",
+        "chunk_bytes",
+        "completed",
+        "killed",
+        "drop_ppm",
+        "failovers",
+        "dup_chunks",
+        "resent_chunks",
+    ] {
+        if extract_all(modes, key).len() != 6 {
+            return Err(format!("field {key:?} must appear once per cell"));
+        }
+    }
+    if extract_all(modes, "completed") != vec![1; 6] {
+        return Err("every stripe cell must reassemble to completion".to_string());
+    }
+    if extract_all(modes, "killed") != vec![0, 0, 0, 0, 0, 1] {
+        return Err("exactly the killstripe cell must kill one shard".to_string());
+    }
+    let drops = extract_all(modes, "drop_ppm");
+    if drops != vec![0, 0, 0, 0, 10_000, 0] {
+        return Err(format!(
+            "loss must be confined to the lossy4 cell: {drops:?}"
+        ));
+    }
+    let failovers = extract_all(modes, "failovers");
+    if failovers[5] < 1 {
+        return Err("killstripe cell recorded no lane failover".to_string());
+    }
+    validate_percentile_order(modes, 6)?;
+    if extract_all(json, "smoke") == vec![0] {
+        let speedup = extract_all(json, "speedup_x1000");
+        if speedup.first().is_none_or(|&s| s < 2000) {
+            return Err(format!(
+                "4-stripe bulk speedup {speedup:?} below the 2000 (×1000) floor"
             ));
         }
     }
@@ -1675,5 +2030,43 @@ mod tests {
         let lossy =
             shard_doc([0, 0, 0, 1], 2, 1, 900).replacen("\"completed\":6", "\"completed\":5", 1);
         assert!(validate(&lossy, "shard_scaling").is_err());
+    }
+
+    fn stripe_doc(killed_last: u64, failovers_kill: u64, smoke: u64, speedup: u64) -> String {
+        let cell = |streams: u64, killed: u64, drop_ppm: u64, failovers: u64| {
+            format!(
+                r#"{{"elapsed_ns":10,"bytes":5,"bytes_per_sec":2,"utilization_x1000":900,"p50_ns":1,"p95_ns":2,"p99_ns":3,"streams":{streams},"shards":8,"chunks":16,"chunk_bytes":65536,"completed":1,"killed":{killed},"drop_ppm":{drop_ppm},"obs":{{"failovers":{failovers},"dup_chunks":0,"resent_chunks":0,"conflicts":0}}}}"#
+            )
+        };
+        format!(
+            r#"{{"schema_version":1,"scenario":"stripe_scaling","seed":7,"smoke":{smoke},"config":{{"total_len":1048576,"chunk_bytes":65536,"shards":8}},"modes":{{"streams1":{},"streams2":{},"streams4":{},"streams8":{},"lossy4":{},"killstripe":{}}},"speedup_x1000":{speedup}}}"#,
+            cell(1, 0, 0, 0),
+            cell(2, 0, 0, 0),
+            cell(4, 0, 0, 0),
+            cell(8, 0, 0, 0),
+            cell(4, 0, 10_000, 0),
+            cell(4, killed_last, 0, failovers_kill),
+        )
+    }
+
+    #[test]
+    fn validate_stripe_scaling_enforces_chaos_and_speedup_floors() {
+        let ok = stripe_doc(1, 2, 1, 900);
+        assert_eq!(validate(&ok, "stripe_scaling"), Ok(()));
+        // Non-smoke runs must clear the 2x bulk-throughput floor.
+        assert!(validate(&stripe_doc(1, 2, 0, 1999), "stripe_scaling").is_err());
+        assert_eq!(
+            validate(&stripe_doc(1, 2, 0, 2000), "stripe_scaling"),
+            Ok(())
+        );
+        // The chaos cell must actually kill a shard and fail over.
+        assert!(validate(&stripe_doc(0, 2, 1, 900), "stripe_scaling").is_err());
+        assert!(validate(&stripe_doc(1, 0, 1, 900), "stripe_scaling").is_err());
+        // An incomplete reassembly anywhere is fatal.
+        let torn = stripe_doc(1, 2, 1, 900).replacen("\"completed\":1", "\"completed\":0", 1);
+        assert!(validate(&torn, "stripe_scaling").is_err());
+        // Loss outside the lossy cell is a mislabeled experiment.
+        let leaky = stripe_doc(1, 2, 1, 900).replacen("\"drop_ppm\":0", "\"drop_ppm\":5", 1);
+        assert!(validate(&leaky, "stripe_scaling").is_err());
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::packet::Packet;
 use nexus::{Endpoint, NexusContext, Startpoint};
-use std::collections::VecDeque;
+use nexus_proxy::stripe::{Accept, Reassembler, StripeFrame, StripePlan, StripeStats};
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -11,6 +12,17 @@ use wacs_sync::OrderedMutex;
 /// Tags below this are reserved for collectives; user tags must be
 /// non-negative.
 pub const USER_TAG_MIN: i32 = 0;
+
+/// Reserved tag of stripe transport frames ([`Comm::send_striped`]).
+/// Collectives use the small negative tags; this one is far below
+/// them so the spaces can both grow.
+pub const STRIPE_TAG: i32 = -64;
+
+/// Chunk size for striped sends: one relay segment per chunk.
+pub const STRIPE_CHUNK_BYTES: u32 = 64 * 1024;
+
+/// Whole-stripe retransmit attempts after a dead attachment.
+const STRIPE_REDIALS: u32 = 2;
 
 /// Receive from any rank.
 pub const ANY_SOURCE: Option<u32> = None;
@@ -37,6 +49,9 @@ struct CommObs {
     recv_ns: wacs_obs::Histogram,
     dup_dropped: wacs_obs::Counter,
     resends: wacs_obs::Counter,
+    /// The striped bulk path (`wacs.stripe.*`, shared schema with the
+    /// proxy layers).
+    stripe: StripeStats,
 }
 
 impl CommObs {
@@ -46,6 +61,7 @@ impl CommObs {
             recv_ns: registry.histogram("gridmpi.recv_ns"),
             dup_dropped: registry.counter("gridmpi.dup_dropped"),
             resends: registry.counter("gridmpi.resends"),
+            stripe: StripeStats::in_registry(registry),
         }
     }
 }
@@ -87,6 +103,20 @@ pub struct Comm {
     dup_dropped: OrderedMutex<u64>,
     /// Sends that needed the reconnect-and-retransmit path.
     resends: OrderedMutex<u64>,
+    /// In-flight striped transfers, keyed by `(src, transfer)`. The
+    /// stripe transport bypasses `last_seq` (parallel flows break the
+    /// FIFO-per-pair assumption that dedup relies on); the reassembler
+    /// dedups per chunk offset instead.
+    stripe_rx: OrderedMutex<HashMap<(u32, u64), Reassembler>>,
+    /// Completed transfer ids, so straggler duplicates of a finished
+    /// transfer are dropped instead of re-opening a reassembler that
+    /// can never complete. Grows by 16 bytes per striped transfer —
+    /// negligible next to the transfers themselves.
+    stripe_done: OrderedMutex<std::collections::HashSet<(u32, u64)>>,
+    /// Next striped-transfer id issued by this rank.
+    next_transfer: OrderedMutex<u64>,
+    /// Striped transfers reassembled to completion (diagnostics).
+    stripe_completed: OrderedMutex<u64>,
     obs: Option<CommObs>,
 }
 
@@ -123,6 +153,13 @@ impl Comm {
             received: OrderedMutex::new("gridmpi.comm.received", 0),
             dup_dropped: OrderedMutex::new("gridmpi.comm.dup_dropped", 0),
             resends: OrderedMutex::new("gridmpi.comm.resends", 0),
+            stripe_rx: OrderedMutex::new("gridmpi.comm.stripe_rx", HashMap::new()),
+            stripe_done: OrderedMutex::new(
+                "gridmpi.comm.stripe_done",
+                std::collections::HashSet::new(),
+            ),
+            next_transfer: OrderedMutex::new("gridmpi.comm.next_transfer", 1),
+            stripe_completed: OrderedMutex::new("gridmpi.comm.stripe_completed", 0),
             obs: None,
         }
     }
@@ -186,6 +223,130 @@ impl Comm {
         self.send_internal(dest, tag, payload)
     }
 
+    /// Striped transfers this rank has reassembled (diagnostics).
+    pub fn striped_completed(&self) -> u64 {
+        *self.stripe_completed.lock()
+    }
+
+    /// Send a large `payload` to `dest` as `stripes` parallel flows
+    /// (GridFTP-style striping over the relay; DESIGN.md §6e). The
+    /// receiver's ordinary `recv(Some(src), Some(tag))` delivers the
+    /// reassembled payload once every chunk has arrived.
+    ///
+    /// Each stripe rides its own attachment — crossing the proxy,
+    /// that is its own relay flow — and carries an arithmetically
+    /// determined slice of the chunks, framed as [`StripeFrame`]s
+    /// inside packets tagged [`STRIPE_TAG`]. A stripe whose
+    /// attachment dies mid-send is retransmitted whole on a fresh
+    /// attachment (bounded retries); the receiver dedups chunks by
+    /// offset, so duplicates are absorbed, never re-delivered.
+    ///
+    /// Ordering caveat: a striped message is matched like any other,
+    /// but it completes when its *last* chunk arrives — it is not
+    /// ordered relative to plain sends issued around it.
+    pub fn send_striped(
+        &self,
+        dest: u32,
+        tag: i32,
+        payload: &[u8],
+        stripes: u16,
+    ) -> io::Result<()> {
+        assert!(tag >= USER_TAG_MIN, "negative tags are reserved");
+        assert!(dest < self.size, "rank {dest} out of range");
+        assert_ne!(dest, self.rank, "self-sends are not supported");
+        let start = Instant::now();
+        let plan = StripePlan::new(payload.len() as u64, stripes, STRIPE_CHUNK_BYTES)
+            .map_err(io::Error::from)?;
+        let transfer = {
+            let mut t = self.next_transfer.lock();
+            let id = *t;
+            *t += 1;
+            id
+        };
+        let result: io::Result<()> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(usize::from(stripes));
+            for stripe in 0..stripes {
+                let plan = &plan;
+                handles.push(scope.spawn(move || -> io::Result<()> {
+                    let mut attempt = 0u32;
+                    loop {
+                        match self.send_one_stripe(dest, tag, payload, plan, transfer, stripe) {
+                            Ok(()) => return Ok(()),
+                            Err(e) if attempt < STRIPE_REDIALS => {
+                                let _ = e;
+                                attempt += 1;
+                                *self.resends.lock() += 1;
+                                if let Some(o) = &self.obs {
+                                    o.resends.inc();
+                                    o.stripe.failovers.inc();
+                                    o.stripe.resent_chunks.add(plan.chunks_on(stripe));
+                                }
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(r) => r?,
+                    Err(_) => return Err(io::Error::other("stripe sender thread panicked")),
+                }
+            }
+            Ok(())
+        });
+        result?;
+        *self.sent.lock() += 1;
+        if let Some(o) = &self.obs {
+            o.stripe.chunks_sent.add(plan.chunk_count());
+            o.send_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// One attempt at one stripe: fresh attachment, `Open`, the
+    /// stripe's chunks in sequence order, `Fin`. Every frame is a
+    /// [`STRIPE_TAG`] packet (packet seq 0 — the stripe layer does
+    /// its own dedup).
+    fn send_one_stripe(
+        &self,
+        dest: u32,
+        tag: i32,
+        payload: &[u8],
+        plan: &StripePlan,
+        transfer: u64,
+        stripe: u16,
+    ) -> io::Result<()> {
+        let sp = self.attach(dest)?;
+        let send_frame = |f: &StripeFrame| -> io::Result<()> {
+            let body = f.encode_body().map_err(io::Error::from)?;
+            sp.send(&Packet::encode(self.rank, STRIPE_TAG, 0, &body))
+        };
+        send_frame(&StripeFrame::Open {
+            transfer,
+            stripe,
+            stripes: plan.stripes(),
+            chunk: plan.chunk_bytes(),
+            total_len: plan.total_len(),
+            tag,
+        })?;
+        for (seq, offset, len) in plan.iter_stripe(stripe) {
+            let start = offset as usize;
+            send_frame(&StripeFrame::Data {
+                transfer,
+                stripe,
+                seq,
+                offset,
+                bytes: payload[start..start + len as usize].to_vec(),
+            })?;
+        }
+        send_frame(&StripeFrame::Fin {
+            transfer,
+            stripe,
+            chunks: plan.chunks_on(stripe),
+        })
+    }
+
     pub(crate) fn send_internal(&self, dest: u32, tag: i32, payload: &[u8]) -> io::Result<()> {
         assert!(dest < self.size, "rank {dest} out of range");
         assert_ne!(dest, self.rank, "self-sends are not supported");
@@ -231,6 +392,13 @@ impl Comm {
     /// `None` for a retransmit duplicate (already accepted).
     fn ingest(&self, frame: Vec<u8>) -> io::Result<Option<Packet>> {
         let p = Packet::decode(frame)?;
+        // Stripe transport frames are routed *before* the sequence
+        // dedup: they arrive over parallel flows, so the FIFO-per-pair
+        // assumption behind `last_seq` does not hold for them. The
+        // reassembler dedups per chunk offset instead.
+        if p.tag == STRIPE_TAG {
+            return self.ingest_stripe(p);
+        }
         let mut last = self.last_seq.lock();
         let slot = last.get_mut(p.src as usize).ok_or_else(|| {
             io::Error::new(
@@ -250,6 +418,98 @@ impl Comm {
         drop(last);
         *self.received.lock() += 1;
         Ok(Some(p))
+    }
+
+    /// Feed one stripe transport frame to the per-transfer
+    /// reassembler. Returns the synthesized application packet when
+    /// the frame completes its transfer, `None` while chunks are
+    /// still outstanding (or for an absorbed duplicate).
+    fn ingest_stripe(&self, p: Packet) -> io::Result<Option<Packet>> {
+        if p.src >= self.size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stripe frame from out-of-range rank {}", p.src),
+            ));
+        }
+        let frame = StripeFrame::decode_body(&p.payload)?;
+        let key = (p.src, frame.transfer_id());
+        // Stragglers of a finished transfer (a stripe retransmitted
+        // whole after the last needed chunk arrived) are duplicates,
+        // not a new transfer: drop them.
+        if self.stripe_done.lock().contains(&key) {
+            *self.dup_dropped.lock() += 1;
+            if let Some(o) = &self.obs {
+                o.dup_dropped.inc();
+                o.stripe.dup_chunks.inc();
+            }
+            return Ok(None);
+        }
+        let mut map = self.stripe_rx.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+            // First frame of a transfer must carry the geometry; a
+            // non-Open frame ahead of any Open (reordered across
+            // parallel flows) is dropped — its stripe's Open precedes
+            // it on the *same* FIFO flow, so only cross-flow strays
+            // land here, and their stripe will re-deliver.
+            match Reassembler::open(&frame) {
+                Ok(rx) => {
+                    slot.insert(rx);
+                }
+                Err(_) => {
+                    drop(map);
+                    *self.dup_dropped.lock() += 1;
+                    if let Some(o) = &self.obs {
+                        o.dup_dropped.inc();
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+        let Some(rx) = map.get_mut(&key) else {
+            return Ok(None);
+        };
+        let outcome = rx.accept(&frame).map_err(io::Error::from)?;
+        match outcome {
+            Accept::Complete => {
+                let Some(rx) = map.remove(&key) else {
+                    return Ok(None);
+                };
+                drop(map);
+                self.stripe_done.lock().insert(key);
+                let tag = rx.tag();
+                let payload = rx.into_payload().map_err(io::Error::from)?;
+                *self.received.lock() += 1;
+                *self.stripe_completed.lock() += 1;
+                if let Some(o) = &self.obs {
+                    o.stripe.chunks_received.inc();
+                    o.stripe.transfers.inc();
+                }
+                Ok(Some(Packet {
+                    src: p.src,
+                    tag,
+                    seq: 0,
+                    payload,
+                }))
+            }
+            Accept::Duplicate => {
+                drop(map);
+                *self.dup_dropped.lock() += 1;
+                if let Some(o) = &self.obs {
+                    o.dup_dropped.inc();
+                    o.stripe.dup_chunks.inc();
+                }
+                Ok(None)
+            }
+            Accept::Fresh => {
+                drop(map);
+                if let Some(o) = &self.obs {
+                    if matches!(frame, StripeFrame::Data { .. }) {
+                        o.stripe.chunks_received.inc();
+                    }
+                }
+                Ok(None)
+            }
+        }
     }
 
     /// Blocking receive with matching. Returns `(src, tag, payload)`.

@@ -35,6 +35,7 @@ pub mod reactor;
 pub mod shard;
 pub mod sim;
 pub mod stats;
+pub mod stripe;
 
 pub use client::{nx_proxy_bind, nx_proxy_connect, FleetRouter, NxListener, ProxyEnv};
 pub use inner::{InnerConfig, InnerServer};
@@ -49,3 +50,8 @@ pub use pump::RelayActivity;
 pub use reactor::{PumpReactor, ReactorConfig};
 pub use shard::{bind_key, member_tag, ShardMap, ShardRoute, ShardRouter, ShardStats};
 pub use stats::{ProxySnapshot, ProxyStats};
+pub use stripe::{
+    send_striped, Accept, Reassembler, SendReport, StripeError, StripeFrame, StripePlan,
+    StripeReceiver, StripeStats, DEFAULT_CHUNK_BYTES, MAX_CHUNK_BYTES, MAX_STRIPES,
+    MAX_STRIPE_FRAME,
+};

@@ -173,15 +173,15 @@ impl From<EncodeError> for io::Error {
     }
 }
 
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
@@ -194,13 +194,15 @@ fn put_str(buf: &mut Vec<u8>, field: &'static str, s: &str) -> Result<(), Encode
 }
 
 /// Byte-slice cursor for decoding (the `bytes::Buf` subset we need,
-/// with totality: every read is bounds-checked).
-struct Cursor<'a> {
-    rest: &'a [u8],
+/// with totality: every read is bounds-checked). Shared with the
+/// stripe-frame codec (`crate::stripe`), which follows the same
+/// framing discipline.
+pub(crate) struct Cursor<'a> {
+    pub(crate) rest: &'a [u8],
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.rest.len() < n {
             return Err(bad("truncated frame"));
         }
@@ -209,21 +211,21 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
-    fn get_u8(&mut self) -> io::Result<u8> {
+    pub(crate) fn get_u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn get_u16(&mut self) -> io::Result<u16> {
+    pub(crate) fn get_u16(&mut self) -> io::Result<u16> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
-    fn get_u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn get_u32(&mut self) -> io::Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn get_u64(&mut self) -> io::Result<u64> {
         let b = self.take(8)?;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(b);
@@ -235,9 +237,14 @@ impl<'a> Cursor<'a> {
         let body = self.take(n)?;
         String::from_utf8(body.to_vec()).map_err(|_| bad("non-utf8 string"))
     }
+
+    pub(crate) fn get_i32(&mut self) -> io::Result<i32> {
+        let b = self.take(4)?;
+        Ok(i32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
 }
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 

@@ -214,6 +214,23 @@ impl ShardRouter {
         ladder.into_iter().find(|&i| self.breakers[i].allow(now))
     }
 
+    /// Like [`ShardRouter::route`], but head the ladder at `start %
+    /// len` and walk the members after it in ring order instead of by
+    /// HRW weight. A striped bulk transfer pins lane *i* to shard `i %
+    /// len` this way, so K lanes spread over K shards by construction
+    /// (GridFTP-style parallel streams) rather than by hash luck,
+    /// while breakers still skip members known dead. `None` when the
+    /// map is empty or every breaker is open.
+    pub fn route_from(&mut self, start: usize, now: u64) -> Option<usize> {
+        let n = self.map.len();
+        if n == 0 {
+            return None;
+        }
+        (0..n)
+            .map(|o| (start + o) % n)
+            .find(|&i| self.breakers[i].allow(now))
+    }
+
     pub fn on_success(&mut self, idx: usize) {
         if let Some(b) = self.breakers.get_mut(idx) {
             b.on_success();
@@ -407,6 +424,30 @@ mod tests {
         // After the cooldown the owner is probed again (half-open).
         let later = Duration::from_secs(6).as_nanos() as u64;
         assert_eq!(r.route(&key, later), Some(ladder[0]));
+    }
+
+    #[test]
+    fn router_route_from_rings_past_open_breakers() {
+        let cfg = BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_secs(5),
+        };
+        let mut r = ShardRouter::new(map4(), cfg);
+        // Lane affinity is positional, not hashed: lane i starts at
+        // shard i % len and wraps.
+        assert_eq!(r.route_from(2, 0), Some(2));
+        assert_eq!(r.route_from(6, 0), Some(2));
+        // A dead start rung falls over in ring order.
+        r.on_failure(2, 0);
+        assert_eq!(r.route_from(2, 1), Some(3));
+        r.on_failure(3, 1);
+        assert_eq!(r.route_from(2, 2), Some(0));
+        // All open → None; after the cooldown the start rung probes.
+        r.on_failure(0, 2);
+        r.on_failure(1, 2);
+        assert_eq!(r.route_from(2, 3), None);
+        let later = Duration::from_secs(6).as_nanos() as u64;
+        assert_eq!(r.route_from(2, later), Some(2));
     }
 
     #[test]

@@ -241,6 +241,10 @@ pub struct NxClient {
     connect_started: HashMap<u64, SimTime>,
     /// When the current bind (or re-bind) was started.
     bind_started: Option<SimTime>,
+    /// Fleet binds pinned to shard `lane % members` (ring-order
+    /// failover) instead of the HRW ladder — see
+    /// [`NxClient::with_bind_lane`].
+    bind_lane: Option<u16>,
 }
 
 impl NxClient {
@@ -266,6 +270,7 @@ impl NxClient {
             shard_obs: None,
             connect_started: HashMap::new(),
             bind_started: None,
+            bind_lane: None,
         }
     }
 
@@ -276,6 +281,20 @@ impl NxClient {
     pub fn with_fleet(mut self, members: Vec<(NodeId, u16)>) -> Self {
         let router = ShardRouter::new(sim_shard_map(1, &members), BreakerConfig::default());
         self.fleet = Some(SimFleetClient { members, router });
+        self
+    }
+
+    /// Pin this client's fleet binds to shard `lane % members`,
+    /// falling over in ring order past breaker-open members
+    /// ([`ShardRouter::route_from`]) instead of walking the bind key's
+    /// HRW ladder. A striped transfer gives each stripe lane its own
+    /// index, so K lanes land on K distinct shards by construction —
+    /// parallel relay queues are the whole point of striping, and hash
+    /// placement can collide lanes onto one shard. No effect outside
+    /// fleet mode.
+    #[must_use]
+    pub fn with_bind_lane(mut self, lane: u16) -> Self {
+        self.bind_lane = Some(lane);
         self
     }
 
@@ -501,14 +520,23 @@ impl NxClient {
         // Fleet mode: the breaker-gated ladder picks the shard, and a
         // knowing non-owner dial carries the fallback flag so the shard
         // serves instead of redirecting us back to a dead owner.
+        let lane = self.bind_lane;
         let fleet_target = match &mut self.fleet {
             Some(f) if !f.members.is_empty() => {
                 let key = sim_shard_key((ctx.host(), client_port));
-                let idx = match f.router.route(&key, ctx.now().nanos()) {
-                    Some(i) => i,
-                    // Every breaker open: probe the owner anyway; the
-                    // refusal feeds the normal retry/backoff path.
-                    None => f.router.map().owner(&key).unwrap_or(0),
+                let idx = match lane {
+                    // Lane affinity: positional start, ring failover.
+                    Some(l) => match f.router.route_from(usize::from(l), ctx.now().nanos()) {
+                        Some(i) => i,
+                        None => usize::from(l) % f.members.len(),
+                    },
+                    None => match f.router.route(&key, ctx.now().nanos()) {
+                        Some(i) => i,
+                        // Every breaker open: probe the owner anyway;
+                        // the refusal feeds the normal retry/backoff
+                        // path.
+                        None => f.router.map().owner(&key).unwrap_or(0),
+                    },
                 };
                 let fallback = f.router.map().owner(&key) != Some(idx);
                 Some((idx, f.members[idx], fallback))

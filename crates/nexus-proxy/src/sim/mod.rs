@@ -12,10 +12,12 @@
 pub mod client;
 pub mod inner;
 pub mod outer;
+pub mod stripe;
 
 pub use client::{NxClient, NxEvent, NxHandled, RetryPolicy, SimProxyEnv};
 pub use inner::SimInnerServer;
 pub use outer::SimOuterServer;
+pub use stripe::{stripe_cell, StripeCell, StripeCellState, StripeSenderActor, StripeSinkActor};
 
 use crate::shard::{member_tag, ShardMap};
 use netsim::prelude::*;

@@ -13,7 +13,7 @@ use netsim::SimRng;
 use nexus_proxy::protocol::{EncodeError, Msg, MAX_FRAME};
 use nexus_proxy::{
     nx_proxy_bind, nx_proxy_connect, InnerConfig, InnerServer, OuterConfig, OuterServer, ProxyEnv,
-    PumpMode,
+    PumpMode, StripeFrame, MAX_CHUNK_BYTES, MAX_STRIPES, MAX_STRIPE_FRAME,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -373,6 +373,144 @@ fn oversize_declared_lengths_are_rejected_up_front() {
         let header = len.to_be_bytes();
         let mut cursor = std::io::Cursor::new(header.to_vec());
         let err = Msg::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len {len}");
+        // Nothing past the 4-byte header was consumed.
+        assert_eq!(cursor.position(), 4);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stripe bulk-data frames (DESIGN.md §6e): the same totality sweeps as
+// the control protocol, over every `StripeFrame` variant.
+// ---------------------------------------------------------------------
+
+/// A random instance of every stripe-frame type.
+fn random_stripe_frames(rng: &mut SimRng) -> Vec<StripeFrame> {
+    let transfer = rng.below(1 << 48);
+    let stripe = rng.below(u64::from(MAX_STRIPES)) as u16;
+    let nbytes = rng.below(2048) as usize;
+    let bytes: Vec<u8> = (0..nbytes).map(|_| rng.below(256) as u8).collect();
+    vec![
+        StripeFrame::Open {
+            transfer,
+            stripe,
+            stripes: 1 + rng.below(u64::from(MAX_STRIPES)) as u16,
+            chunk: 1 + rng.below(u64::from(MAX_CHUNK_BYTES)) as u32,
+            total_len: rng.below(1 << 30),
+            tag: rng.below(1 << 32) as i32,
+        },
+        StripeFrame::Data {
+            transfer,
+            stripe,
+            seq: rng.below(1 << 20),
+            offset: rng.below(1 << 30),
+            bytes,
+        },
+        StripeFrame::Fin {
+            transfer,
+            stripe,
+            chunks: rng.below(1 << 20),
+        },
+        StripeFrame::Done {
+            transfer,
+            total_len: rng.below(1 << 30),
+        },
+    ]
+}
+
+/// Every stripe-frame type round-trips through encode/decode, and the
+/// length prefix always matches the body.
+#[test]
+fn every_stripe_frame_roundtrips() {
+    let mut rng = SimRng::seed_from_u64(0x57a1e);
+    for _ in 0..200 {
+        for frame in random_stripe_frames(&mut rng) {
+            let framed = frame.encode().unwrap();
+            let len = u32::from_be_bytes(framed[0..4].try_into().unwrap()) as usize;
+            assert_eq!(len, framed.len() - 4, "length prefix disagrees: {frame:?}");
+            assert_eq!(StripeFrame::decode_body(&framed[4..]).unwrap(), frame);
+        }
+    }
+}
+
+/// Totality under truncation. `Data` carries its chunk as the frame
+/// remainder, so a truncated `Data` may legally decode to a *shorter*
+/// chunk — the reassembler's length cross-check rejects it later. The
+/// decoder itself must never panic and never reproduce the original
+/// message from a cut body; fixed-layout variants must error outright.
+#[test]
+fn truncated_stripe_frames_never_panic() {
+    let mut rng = SimRng::seed_from_u64(0x57a2e);
+    for _ in 0..20 {
+        for frame in random_stripe_frames(&mut rng) {
+            let framed = frame.encode().unwrap();
+            let body = &framed[4..];
+            for cut in 0..body.len() {
+                if let Ok(got) = StripeFrame::decode_body(&body[..cut]) {
+                    assert!(
+                        matches!(frame, StripeFrame::Data { .. }),
+                        "truncated {frame:?} at {cut}/{} decoded",
+                        body.len()
+                    );
+                    assert_ne!(got, frame, "cut body reproduced the full frame");
+                }
+            }
+        }
+    }
+}
+
+/// Totality under corruption: flip single bits in valid bodies of
+/// every stripe-frame variant — never panic, never over-read. A flip
+/// in a `Data` chunk body decodes fine by design; the reassembler's
+/// byte-compare (`Conflict`) is what catches it, which the wacs-check
+/// `stripe` model verifies exhaustively.
+#[test]
+fn bit_flipped_stripe_frames_never_panic() {
+    let mut rng = SimRng::seed_from_u64(0x57a3e);
+    for _ in 0..20 {
+        for frame in random_stripe_frames(&mut rng) {
+            let framed = frame.encode().unwrap();
+            let body = framed[4..].to_vec();
+            for _ in 0..16 {
+                let mut corrupt = body.clone();
+                let byte = rng.below(corrupt.len() as u64) as usize;
+                let bit = rng.below(8) as u8;
+                corrupt[byte] ^= 1 << bit;
+                let _ = StripeFrame::decode_body(&corrupt);
+            }
+        }
+    }
+}
+
+/// Totality on arbitrary bytes: random buffers (half with a valid
+/// stripe type tag) never panic the stripe decoder.
+#[test]
+fn random_stripe_buffers_never_panic() {
+    let mut rng = SimRng::seed_from_u64(0x57a4e);
+    for round in 0..4000u64 {
+        let len = (round % 96) as usize;
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        if round % 2 == 0 && !bytes.is_empty() {
+            bytes[0] = (rng.below(4) + 1) as u8;
+        }
+        let _ = StripeFrame::decode_body(&bytes);
+    }
+}
+
+/// Oversize (or zero) declared stripe-frame lengths are refused before
+/// any body allocation — the length prefix rides a relayed pipe and is
+/// peer-controlled.
+#[test]
+fn oversize_stripe_lengths_are_rejected_up_front() {
+    let mut rng = SimRng::seed_from_u64(0x57a5e);
+    let mut cases = vec![0u32, MAX_STRIPE_FRAME + 1, u32::MAX];
+    for _ in 0..61 {
+        cases.push(MAX_STRIPE_FRAME + 1 + rng.below(u64::from(u32::MAX - MAX_STRIPE_FRAME)) as u32);
+    }
+    for len in cases {
+        let header = len.to_be_bytes();
+        let mut cursor = std::io::Cursor::new(header.to_vec());
+        let err = StripeFrame::read_from(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len {len}");
         // Nothing past the 4-byte header was consumed.
         assert_eq!(cursor.position(), 4);

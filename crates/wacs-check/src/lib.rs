@@ -33,6 +33,11 @@
 //!   failover ladder is a permutation, breaker-driven descent lands
 //!   on the shrunken-map owner, redirects converge in one hop, and
 //!   installs are strictly generation-monotone.
+//! * [`stripe`] — striped-transfer reassembly (`Reassembler`): under
+//!   every arrival interleaving, completion is reported exactly once
+//!   iff every offset is covered, duplicates are absorbed without
+//!   state change, corrupted duplicates are typed `Conflict` errors,
+//!   and a whole-stripe failover replay converges.
 //!
 //! Two of these invariants began life as counterexamples: the
 //! breaker's stale-success close and the admission gate's
@@ -51,6 +56,7 @@ pub mod explore;
 pub mod heartbeat;
 pub mod lockpair;
 pub mod shard;
+pub mod stripe;
 
 pub use explore::{explore_bfs, explore_dfs_sleep, Counterexample, Model, Report};
 
@@ -66,6 +72,7 @@ pub fn run_all(deep: bool) -> Vec<Report> {
         channel::verify(deep),
         lockpair::verify(deep),
         shard::verify(deep),
+        stripe::verify(deep),
     ]
 }
 

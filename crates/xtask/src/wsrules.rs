@@ -20,10 +20,11 @@
 //!   the helper-closure idiom `let c = |n| reg.counter(…); c("name")`)
 //!   must appear in the EXPERIMENTS.md schema table, so no metric
 //!   ships unsighted by the docs.
-//! * **`frame-coverage`** — every `protocol::Msg` variant must be
-//!   exercised by the malformed-frame fuzz sweep in
-//!   `tests/transparency.rs` (`random_msgs` builds one of each; a new
-//!   variant that skips the sweep is a decode path no fuzzing hits).
+//! * **`frame-coverage`** — every on-the-wire frame variant
+//!   (`protocol::Msg` and `stripe::StripeFrame`) must be exercised by
+//!   the malformed-frame fuzz sweep in `tests/transparency.rs`
+//!   (`random_msgs` builds one of each; a new variant that skips the
+//!   sweep is a decode path no fuzzing hits).
 
 use crate::lexer::{lex, string_content, Token, TokenKind};
 use crate::rules::{test_region_lines, Rule, Violation};
@@ -45,7 +46,8 @@ pub struct WsReport {
     pub lock_edges: usize,
     /// Metric keys checked against the schema table.
     pub metric_keys: usize,
-    /// `Msg` variants found in protocol.rs.
+    /// Frame-enum variants found across the wire-protocol files
+    /// (`protocol::Msg` + `stripe::StripeFrame`).
     pub frame_variants: usize,
 }
 
@@ -563,42 +565,65 @@ fn metric_fragments(source: &str, toks: &[Token], paren: usize) -> Vec<String> {
 // frame-coverage
 // ---------------------------------------------------------------------------
 
-/// Every `Msg` variant in protocol.rs must appear as `Msg::Variant`
-/// in the fuzz sweep. Returns the variant count.
+/// On-the-wire frame enums and the files that define them: the relay
+/// control protocol and the stripe bulk-data frames. Every variant of
+/// each must be exercised by the transparency fuzz sweep.
+const FRAME_ENUMS: &[(&str, &str)] = &[
+    ("crates/nexus-proxy/src/protocol.rs", "Msg"),
+    ("crates/nexus-proxy/src/stripe.rs", "StripeFrame"),
+];
+
+/// Every frame-enum variant must appear as `Enum::Variant` in the
+/// fuzz sweep. Returns the total variant count across frame enums.
 fn check_frame_coverage(
     files: &[(String, String)],
     fuzz_sweep: Option<&str>,
     out: &mut Vec<Violation>,
 ) -> usize {
-    let proto = "crates/nexus-proxy/src/protocol.rs";
-    let Some((_, source)) = files.iter().find(|(p, _)| p == proto) else {
+    FRAME_ENUMS
+        .iter()
+        .map(|(path, name)| check_enum_coverage(files, fuzz_sweep, path, name, out))
+        .sum()
+}
+
+/// Check one `(file, enum)` pair against the sweep. Returns the
+/// variant count (0 when the file is absent from the walk).
+fn check_enum_coverage(
+    files: &[(String, String)],
+    fuzz_sweep: Option<&str>,
+    path: &str,
+    enum_name: &str,
+    out: &mut Vec<Violation>,
+) -> usize {
+    let Some((_, source)) = files.iter().find(|(p, _)| p == path) else {
         return 0;
     };
     let toks = code_tokens(source);
-    let variants = enum_variants(source, &toks, "Msg");
+    let variants = enum_variants(source, &toks, enum_name);
     let Some(sweep) = fuzz_sweep else {
         if !variants.is_empty() {
             out.push(Violation {
-                path: proto.to_string(),
+                path: path.to_string(),
                 line: variants[0].1,
                 rule: Rule::FrameCoverage,
-                message: "protocol has frame variants but the transparency fuzz sweep \
-                          is missing"
-                    .into(),
+                message: format!(
+                    "{enum_name} has frame variants but the transparency fuzz sweep \
+                     is missing"
+                ),
             });
         }
         return variants.len();
     };
-    let covered = msg_paths(sweep);
+    let covered = enum_paths(sweep, enum_name);
     for (name, line) in &variants {
         if !covered.contains(name.as_str()) {
             out.push(Violation {
-                path: proto.to_string(),
+                path: path.to_string(),
                 line: *line,
                 rule: Rule::FrameCoverage,
                 message: format!(
-                    "Msg::{name} is never built by the malformed-frame fuzz sweep \
-                     (tests/transparency.rs random_msgs)"
+                    "{enum_name}::{name} is never built by the malformed-frame fuzz \
+                     sweep (tests/transparency.rs random_msgs)"
                 ),
             });
         }
@@ -665,8 +690,8 @@ fn enum_variants(source: &str, toks: &[Token], name: &str) -> Vec<(String, usize
     out
 }
 
-/// All `Msg::X` paths mentioned in a source text.
-fn msg_paths(source: &str) -> BTreeSet<String> {
+/// All `<name>::X` paths mentioned in a source text.
+fn enum_paths(source: &str, name: &str) -> BTreeSet<String> {
     let toks: Vec<Token> = lex(source)
         .into_iter()
         .filter(|t| !t.kind.is_trivia())
@@ -674,7 +699,7 @@ fn msg_paths(source: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for i in 0..toks.len() {
         if toks[i].kind == TokenKind::Ident
-            && toks[i].text(source) == "Msg"
+            && toks[i].text(source) == name
             && is_punct(toks.get(i + 1), source, ":")
             && is_punct(toks.get(i + 2), source, ":")
         {
@@ -956,6 +981,30 @@ pub enum Msg {
         );
         assert!(report.lock_nodes >= 5, "nodes: {}", report.lock_nodes);
         assert!(report.metric_keys >= 40, "keys: {}", report.metric_keys);
-        assert_eq!(report.frame_variants, 12);
+        assert_eq!(report.frame_variants, 16);
+    }
+
+    #[test]
+    fn frame_coverage_flags_unfuzzed_stripe_frames() {
+        let stripe = r#"
+pub enum StripeFrame {
+    Open { transfer: u64 },
+    Data { transfer: u64 },
+    Fin { transfer: u64 },
+    Done { transfer: u64 },
+}
+"#;
+        let sweep = "fn random_msgs() { let a = StripeFrame::Open { transfer: 1 }; \
+                     let b = StripeFrame::Data { transfer: 1 }; \
+                     let c = StripeFrame::Fin { transfer: 1 }; }";
+        let r = ws(
+            &[("crates/nexus-proxy/src/stripe.rs", stripe)],
+            Some(""),
+            Some(sweep),
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, Rule::FrameCoverage);
+        assert!(r.violations[0].message.contains("StripeFrame::Done"));
+        assert_eq!(r.frame_variants, 4);
     }
 }
