@@ -41,6 +41,12 @@ echo "== striped bulk plane (reassembly battery + sim stripes; chaos is in fault
 cargo test -q -p rmf --test stripe_reassembly
 cargo test -q -p nexus-proxy --test stripes
 
+echo "== chaos drill determinism (same seed -> byte-identical snapshots)"
+cargo build -q --release -p wacs-chaos --bin chaos_drill
+./target/release/chaos_drill --seed 42 --out target/chaos-drill-a.json
+./target/release/chaos_drill --seed 42 --out target/chaos-drill-b.json
+cmp target/chaos-drill-a.json target/chaos-drill-b.json
+
 echo "== bench smoke (all scenarios incl. shard_scaling, stripe_scaling + committed BENCH files validate)"
 cargo build -q --release -p wacs-bench --bin proxy_bench
 ./target/release/proxy_bench --scenario all --smoke --out target/bench-smoke

@@ -10,7 +10,7 @@
 //! | `bulk_throughput` | a concurrent transfer storm: 256 relays opened and driven at once through the outer server, relay establishment included in the timed region, median of 5 trials after a warmup |
 //! | `fanin` | many concurrent relays to one sink, small echoes |
 //! | `latency` | one relay, small-message echo round trips |
-//! | `chaos` | bulk transfers with seeded mid-transfer kills + idle reaping |
+//! | `chaos` | schema v2: the `wacs-chaos` suite runs one real-path cell per fault class (RST, stall, throttle, blackhole, delayed FIN, split/merge, rolling outer restarts, inner kill) and reports measured recovery-time p50/p95/p99 per cell |
 //! | `shard_scaling` | virtual-time (netsim) fan-in cells over a sharded outer fleet: the same cell workload at 1/2/4 shards (Table 2's fan-in shape, relay service queues per shard), plus a kill-one-shard chaos cell that must finish with zero lost sequence numbers |
 //! | `stripe_scaling` | virtual-time striped bulk transfer over the fleet: one multi-megabyte staging payload a single relay cannot saturate, moved at 1/2/4/8 parallel stripe lanes (GridFTP-style), plus a 1%-loss WAN cell and a kill-one-stripe chaos cell that must reassemble byte-exactly |
 //!
@@ -45,12 +45,17 @@ use std::net::Shutdown;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+use wacs_chaos::{CellOutcome, ChaosSuite, FaultClass, SuiteConfig};
 use wacs_obs::json::JsonWriter;
 use wacs_obs::{Histogram, Registry};
 use wacs_sync::Mutex;
 
 /// Bumped whenever the emitted JSON shape changes.
 const SCHEMA_VERSION: u64 = 1;
+
+/// The chaos document's own schema: v2 replaced the seeded-kill bulk
+/// run with per-fault-class recovery-time cells from `wacs-chaos`.
+const CHAOS_SCHEMA_VERSION: u64 = 2;
 
 const SCENARIOS: &[&str] = &[
     "bulk_throughput",
@@ -330,6 +335,9 @@ fn run_scenario(name: &str, smoke: bool) -> io::Result<String> {
     if name == "stripe_scaling" {
         return stripe_scaling(smoke);
     }
+    if name == "chaos" {
+        return chaos_scenario(smoke);
+    }
     let (cfg, runner): (ScenarioCfg, ScenarioRunner) = match name {
         "bulk_throughput" => (
             ScenarioCfg {
@@ -363,17 +371,6 @@ fn run_scenario(name: &str, smoke: bool) -> io::Result<String> {
                 trials: 1,
             },
             latency,
-        ),
-        "chaos" => (
-            ScenarioCfg {
-                seed: 0xc405,
-                relays: if smoke { 6 } else { 24 },
-                bytes_per_relay: if smoke { 256 << 10 } else { 2 << 20 },
-                rounds: 0,
-                msg_bytes: 0,
-                trials: 1,
-            },
-            chaos,
         ),
         other => return Err(io::Error::other(format!("no such scenario: {other}"))),
     };
@@ -658,123 +655,93 @@ fn latency(cfg: &ScenarioCfg, mode: PumpMode) -> io::Result<ModeStats> {
     })
 }
 
-/// Chaos: bulk transfers where a seeded third of the clients die
-/// mid-transfer (socket dropped at a random offset), plus a few relays
-/// that stay silent until the idle-reaper collects them. Percentiles
-/// and throughput cover the survivors.
-fn chaos(cfg: &ScenarioCfg, mode: PumpMode) -> io::Result<ModeStats> {
-    const IDLERS: u64 = 3;
-    let idle_timeout = Duration::from_millis(500);
-    let w = world(
-        mode,
-        AdmissionLimits {
-            max_total: 4096,
-            max_per_peer: 4096,
-        },
-        Some(idle_timeout),
-        false,
-    )?;
-    let expected = cfg.bytes_per_relay;
-    let l = w.net.bind("sink", 0)?;
-    let port = l.logical_port();
-    thread::spawn(move || {
-        while let Ok((mut s, _)) = l.accept() {
-            // lint:allow(deadline-io)
-            thread::spawn(move || {
-                let mut buf = vec![0u8; 1 << 16];
-                let mut total = 0u64;
-                loop {
-                    match s.read(&mut buf) {
-                        Ok(0) | Err(_) => break,
-                        Ok(n) => total += n as u64,
-                    }
-                }
-                if total == expected {
-                    let _ = s.write_all(&[1]);
-                }
-            });
-        }
+/// Chaos scenario, schema v2: the `wacs-chaos` suite runs one cell
+/// per fault class against the real-socket proxy stack — six
+/// socket-level interposer faults (mid-stream RST, partial-write
+/// stall, byte-rate throttle, connect blackhole, delayed FIN,
+/// split/merged writes) plus rolling restarts of the two-shard outer
+/// fleet mid-striped-transfer and an inner-daemon kill under live
+/// relays. Each cell reports its measured recovery times as the
+/// mode's top-level p50/p95/p99. That placement is deliberate: the
+/// `--check --against-git` guard walks per-mode top-level `p99_ns`
+/// fields by name, so committed recovery-time objectives get the same
+/// 20% regression budget as data-plane latency.
+///
+/// The suite's deterministic drill snapshot (fault decisions, op
+/// counts, invariant verdicts — the part ci.sh diffs byte-for-byte
+/// across same-seed runs) is embedded under `"drill"` for the record.
+fn chaos_scenario(smoke: bool) -> io::Result<String> {
+    let seed = 0xc405;
+    let suite = ChaosSuite::new(if smoke {
+        SuiteConfig::smoke(seed)
+    } else {
+        SuiteConfig::full(seed)
     });
-
-    // Seeded fault plan: which relays die, and where in the stream.
-    let mut rng = SimRng::seed_from_u64(cfg.seed);
-    let plan: Vec<Option<u64>> = (0..cfg.relays)
-        .map(|_| {
-            if rng.below(3) == 0 {
-                Some(1 + rng.below(cfg.bytes_per_relay - 1))
-            } else {
-                None
-            }
-        })
-        .collect();
-    let killed = plan.iter().filter(|k| k.is_some()).count() as u64;
-
-    // The idle victims: relays that never move a byte. The reaper must
-    // collect them while the bulk chaos rages.
-    let mut idlers = Vec::new();
-    for _ in 0..IDLERS {
-        idlers.push(nx_proxy_connect(&w.net, &w.env, "client", ("sink", port))?);
-    }
-
-    let payload = seeded_payload(cfg.seed ^ 0x5eed, cfg.bytes_per_relay as usize);
-    let hist = Registry::new().histogram("transfer_ns");
-    let t0 = Instant::now();
-    let mut workers = Vec::new();
-    for kill in plan {
-        let (net, env, payload, hist) =
-            (w.net.clone(), w.env.clone(), payload.clone(), hist.clone());
-        workers.push(thread::spawn(move || -> io::Result<u64> {
-            let t = Instant::now();
-            let mut s = nx_proxy_connect(&net, &env, "client", ("sink", port))?;
-            match kill {
-                Some(offset) => {
-                    // Die mid-transfer: push `offset` bytes, then drop
-                    // the socket without shutdown or ack.
-                    let _ = s.write_all(&payload[..offset as usize]);
-                    Ok(0)
-                }
-                None => {
-                    s.write_all(&payload)?;
-                    s.shutdown(Shutdown::Write)?;
-                    let mut ack = [0u8; 1];
-                    s.read_exact(&mut ack)?; // lint:allow(deadline-io)
-                    hist.record(t.elapsed().as_nanos() as u64);
-                    Ok(payload.len() as u64)
-                }
-            }
-        }));
-    }
-    let mut bytes = 0;
-    let mut completed = 0;
-    for h in workers {
-        let b = join_u64(h)?;
-        if b > 0 {
-            completed += 1;
+    let cells = suite.run_all();
+    for c in &cells {
+        eprintln!(
+            "  {}: {} ops / {} attempts, {} faults, {} recoveries, rto p99 {} ns",
+            c.class.name(),
+            c.ops,
+            c.attempts,
+            c.faults,
+            c.recoveries,
+            c.p99_ns
+        );
+        if !c.completed {
+            return Err(io::Error::other(format!(
+                "chaos cell {} did not complete",
+                c.class.name()
+            )));
         }
-        bytes += b;
     }
-    let elapsed_ns = t0.elapsed().as_nanos() as u64;
-    let (p50_ns, p95_ns, p99_ns) = percentiles(&hist);
-    wait_until("idle victims reaped", Duration::from_secs(15), || {
-        w.outer.stats().idle_reaped >= IDLERS
-    })?;
-    drop(idlers);
-    wait_until("chaos relay drain", Duration::from_secs(15), || {
-        w.outer.active_relays() == 0
-    })?;
-    Ok(ModeStats {
-        elapsed_ns,
-        bytes,
-        p50_ns,
-        p95_ns,
-        p99_ns,
-        pump_threads: pump_threads_for(mode, cfg.relays + IDLERS),
-        relays: cfg.relays + IDLERS,
-        completed,
-        killed,
-        reaped: w.outer.stats().idle_reaped,
-        obs: w.obs(),
-    })
+    if !suite.ledger().ok() {
+        return Err(io::Error::other(format!(
+            "chaos invariant violations: {}",
+            suite.ledger().violations().join("; ")
+        )));
+    }
+
+    let cfg = suite.config();
+    let mut config = JsonWriter::object();
+    config
+        .field_u64("ops", cfg.ops)
+        .field_u64("payload_bytes", cfg.payload as u64)
+        .field_u64("stripe_payload_bytes", cfg.stripe_payload as u64)
+        .field_u64("lane_rate_bps", cfg.lane_rate)
+        .field_u64("cells", cells.len() as u64);
+    let mut modes = JsonWriter::object();
+    for c in &cells {
+        modes.field_raw(c.class.name(), &chaos_cell_json(c));
+    }
+    let mut w = JsonWriter::object();
+    w.field_u64("schema_version", CHAOS_SCHEMA_VERSION)
+        .field_str("scenario", "chaos")
+        .field_u64("seed", seed)
+        .field_u64("smoke", u64::from(smoke))
+        .field_raw("config", &config.finish())
+        .field_raw("modes", &modes.finish())
+        .field_raw("drill", &suite.drill_snapshot().to_json());
+    Ok(w.finish())
+}
+
+/// One chaos cell as a mode object. Recovery percentiles sit at the
+/// top level so `mode_p99s` (the p99 guard's parser) picks them up.
+fn chaos_cell_json(c: &CellOutcome) -> String {
+    let mut w = JsonWriter::object();
+    w.field_u64("p50_ns", c.p50_ns)
+        .field_u64("p95_ns", c.p95_ns)
+        .field_u64("p99_ns", c.p99_ns)
+        .field_u64("ops", c.ops)
+        .field_u64("attempts", c.attempts)
+        .field_u64("faults_injected", c.faults)
+        .field_u64("recoveries", c.recoveries)
+        .field_u64("bytes", c.bytes)
+        .field_u64("completed", u64::from(c.completed))
+        .field_u64("payload_ok", u64::from(c.payload_ok))
+        .field_u64("leaked_relays", c.leaked_relays)
+        .field_u64("leaked_admission", c.leaked_admission);
+    w.finish()
 }
 
 // ---------------------------------------------------------------------
@@ -1713,11 +1680,21 @@ fn extract_all(json: &str, key: &str) -> Vec<u64> {
 }
 
 fn validate(json: &str, scenario: &str) -> Result<(), String> {
-    if extract_all(json, "schema_version") != vec![SCHEMA_VERSION] {
-        return Err(format!("schema_version != {SCHEMA_VERSION}"));
+    // The chaos document is schema v2 (recovery-time cells); every
+    // other scenario still emits v1.
+    let want = if scenario == "chaos" {
+        CHAOS_SCHEMA_VERSION
+    } else {
+        SCHEMA_VERSION
+    };
+    if extract_all(json, "schema_version") != vec![want] {
+        return Err(format!("schema_version != {want}"));
     }
     if !json.contains(&format!("\"scenario\":\"{scenario}\"")) {
         return Err(format!("scenario field is not {scenario:?}"));
+    }
+    if scenario == "chaos" {
+        return validate_chaos(json);
     }
     for key in ["seed", "smoke", "speedup_x1000"] {
         if extract_all(json, key).len() != 1 {
@@ -1912,6 +1889,60 @@ fn validate_stripe_scaling(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The chaos (schema v2) document: one recovery-time cell per fault
+/// class, each complete, byte-exact, and leak-free, with at least one
+/// injected fault and one measured recovery, and recovery percentiles
+/// ordered. The per-cell `p99_ns` is the recovery-time p99, so the
+/// `--against-git` guard prices RTO regressions exactly like
+/// data-plane latency.
+fn validate_chaos(json: &str) -> Result<(), String> {
+    for key in ["seed", "smoke"] {
+        if extract_all(json, key).len() != 1 {
+            return Err(format!("missing top-level field {key:?}"));
+        }
+    }
+    let modes = json
+        .find("\"modes\":{")
+        .and_then(|p| brace_span(&json[p + "\"modes\":".len()..]))
+        .ok_or_else(|| "missing modes object".to_string())?;
+    for class in FaultClass::ALL {
+        if !modes.contains(&format!("\"{}\":{{", class.name())) {
+            return Err(format!("missing chaos cell {:?}", class.name()));
+        }
+    }
+    let n = FaultClass::ALL.len();
+    for key in ["ops", "attempts", "bytes"] {
+        if extract_all(modes, key).len() != n {
+            return Err(format!("field {key:?} must appear once per cell"));
+        }
+    }
+    if extract_all(modes, "completed") != vec![1; n] {
+        return Err("every chaos cell must run to completion".to_string());
+    }
+    if extract_all(modes, "payload_ok") != vec![1; n] {
+        return Err("every chaos cell must move its payloads byte-exactly".to_string());
+    }
+    if extract_all(modes, "leaked_relays") != vec![0; n] {
+        return Err("a chaos cell leaked relay-table entries".to_string());
+    }
+    if extract_all(modes, "leaked_admission") != vec![0; n] {
+        return Err("a chaos cell leaked admission slots".to_string());
+    }
+    let faults = extract_all(modes, "faults_injected");
+    if faults.len() != n || faults.contains(&0) {
+        return Err(format!(
+            "every chaos cell must inject at least one fault: {faults:?}"
+        ));
+    }
+    let recoveries = extract_all(modes, "recoveries");
+    if recoveries.len() != n || recoveries.contains(&0) {
+        return Err(format!(
+            "every chaos cell must measure at least one recovery: {recoveries:?}"
+        ));
+    }
+    validate_percentile_order(modes, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2068,5 +2099,77 @@ mod tests {
         // Loss outside the lossy cell is a mislabeled experiment.
         let leaky = stripe_doc(1, 2, 1, 900).replacen("\"drop_ppm\":0", "\"drop_ppm\":5", 1);
         assert!(validate(&leaky, "stripe_scaling").is_err());
+    }
+
+    fn chaos_cell(p99: u64) -> String {
+        format!(
+            r#"{{"p50_ns":1,"p95_ns":2,"p99_ns":{p99},"ops":4,"attempts":6,"faults_injected":2,"recoveries":2,"bytes":65536,"completed":1,"payload_ok":1,"leaked_relays":0,"leaked_admission":0}}"#
+        )
+    }
+
+    fn chaos_doc(p99s: [u64; 8], smoke: u64) -> String {
+        let modes: Vec<String> = FaultClass::ALL
+            .iter()
+            .zip(p99s)
+            .map(|(class, p99)| format!(r#""{}":{}"#, class.name(), chaos_cell(p99)))
+            .collect();
+        format!(
+            r#"{{"schema_version":2,"scenario":"chaos","seed":7,"smoke":{smoke},"config":{{"ops":4,"cells":8}},"modes":{{{}}},"drill":{{"wacs.chaos.ops":32}}}}"#,
+            modes.join(",")
+        )
+    }
+
+    #[test]
+    fn validate_chaos_v2_enforces_schema_and_cell_integrity() {
+        let ok = chaos_doc([3; 8], 1);
+        assert_eq!(validate(&ok, "chaos"), Ok(()));
+        // The chaos document is the only v2 doc; a v1 stamp is stale.
+        let stale = ok.replacen("\"schema_version\":2", "\"schema_version\":1", 1);
+        assert!(validate(&stale, "chaos").is_err());
+        // Any single-cell integrity breakage is fatal: a leaked relay
+        // or admission slot, a torn payload, an incomplete cell, a
+        // cell that measured nothing, or a cell that faulted nothing.
+        for (from, to) in [
+            ("\"leaked_relays\":0", "\"leaked_relays\":1"),
+            ("\"leaked_admission\":0", "\"leaked_admission\":2"),
+            ("\"payload_ok\":1", "\"payload_ok\":0"),
+            ("\"completed\":1", "\"completed\":0"),
+            ("\"recoveries\":2", "\"recoveries\":0"),
+            ("\"faults_injected\":2", "\"faults_injected\":0"),
+            ("\"p95_ns\":2", "\"p95_ns\":9"),
+        ] {
+            let broken = ok.replacen(from, to, 1);
+            assert!(validate(&broken, "chaos").is_err(), "{to} not caught");
+        }
+        // A document missing a fault class is structurally incomplete.
+        let missing = ok.replace("\"inner_restart\":{", "\"mystery\":{");
+        assert!(validate(&missing, "chaos").is_err());
+    }
+
+    #[test]
+    fn p99_guard_prices_chaos_recovery_cells_by_name() {
+        // Schema-v2 chaos cells carry their recovery p99 at the top
+        // level of each mode object, so the --against-git guard gives
+        // committed RTOs the same name-paired 20% budget as data-plane
+        // latency (--allow-regression stays the only escape hatch; it
+        // downgrades the failure to a warning in check_against_git).
+        let old = chaos_doc([1000; 8], 1);
+        // Exactly +20% is within budget.
+        assert!(p99_regressions(&old, &chaos_doc([1200; 8], 1)).is_empty());
+        // One cell blowing its recovery budget is flagged by name.
+        let mut p99s = [1000u64; 8];
+        p99s[1] = 1201;
+        let r = p99_regressions(&old, &chaos_doc(p99s, 1));
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].starts_with("stall:"), "{r:?}");
+        // A baseline predating the v2 schema (or a new fault class)
+        // pairs by name: only cells present in both documents are
+        // compared, the rest are skipped rather than mispaired.
+        let legacy = r#"{"modes":{"rolling_restart":{"p99_ns":500}}}"#;
+        let mut p99s = [99_999u64; 8];
+        p99s[6] = 601; // rolling_restart, the only paired cell
+        let r = p99_regressions(legacy, &chaos_doc(p99s, 1));
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].starts_with("rolling_restart:"), "{r:?}");
     }
 }

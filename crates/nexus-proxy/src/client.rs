@@ -7,6 +7,7 @@
 //! variables `NEXUS_PROXY_OUTER_SERVER` and `NEXUS_PROXY_INNER_SERVER`
 //! are defined; otherwise, the original communication is done."
 
+use crate::hook::{interpose, DialHook, DialLeg};
 use crate::liveness::{BreakerConfig, SharedBreaker};
 use crate::protocol::Msg;
 use crate::shard::{bind_key, member_tag, ShardMap, ShardRouter, ShardStats};
@@ -34,6 +35,9 @@ pub struct ProxyEnv {
     /// preference ladder; `outer`/`breaker` are ignored (each shard
     /// has its own breaker inside the router).
     pub fleet: Option<Arc<FleetRouter>>,
+    /// Optional socket-level interposer (DESIGN.md §6f). `None` — the
+    /// default — leaves every dial untouched.
+    pub dial_hook: Option<DialHook>,
 }
 
 impl ProxyEnv {
@@ -46,6 +50,7 @@ impl ProxyEnv {
             outer: Some((outer_host.into(), ctrl_port)),
             breaker: None,
             fleet: None,
+            dial_hook: None,
         }
     }
 
@@ -57,6 +62,7 @@ impl ProxyEnv {
             outer: None,
             breaker: None,
             fleet: Some(fleet),
+            dial_hook: None,
         }
     }
 
@@ -66,6 +72,15 @@ impl ProxyEnv {
     #[must_use]
     pub fn with_breaker(mut self, b: SharedBreaker) -> Self {
         self.breaker = Some(b);
+        self
+    }
+
+    /// Install a socket-level interposer on every dial this env makes
+    /// (chaos testing; see `wacs-chaos`). Production code never sets
+    /// this, so the hookless path is unchanged.
+    #[must_use]
+    pub fn with_dial_hook(mut self, hook: DialHook) -> Self {
+        self.dial_hook = Some(hook);
         self
     }
 
@@ -218,7 +233,14 @@ fn dial_outer(
             ));
         }
     }
-    let dialed = net.dial(from_host, outer_host, port);
+    let dialed = interpose(
+        env.dial_hook.as_ref(),
+        DialLeg::ClientCtrl,
+        from_host,
+        outer_host,
+        port,
+        net.dial(from_host, outer_host, port),
+    );
     if let Some(b) = &env.breaker {
         match &dialed {
             Ok(_) => b.on_success(),
@@ -243,14 +265,29 @@ pub fn nx_proxy_connect(
     from_host: &str,
     dst: (&str, u16),
 ) -> io::Result<TcpStream> {
+    let hook = env.dial_hook.as_ref();
     if let Some(fleet) = &env.fleet {
-        return connect_via_fleet(net, fleet, from_host, dst);
+        return connect_via_fleet(net, fleet, from_host, dst, hook);
     }
     let Some((outer_host, ctrl_port)) = &env.outer else {
-        return net.dial(from_host, dst.0, dst.1);
+        return interpose(
+            hook,
+            DialLeg::ClientData,
+            from_host,
+            dst.0,
+            dst.1,
+            net.dial(from_host, dst.0, dst.1),
+        );
     };
     if dst.0 == outer_host {
-        return net.dial(from_host, dst.0, dst.1);
+        return interpose(
+            hook,
+            DialLeg::ClientData,
+            from_host,
+            dst.0,
+            dst.1,
+            net.dial(from_host, dst.0, dst.1),
+        );
     }
     let mut stream = dial_outer(net, env, from_host, outer_host, *ctrl_port)?;
     Msg::ConnectReq {
@@ -324,7 +361,7 @@ impl NxListener {
 pub fn nx_proxy_bind(net: &VNet, env: &ProxyEnv, host: &str) -> io::Result<NxListener> {
     let private = net.bind(host, 0)?;
     if let Some(fleet) = &env.fleet {
-        return bind_via_fleet(net, fleet, host, private);
+        return bind_via_fleet(net, fleet, host, private, env.dial_hook.as_ref());
     }
     let Some((outer_host, ctrl_port)) = &env.outer else {
         let advertised = private.logical_addr();
@@ -379,6 +416,7 @@ fn bind_via_fleet(
     fleet: &FleetRouter,
     host: &str,
     private: VListener,
+    hook: Option<&DialHook>,
 ) -> io::Result<NxListener> {
     let key = bind_key(host, private.logical_port());
     let mut target = fleet.route(&key).ok_or_else(all_shards_down)?;
@@ -395,7 +433,15 @@ fn bind_via_fleet(
             port: private.logical_port(),
             fallback,
         };
-        let mut ctrl = match net.dial(host, &shard_host, ctrl_port) {
+        let dialed = interpose(
+            hook,
+            DialLeg::ClientCtrl,
+            host,
+            &shard_host,
+            ctrl_port,
+            net.dial(host, &shard_host, ctrl_port),
+        );
+        let mut ctrl = match dialed {
             Ok(s) => {
                 fleet.on_success(idx);
                 s
@@ -474,9 +520,17 @@ fn connect_via_fleet(
     fleet: &FleetRouter,
     from_host: &str,
     dst: (&str, u16),
+    hook: Option<&DialHook>,
 ) -> io::Result<TcpStream> {
     if fleet.has_member_host(dst.0) {
-        return net.dial(from_host, dst.0, dst.1);
+        return interpose(
+            hook,
+            DialLeg::ClientData,
+            from_host,
+            dst.0,
+            dst.1,
+            net.dial(from_host, dst.0, dst.1),
+        );
     }
     let key = bind_key(dst.0, dst.1);
     let req = Msg::ConnectReq {
@@ -486,7 +540,15 @@ fn connect_via_fleet(
     let mut target = fleet.route(&key).ok_or_else(all_shards_down)?;
     for _ in 0..fleet.len().max(1) {
         let (idx, (shard_host, ctrl_port)) = target;
-        let mut stream = match net.dial(from_host, &shard_host, ctrl_port) {
+        let dialed = interpose(
+            hook,
+            DialLeg::ClientCtrl,
+            from_host,
+            &shard_host,
+            ctrl_port,
+            net.dial(from_host, &shard_host, ctrl_port),
+        );
+        let mut stream = match dialed {
             Ok(s) => {
                 fleet.on_success(idx);
                 s

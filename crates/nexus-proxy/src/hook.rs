@@ -1,0 +1,194 @@
+//! Optional dial interposition — the seam the deterministic chaos
+//! layer (`wacs-chaos`, DESIGN.md §6f) plugs into.
+//!
+//! Every real-socket connection in the stack is created by a handful
+//! of `VNet::dial` sites in [`crate::client`], [`crate::outer`] and
+//! [`crate::inner`]. Each such site is tagged with a [`DialLeg`] and
+//! routed through [`interpose`]: when no hook is installed the dialed
+//! stream is returned untouched (the production path is byte-for-byte
+//! unchanged), and when one is installed the hook may wrap the stream
+//! in an in-process fault proxy, or refuse the dial outright (a
+//! connect blackhole).
+//!
+//! The hook deliberately operates on plain [`TcpStream`]s *after* the
+//! firewall-guarded dial has succeeded: interposition cannot be used
+//! to punch through `firewall::vnet` rules, only to degrade a leg the
+//! firewall already admitted.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Which leg of the relay path a dial belongs to. Fault profiles key
+/// on this, so a chaos scenario can, say, throttle only the WAN
+/// control leg while leaving intra-site data dials clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DialLeg {
+    /// Client → outer-server control session (`ConnectReq`/`BindReq`).
+    ClientCtrl,
+    /// Client → rendezvous port or direct destination data dial.
+    ClientData,
+    /// Outer server → destination host (active-open data leg).
+    OuterData,
+    /// Outer server → inner server `RelayReq` (passive-open bridge).
+    OuterToInner,
+    /// Outer server → inner server heartbeat/control session.
+    Heartbeat,
+    /// Inner server → registered client (passive-relay completion).
+    InnerToClient,
+    /// One lane of a striped bulk transfer (`stripe` module).
+    StripeLane,
+}
+
+impl DialLeg {
+    /// Stable lower-snake name, used in metric keys and fault plans.
+    pub fn name(self) -> &'static str {
+        match self {
+            DialLeg::ClientCtrl => "client_ctrl",
+            DialLeg::ClientData => "client_data",
+            DialLeg::OuterData => "outer_data",
+            DialLeg::OuterToInner => "outer_to_inner",
+            DialLeg::Heartbeat => "heartbeat",
+            DialLeg::InnerToClient => "inner_to_client",
+            DialLeg::StripeLane => "stripe_lane",
+        }
+    }
+
+    /// All legs, in a stable order (profile tables iterate this).
+    pub const ALL: &'static [DialLeg] = &[
+        DialLeg::ClientCtrl,
+        DialLeg::ClientData,
+        DialLeg::OuterData,
+        DialLeg::OuterToInner,
+        DialLeg::Heartbeat,
+        DialLeg::InnerToClient,
+        DialLeg::StripeLane,
+    ];
+}
+
+impl fmt::Display for DialLeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A socket-level interposer: receives every successfully dialed
+/// stream together with its leg and logical endpoints, and returns
+/// the stream the caller should actually use.
+pub trait DialInterposer: Send + Sync {
+    /// Wrap (or reject) one dialed stream. Returning `Err` makes the
+    /// dial site behave exactly as if `VNet::dial` itself had failed,
+    /// so breaker/failover machinery engages normally.
+    fn wrap(
+        &self,
+        leg: DialLeg,
+        from: &str,
+        to: &str,
+        port: u16,
+        stream: TcpStream,
+    ) -> io::Result<TcpStream>;
+}
+
+/// Shared, cloneable handle to an installed interposer.
+#[derive(Clone)]
+pub struct DialHook(Arc<dyn DialInterposer>);
+
+impl DialHook {
+    pub fn new(interposer: Arc<dyn DialInterposer>) -> DialHook {
+        DialHook(interposer)
+    }
+
+    pub fn wrap(
+        &self,
+        leg: DialLeg,
+        from: &str,
+        to: &str,
+        port: u16,
+        stream: TcpStream,
+    ) -> io::Result<TcpStream> {
+        self.0.wrap(leg, from, to, port, stream)
+    }
+}
+
+impl fmt::Debug for DialHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DialHook(..)")
+    }
+}
+
+/// Route one dial result through an optional hook. With no hook this
+/// is the identity on the `io::Result` — the production path when
+/// chaos is off.
+pub fn interpose(
+    hook: Option<&DialHook>,
+    leg: DialLeg,
+    from: &str,
+    to: &str,
+    port: u16,
+    dialed: io::Result<TcpStream>,
+) -> io::Result<TcpStream> {
+    match (hook, dialed) {
+        (Some(h), Ok(s)) => h.wrap(leg, from, to, port, s),
+        (_, r) => r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting(AtomicUsize);
+
+    impl DialInterposer for Counting {
+        fn wrap(
+            &self,
+            _leg: DialLeg,
+            _from: &str,
+            _to: &str,
+            _port: u16,
+            stream: TcpStream,
+        ) -> io::Result<TcpStream> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            Ok(stream)
+        }
+    }
+
+    fn loopback_stream() -> TcpStream {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let s = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let _ = l.accept().unwrap();
+        s
+    }
+
+    #[test]
+    fn no_hook_is_identity() {
+        let s = loopback_stream();
+        let addr = s.peer_addr().unwrap();
+        let out = interpose(None, DialLeg::ClientCtrl, "a", "b", 1, Ok(s)).unwrap();
+        assert_eq!(out.peer_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn hook_sees_successful_dials_only() {
+        let counting = Arc::new(Counting(AtomicUsize::new(0)));
+        let hook = DialHook::new(counting.clone());
+        let err: io::Result<TcpStream> = Err(io::Error::other("down"));
+        assert!(interpose(Some(&hook), DialLeg::ClientData, "a", "b", 1, err).is_err());
+        assert_eq!(counting.0.load(Ordering::SeqCst), 0);
+        let s = loopback_stream();
+        interpose(Some(&hook), DialLeg::ClientData, "a", "b", 1, Ok(s)).unwrap();
+        assert_eq!(counting.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn leg_names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = DialLeg::ALL.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DialLeg::ALL.len());
+        assert_eq!(DialLeg::StripeLane.to_string(), "stripe_lane");
+    }
+}

@@ -22,6 +22,7 @@
 //! never announce an identity (single-outer deployments) share the
 //! legacy solo slice, preserving the pre-fleet behaviour exactly.
 
+use crate::hook::{interpose, DialHook, DialLeg};
 use crate::outer::PumpMode;
 use crate::pool::{BufferPool, PoolConfig};
 use crate::protocol::Msg;
@@ -59,6 +60,10 @@ pub struct InnerConfig {
     pub pump_mode: PumpMode,
     /// Reactor tuning; used when `pump_mode` is [`PumpMode::Reactor`].
     pub reactor: ReactorConfig,
+    /// Optional socket-level interposer on the inner→client relay
+    /// dials. `None` — the default — leaves every dial untouched
+    /// (DESIGN.md §6f).
+    pub dial_hook: Option<DialHook>,
 }
 
 impl InnerConfig {
@@ -71,6 +76,7 @@ impl InnerConfig {
             control_timeout: Duration::from_secs(5),
             pump_mode: PumpMode::default(),
             reactor: ReactorConfig::default(),
+            dial_hook: None,
         }
     }
 
@@ -91,6 +97,13 @@ impl InnerConfig {
 
     pub fn with_reactor_config(mut self, r: ReactorConfig) -> Self {
         self.reactor = r;
+        self
+    }
+
+    /// Install a socket-level interposer on inner→client dials (chaos
+    /// testing; see `wacs-chaos`).
+    pub fn with_dial_hook(mut self, hook: DialHook) -> Self {
+        self.dial_hook = Some(hook);
         self
     }
 }
@@ -175,7 +188,7 @@ impl InnerServer {
                         thread::spawn(move || c.handle(stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }
@@ -283,7 +296,15 @@ impl InnerCtx {
             let _ = Msg::RelayRep { ok: false }.write_to(&mut from_outer);
             return;
         }
-        match self.net.dial(&self.cfg.host, &host, port) {
+        let dialed = interpose(
+            self.cfg.dial_hook.as_ref(),
+            DialLeg::InnerToClient,
+            &self.cfg.host,
+            &host,
+            port,
+            self.net.dial(&self.cfg.host, &host, port),
+        );
+        match dialed {
             Ok(client) => {
                 if (Msg::RelayRep { ok: true })
                     .write_to(&mut from_outer)

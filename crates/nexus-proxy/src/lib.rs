@@ -25,6 +25,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod client;
+pub mod hook;
 pub mod inner;
 pub mod liveness;
 pub mod outer;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod stripe;
 
 pub use client::{nx_proxy_bind, nx_proxy_connect, FleetRouter, NxListener, ProxyEnv};
+pub use hook::{DialHook, DialInterposer, DialLeg};
 pub use inner::{InnerConfig, InnerServer};
 pub use liveness::{
     AdmissionGate, AdmissionLimits, AdmissionReject, BreakerConfig, BreakerState, CircuitBreaker,
@@ -46,12 +48,14 @@ pub use liveness::{
 pub use outer::{FleetSpec, OuterConfig, OuterServer, PumpMode};
 pub use pool::{BufferPool, PoolConfig};
 pub use protocol::Msg;
-pub use pump::RelayActivity;
+pub use pump::{copy_loop, CopyEnd, RelayActivity};
 pub use reactor::{PumpReactor, ReactorConfig};
-pub use shard::{bind_key, member_tag, ShardMap, ShardRoute, ShardRouter, ShardStats};
+pub use shard::{
+    bind_key, member_tag, GenerationWitness, ShardMap, ShardRoute, ShardRouter, ShardStats,
+};
 pub use stats::{ProxySnapshot, ProxyStats};
 pub use stripe::{
-    send_striped, Accept, Reassembler, SendReport, StripeError, StripeFrame, StripePlan,
-    StripeReceiver, StripeStats, DEFAULT_CHUNK_BYTES, MAX_CHUNK_BYTES, MAX_STRIPES,
+    interposed_lane_dial, send_striped, Accept, Reassembler, SendReport, StripeError, StripeFrame,
+    StripePlan, StripeReceiver, StripeStats, DEFAULT_CHUNK_BYTES, MAX_CHUNK_BYTES, MAX_STRIPES,
     MAX_STRIPE_FRAME,
 };

@@ -25,6 +25,7 @@
 //! inner server opens with a generation-counted [`Msg::ShardSync`] so
 //! the inner server can keep one authorization slice per shard.
 
+use crate::hook::{interpose, DialHook, DialLeg};
 use crate::liveness::{
     AdmissionGate, AdmissionLimits, BreakerConfig, HeartbeatConfig, SharedBreaker,
 };
@@ -104,6 +105,10 @@ pub struct OuterConfig {
     /// single-proxy deployment: no ownership checks, no redirects, no
     /// shard-map announcements.
     pub fleet: Option<FleetSpec>,
+    /// Optional socket-level interposer on the server's outbound dials
+    /// (destination, inner-relay, heartbeat legs). `None` — the
+    /// default — leaves every dial untouched (DESIGN.md §6f).
+    pub dial_hook: Option<DialHook>,
 }
 
 impl OuterConfig {
@@ -120,6 +125,7 @@ impl OuterConfig {
             pump_mode: PumpMode::default(),
             reactor: ReactorConfig::default(),
             fleet: None,
+            dial_hook: None,
         }
     }
 
@@ -155,6 +161,13 @@ impl OuterConfig {
 
     pub fn with_reactor_config(mut self, r: ReactorConfig) -> Self {
         self.reactor = r;
+        self
+    }
+
+    /// Install a socket-level interposer on the server's outbound
+    /// dials (chaos testing; see `wacs-chaos`).
+    pub fn with_dial_hook(mut self, hook: DialHook) -> Self {
+        self.dial_hook = Some(hook);
         self
     }
 
@@ -296,7 +309,7 @@ impl OuterServer {
                         thread::spawn(move || c.handle_control(stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }
@@ -349,6 +362,12 @@ impl OuterServer {
     /// Live entries in the relay connection table.
     pub fn active_relays(&self) -> usize {
         self.relays.lock().len()
+    }
+
+    /// Admission slots currently held. Chaos invariants assert this
+    /// returns to zero once recovery completes (no leaked slots).
+    pub fn admission_active(&self) -> u32 {
+        self.admission.lock().active()
     }
 
     /// The WAN-leg circuit breaker (shared: clients may reuse it for
@@ -407,7 +426,7 @@ impl OuterServer {
             if Instant::now() >= deadline {
                 return false;
             }
-            thread::sleep(Duration::from_millis(2));
+            thread::sleep(Duration::from_millis(2)); // lint:allow(bare-sleep) — deadline-bounded poll.
         }
     }
 }
@@ -481,7 +500,15 @@ impl ServerCtx {
             let _ = Msg::Busy.write_to(&mut client);
             return;
         }
-        match self.net.dial(&self.cfg.host, &host, port) {
+        let dialed = interpose(
+            self.cfg.dial_hook.as_ref(),
+            DialLeg::OuterData,
+            &self.cfg.host,
+            &host,
+            port,
+            self.net.dial(&self.cfg.host, &host, port),
+        );
+        match dialed {
             Ok(target) => {
                 if (Msg::ConnectRep {
                     ok: true,
@@ -573,7 +600,7 @@ impl ServerCtx {
             .min(Duration::from_millis(25))
             .max(Duration::from_millis(1));
         while !self.shutdown.load(Ordering::Relaxed) {
-            thread::sleep(tick);
+            thread::sleep(tick); // lint:allow(bare-sleep) — shutdown-checked reaper tick.
             let mut table = self.relays.lock();
             for entry in table.values_mut() {
                 if !entry.reaped && entry.activity.idle_for() > self.cfg.idle_timeout {
@@ -632,16 +659,21 @@ impl ServerCtx {
         let mut ever_alive = false;
         while !self.shutdown.load(Ordering::Relaxed) {
             if !self.breaker.allow() {
-                thread::sleep(hb.interval);
+                thread::sleep(hb.interval); // lint:allow(bare-sleep) — heartbeat interval.
                 continue;
             }
-            let dialed = self
-                .net
-                .dial(&self.cfg.host, &inner_host, nxport)
-                .and_then(|s| {
-                    s.set_read_timeout(Some(hb.timeout))?;
-                    Ok(s)
-                });
+            let dialed = interpose(
+                self.cfg.dial_hook.as_ref(),
+                DialLeg::Heartbeat,
+                &self.cfg.host,
+                &inner_host,
+                nxport,
+                self.net.dial(&self.cfg.host, &inner_host, nxport),
+            )
+            .and_then(|s| {
+                s.set_read_timeout(Some(hb.timeout))?;
+                Ok(s)
+            });
             let mut s = match dialed {
                 Ok(s) => {
                     self.breaker.on_success();
@@ -649,7 +681,7 @@ impl ServerCtx {
                 }
                 Err(_) => {
                     self.breaker.on_failure();
-                    thread::sleep(hb.interval);
+                    thread::sleep(hb.interval); // lint:allow(bare-sleep) — heartbeat interval.
                     continue;
                 }
             };
@@ -697,7 +729,7 @@ impl ServerCtx {
                     // Timeout, EOF or garbage: the peer is dead.
                     _ => break,
                 }
-                thread::sleep(hb.interval);
+                thread::sleep(hb.interval); // lint:allow(bare-sleep) — heartbeat interval.
             }
             // Session broke while the peer was considered alive.
             self.stats.inner_alive.set(0);
@@ -797,7 +829,7 @@ impl ServerCtx {
                         ctx.bridge_peer(peer, &client_host, client_port);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }
@@ -829,7 +861,14 @@ impl ServerCtx {
                     // The breaker watches the WAN dial leg only: an
                     // established TCP connection proves the inner
                     // server answers, whatever it then replies.
-                    let dialed = self.net.dial(&self.cfg.host, inner_host, *nxport);
+                    let dialed = interpose(
+                        self.cfg.dial_hook.as_ref(),
+                        DialLeg::OuterToInner,
+                        &self.cfg.host,
+                        inner_host,
+                        *nxport,
+                        self.net.dial(&self.cfg.host, inner_host, *nxport),
+                    );
                     match &dialed {
                         Ok(_) => self.breaker.on_success(),
                         Err(_) => self.breaker.on_failure(),
@@ -859,7 +898,14 @@ impl ServerCtx {
                     ))
                 }
             }
-            None => self.net.dial(&self.cfg.host, client_host, client_port),
+            None => interpose(
+                self.cfg.dial_hook.as_ref(),
+                DialLeg::OuterData,
+                &self.cfg.host,
+                client_host,
+                client_port,
+                self.net.dial(&self.cfg.host, client_host, client_port),
+            ),
         };
         self.stats
             .relay_bridge_ns

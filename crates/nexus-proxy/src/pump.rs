@@ -71,7 +71,7 @@ impl RelayActivity {
 
 /// How one copy direction ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum CopyEnd {
+pub enum CopyEnd {
     /// The source reached clean EOF; propagate as a half-close.
     CleanEof,
     /// A hard read or write error; reset both ends.
@@ -82,7 +82,11 @@ pub(crate) enum CopyEnd {
 /// Bytes count toward `relayed_bytes` only *after* the write lands — a
 /// failed write must not inflate the counter (the far side never saw
 /// those bytes).
-pub(crate) fn copy_loop<R: Read, W: Write>(
+///
+/// Public so out-of-tree stream plumbing (the `wacs-chaos` interposer's
+/// clean forwarding path) reuses the battle-tested loop and its
+/// accounting instead of growing a second one.
+pub fn copy_loop<R: Read, W: Write>(
     from: &mut R,
     to: &mut W,
     buf: &mut [u8],

@@ -231,6 +231,22 @@ impl PumpReactor {
         self.shared.queues.len()
     }
 
+    /// Relays currently registered across all reactor threads, plus
+    /// any still queued for pickup. Chaos invariants assert this
+    /// returns to zero after recovery (no leaked relay state).
+    pub fn active(&self) -> usize {
+        let live: i64 = self
+            .shared
+            .thread_relays
+            .iter()
+            .map(wacs_obs::Gauge::get)
+            .sum();
+        let queued: usize = (0..self.shared.queues.len())
+            .map(|i| self.shared.queues[i].lock().len())
+            .sum();
+        live.max(0) as usize + queued
+    }
+
     /// Stop the reactor: remaining relays are reset, their completion
     /// callbacks run, and the worker threads exit. Idempotent.
     pub fn shutdown(&self) {

@@ -305,6 +305,46 @@ impl ShardStats {
     }
 }
 
+/// Watches a stream of observed map generations and records any
+/// regression — the chaos invariant checker's view of "breaker and
+/// `ShardMap` generations stay monotone across restarts". Thread-safe
+/// so concurrent observers (heartbeat syncers, chaos probes) can share
+/// one witness.
+#[derive(Debug, Default)]
+pub struct GenerationWitness {
+    state: wacs_sync::Mutex<(u64, u64)>, // (highest seen, regressions)
+}
+
+impl GenerationWitness {
+    pub fn new() -> GenerationWitness {
+        GenerationWitness::default()
+    }
+
+    /// Record one observation. Returns `false` — and counts a
+    /// regression — when `generation` is older than something already
+    /// seen. Equal generations are fine (re-announcements happen on
+    /// every heartbeat reconnect).
+    pub fn observe(&self, generation: u64) -> bool {
+        let mut st = self.state.lock();
+        if generation < st.0 {
+            st.1 += 1;
+            return false;
+        }
+        st.0 = generation;
+        true
+    }
+
+    /// Highest generation observed so far.
+    pub fn high_water(&self) -> u64 {
+        self.state.lock().0
+    }
+
+    /// Observations that went backwards (must stay 0).
+    pub fn regressions(&self) -> u64 {
+        self.state.lock().1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

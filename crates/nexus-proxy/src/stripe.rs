@@ -29,8 +29,10 @@
 //! connection, so `(stripe, seq)` names a chunk globally and the
 //! receiver can dedup at chunk granularity across reconnects.
 
+use crate::hook::{interpose, DialHook, DialLeg};
 use crate::protocol::{bad, put_u16, put_u32, put_u64, Cursor};
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use wacs_obs::{Counter, Histogram, Registry};
 use wacs_sync::Mutex;
@@ -840,6 +842,31 @@ where
         chunks: plan.chunk_count(),
         redials,
     })
+}
+
+/// Adapt a `TcpStream`-producing lane dialer so every lane (and every
+/// redial attempt) passes through an optional [`DialHook`] at
+/// [`DialLeg::StripeLane`] — the seam the chaos layer uses to fault a
+/// single lane of a striped transfer. With `hook == None` this is the
+/// plain dialer, unchanged.
+pub fn interposed_lane_dial<'a, D>(
+    hook: Option<&'a DialHook>,
+    from: &'a str,
+    dial: D,
+) -> impl Fn(u16, u32) -> io::Result<TcpStream> + Sync + 'a
+where
+    D: Fn(u16, u32) -> io::Result<TcpStream> + Sync + 'a,
+{
+    move |stripe, attempt| {
+        interpose(
+            hook,
+            DialLeg::StripeLane,
+            from,
+            "stripe",
+            stripe,
+            dial(stripe, attempt),
+        )
+    }
 }
 
 /// One attempt at one stripe: dial, Open, every chunk in seq order,

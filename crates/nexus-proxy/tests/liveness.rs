@@ -13,13 +13,15 @@ use nexus_proxy::sim::{
     NxClient, NxEvent, NxHandled, RelayModel, SimInnerServer, SimOuterServer, SimProxyEnv,
 };
 use nexus_proxy::{
-    bind_key, member_tag, nx_proxy_bind, nx_proxy_connect, AdmissionLimits, BreakerConfig,
-    FleetRouter, HeartbeatConfig, InnerConfig, InnerServer, Msg, OuterConfig, OuterServer,
-    ProxyEnv, ShardMap,
+    bind_key, interposed_lane_dial, member_tag, nx_proxy_bind, nx_proxy_connect, send_striped,
+    AdmissionLimits, BreakerConfig, DialLeg, FleetRouter, HeartbeatConfig, InnerConfig,
+    InnerServer, Msg, OuterConfig, OuterServer, ProxyEnv, ShardMap, StripePlan, StripeReceiver,
+    StripeStats,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
+use wacs_chaos::{ChaosInterposer, ChaosProfile, FaultClass, FaultRule};
 use wacs_obs::Registry;
 use wacs_sync::Mutex;
 
@@ -1113,4 +1115,243 @@ fn real_fleet_fails_over_when_a_shard_dies() {
     peer.read_exact(&mut echo).unwrap();
     assert_eq!(&echo, b"mpi0");
     assert_eq!(&srv.join().unwrap(), b"mpi0");
+}
+
+// ---------------------------------------------------------------------
+// Deterministic chaos faults on the real socket path (wacs-chaos).
+// ---------------------------------------------------------------------
+
+fn seeded_payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        v.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// A mid-`StripeFrame` RST on one lane must be absorbed as a lane
+/// failover — the sender re-dials the stripe and re-sends it from the
+/// start, the receiver's offset dedup absorbs whatever landed twice —
+/// and must never surface as a `Conflict`, which is reserved for
+/// corrupted duplicates (same offset, different bytes).
+#[test]
+fn real_stripe_lane_rst_fails_over_without_conflict() {
+    let w = real_world();
+    let _outer = OuterServer::start(w.net.clone(), OuterConfig::new("rwcp-outer")).unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+
+    // Stripe sink: every accepted flow feeds the shared reassembler.
+    // The RST'd lane ends in a mid-frame read error; swallowing it
+    // here mirrors production sinks — the replay makes it whole.
+    let receiver = StripeReceiver::new();
+    let registry = Registry::new();
+    let stats = StripeStats::in_registry(&registry);
+    let sink = w.net.bind("etl-sun", 7411).unwrap();
+    {
+        let receiver = receiver.clone();
+        let stats = stats.clone();
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = sink.accept() {
+                let receiver = receiver.clone();
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+                    let _ = receiver.feed(s, Some(&stats));
+                });
+            }
+        });
+    }
+
+    // Chaos plan: RST exactly the first lane dial (seq 0), mid-frame,
+    // a few KiB into the stripe; the long period keeps the other three
+    // lanes and every re-dial clean.
+    let profile = ChaosProfile::new(0x51ed).with_rule(FaultRule::every(
+        DialLeg::StripeLane,
+        FaultClass::Rst,
+        64,
+    ));
+    let interposer = ChaosInterposer::new(profile, &registry);
+    let hook = interposer.hook();
+
+    // Each lane must carry more than the worst-case loopback socket
+    // buffering (tcp_wmem max ≈ 4 MiB plus the peer's receive buffer)
+    // so the sender is still mid-write when the tripped splice closes
+    // and the kernel answers with a reset — a smaller stripe would sit
+    // entirely in kernel buffers and the RST would be invisible to the
+    // write-only lane (the same reason a real WAN sender only notices
+    // a reset once its window fills).
+    let payload = seeded_payload(0x57121, 32 << 20);
+    let plan = StripePlan::new(payload.len() as u64, 4, 64 * 1024).unwrap();
+    let dial = interposed_lane_dial(Some(&hook), "rwcp-sun", |_stripe, _attempt| {
+        nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7411))
+    });
+    let report = send_striped(&payload, &plan, 1, 9, 8, Some(&stats), dial).unwrap();
+    assert!(
+        report.redials >= 1,
+        "the RST'd lane must fail over: {report:?}"
+    );
+
+    wait_until("striped reassembly", Duration::from_secs(10), || {
+        receiver.result().is_some()
+    });
+    let (tag, got) = receiver.result().unwrap();
+    assert_eq!(tag, 9);
+    assert_eq!(
+        got, payload,
+        "reassembled payload differs from the original"
+    );
+    assert!(stats.failovers.get() >= 1, "no lane failover recorded");
+    assert_eq!(
+        stats.conflicts.get(),
+        0,
+        "a lane RST replay was misdiagnosed as a Conflict"
+    );
+}
+
+/// A client that writes half a control frame and then stalls must not
+/// wedge the outer server: control sessions read under a deadline, and
+/// the accept loop hands each session to its own thread, so concurrent
+/// well-formed clients keep being served while the torn session ages
+/// out against its read timeout.
+#[test]
+fn real_half_written_control_frame_does_not_wedge_accept_loop() {
+    let w = real_world();
+    let _outer = OuterServer::start(w.net.clone(), OuterConfig::new("rwcp-outer")).unwrap();
+    let env = ProxyEnv::via("rwcp-outer", OUTER_PORT);
+
+    // Echo sink for the legitimate clients.
+    let sink = w.net.bind("etl-sun", 7412).unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut s, _)) = sink.accept() {
+            std::thread::spawn(move || {
+                let mut b = [0u8; 8];
+                if s.read_exact(&mut b).is_ok() {
+                    let _ = s.write_all(&b);
+                }
+            });
+        }
+    });
+
+    // The stall: a recognizable prefix of a control frame, then
+    // nothing — the socket stays open, the frame never completes.
+    let mut stalled = w.net.dial("etl-sun", "rwcp-outer", OUTER_PORT).unwrap();
+    stalled.write_all(&[1, 0, 0]).unwrap();
+
+    // While the torn session is live, complete ops must go through.
+    for round in 0..3u8 {
+        let mut s = nx_proxy_connect(&w.net, &env, "rwcp-sun", ("etl-sun", 7412)).unwrap();
+        let msg = [b'o', b'p', round, 0, 1, 2, 3, 4];
+        s.write_all(&msg).unwrap();
+        let mut echo = [0u8; 8];
+        s.read_exact(&mut echo).unwrap();
+        assert_eq!(echo, msg, "op {round} failed behind the stalled frame");
+    }
+    drop(stalled);
+}
+
+/// A one-hop redirect raced by strictly-newer `ShardSync` installs:
+/// while the fleet generation advances (same member set, rising
+/// generation, pushed to the router and every shard), clients aimed at
+/// a non-owner are redirected exactly once and served at the owner —
+/// never bounced in a loop — and a bind taken before the generation
+/// storm still accepts traffic after it.
+#[test]
+fn real_redirect_survives_concurrent_newer_shard_sync() {
+    let w = real_fleet_world();
+    let _inner = InnerServer::start(w.net.clone(), InnerConfig::new("rwcp-inner")).unwrap();
+    let fleet = start_fleet(&w);
+    let router = FleetRouter::new(
+        fleet_members(),
+        BreakerConfig {
+            threshold: 2,
+            cooldown: Duration::from_millis(50),
+        },
+    );
+    let env = ProxyEnv::via_fleet(router.clone());
+
+    // A bind taken before the storm: it must survive every install.
+    let pre = nx_proxy_bind(&w.net, &env, "rwcp-sun").unwrap();
+    let pre_adv = pre.advertised.clone();
+
+    let map = fleet_map();
+    let last_gen = 9u64;
+    std::thread::scope(|scope| {
+        let installer = {
+            let router = router.clone();
+            let fleet = &fleet;
+            let members = fleet_members();
+            scope.spawn(move || {
+                for generation in 2..=last_gen {
+                    router.install(generation, members.clone());
+                    for outer in fleet.iter().flatten() {
+                        outer.install_fleet(generation, members.clone());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        // Raw-protocol redirect legs in flight during the installs.
+        // HRW ownership depends on the member tags, not the
+        // generation, so the owner stays computable throughout.
+        for i in 0..6u16 {
+            let (host, port) = ("rwcp-sun", 7100 + i);
+            let owner = map.owner(&bind_key(host, port)).unwrap();
+            let non_owner = 1 - owner;
+            let mut s = w
+                .net
+                .dial(host, FLEET_HOSTS[non_owner], OUTER_PORT)
+                .unwrap();
+            Msg::BindReq {
+                host: host.to_string(),
+                port,
+                fallback: false,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            match Msg::read_from(&mut s).unwrap() {
+                Msg::Redirect { host: rh, port: rp } => {
+                    assert_eq!(rh, FLEET_HOSTS[owner], "redirect must name the owner");
+                    // Following the hop must terminate immediately:
+                    // the owner serves, it never redirects onward.
+                    let mut hop = w.net.dial(host, &rh, rp).unwrap();
+                    Msg::BindReq {
+                        host: host.to_string(),
+                        port,
+                        fallback: false,
+                    }
+                    .write_to(&mut hop)
+                    .unwrap();
+                    match Msg::read_from(&mut hop).unwrap() {
+                        Msg::BindRep { rdv_port } => assert_ne!(rdv_port, 0),
+                        other => panic!("redirect loop or refusal at the owner: {other:?}"),
+                    }
+                }
+                other => panic!("non-owner must redirect a first-choice request: {other:?}"),
+            }
+        }
+        installer.join().unwrap();
+    });
+
+    // Every party converged on the newest generation.
+    assert_eq!(router.generation(), last_gen);
+    for outer in fleet.iter().flatten() {
+        assert_eq!(outer.fleet_generation(), last_gen);
+    }
+
+    // No lost bind: the pre-storm listener still relays end to end.
+    let srv = std::thread::spawn(move || {
+        let mut s = pre.accept().unwrap();
+        let mut b = [0u8; 4];
+        s.read_exact(&mut b).unwrap();
+        s.write_all(&b).unwrap();
+    });
+    let mut peer = w.net.dial("etl-sun", &pre_adv.0, pre_adv.1).unwrap();
+    peer.write_all(b"sync").unwrap();
+    let mut echo = [0u8; 4];
+    peer.read_exact(&mut echo).unwrap();
+    assert_eq!(&echo, b"sync");
+    srv.join().unwrap();
 }

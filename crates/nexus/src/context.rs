@@ -111,7 +111,7 @@ impl NexusContext {
                         return Err(e);
                     }
                     last = Some(e);
-                    std::thread::sleep(delay);
+                    std::thread::sleep(delay); // lint:allow(bare-sleep) — bounded retry backoff.
                 }
             }
         }

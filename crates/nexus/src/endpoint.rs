@@ -80,7 +80,7 @@ impl Endpoint {
                             spawn_reader(stream, tx.clone(), stop.clone());
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(1));
+                            thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                         }
                         Err(_) => break,
                     }

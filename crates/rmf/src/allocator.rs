@@ -274,7 +274,7 @@ impl ResourceAllocator {
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }

@@ -95,7 +95,7 @@ impl Gatekeeper {
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }
@@ -218,7 +218,7 @@ fn job_manager(ctx: Arc<GkCtx>, job: JobId, req: JobRequest) {
                     if std::time::Instant::now() > deadline {
                         return fail(format!("allocation timed out: {e}"));
                     }
-                    thread::sleep(Duration::from_millis(10));
+                    thread::sleep(Duration::from_millis(10)); // lint:allow(bare-sleep) — deadline-bounded retry.
                 }
                 Err(e) => return fail(format!("allocation failed: {e}")),
             }
@@ -320,6 +320,6 @@ pub fn wait_job(
                 "job never finished",
             ));
         }
-        thread::sleep(Duration::from_millis(5));
+        thread::sleep(Duration::from_millis(5)); // lint:allow(bare-sleep) — deadline-bounded poll.
     }
 }

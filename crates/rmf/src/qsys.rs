@@ -93,7 +93,7 @@ impl QServer {
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(1));
+                        thread::sleep(Duration::from_millis(1)); // lint:allow(bare-sleep) — nonblocking accept poll.
                     }
                     Err(_) => break,
                 }
@@ -389,7 +389,7 @@ impl QClient {
             if let Some(o) = &self.obs {
                 o.rpc_retries.inc();
             }
-            thread::sleep(self.rpc_retry.backoff);
+            thread::sleep(self.rpc_retry.backoff); // lint:allow(bare-sleep) — bounded RPC retry backoff.
         }
     }
 
@@ -539,7 +539,7 @@ impl QClient {
                     "job wait timed out",
                 ));
             }
-            thread::sleep(Duration::from_millis(5));
+            thread::sleep(Duration::from_millis(5)); // lint:allow(bare-sleep) — deadline-bounded poll.
         }
     }
 }

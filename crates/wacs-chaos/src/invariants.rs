@@ -1,0 +1,166 @@
+//! Post-recovery invariant checkers.
+//!
+//! A chaos cell does not merely need to *finish*; after recovery the
+//! stack must be indistinguishable from one that never saw a fault:
+//!
+//! * every payload that completed did so **byte-exact** (checked via
+//!   FNV-64 checksums so the drill registry can carry the digest);
+//! * relay and admission accounting on every outer daemon returns to
+//!   **zero** — no leaked relay slots, no stuck admission permits;
+//! * observed `ShardMap` generations are **monotone** (tracked with
+//!   `nexus_proxy::GenerationWitness`).
+//!
+//! Verdicts are tallied in the drill registry (`wacs.chaos.invariant.*`)
+//! and kept as human-readable violation strings for bench reporting.
+
+use crate::interpose::pace_until;
+use nexus_proxy::{GenerationWitness, OuterServer};
+use std::time::{Duration, Instant};
+use wacs_obs::{Counter, Registry};
+use wacs_sync::Mutex;
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across runs — the
+/// digest the drill registry records for payload byte-exactness.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Poll until `outer` has zero active relays *and* zero held admission
+/// permits, or the deadline passes. Returns `true` on quiescence.
+pub fn wait_quiesced(outer: &OuterServer, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if outer.active_relays() == 0 && outer.admission_active() == 0 {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        pace_until(Instant::now() + Duration::from_millis(2));
+    }
+}
+
+/// Accumulates invariant verdicts across a chaos run.
+pub struct InvariantLedger {
+    checks: Counter,
+    violations: Counter,
+    detail: Mutex<Vec<String>>,
+}
+
+impl InvariantLedger {
+    /// Register the verdict counters in `registry` (the drill
+    /// registry; verdict counts are deterministic for a fixed suite).
+    pub fn in_registry(registry: &Registry) -> InvariantLedger {
+        InvariantLedger {
+            checks: registry.counter("wacs.chaos.invariant.checks"),
+            violations: registry.counter("wacs.chaos.invariant.violations"),
+            detail: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn verdict(&self, ok: bool, what: impl FnOnce() -> String) -> bool {
+        self.checks.inc();
+        if !ok {
+            self.violations.inc();
+            self.detail.lock().push(what());
+        }
+        ok
+    }
+
+    /// Byte-exact payload check via FNV-64 digests.
+    pub fn check_payload(&self, label: &str, expected: &[u8], got: &[u8]) -> bool {
+        let ok = expected.len() == got.len() && fnv64(expected) == fnv64(got);
+        self.verdict(ok, || {
+            format!(
+                "{label}: payload mismatch (expected {} bytes fnv {:#x}, got {} bytes fnv {:#x})",
+                expected.len(),
+                fnv64(expected),
+                got.len(),
+                fnv64(got)
+            )
+        })
+    }
+
+    /// Relay + admission accounting back to zero on `outer`.
+    pub fn check_quiesced(&self, label: &str, outer: &OuterServer, timeout: Duration) -> bool {
+        let ok = wait_quiesced(outer, timeout);
+        self.verdict(ok, || {
+            format!(
+                "{label}: outer not quiesced (active_relays={}, admission_active={})",
+                outer.active_relays(),
+                outer.admission_active()
+            )
+        })
+    }
+
+    /// No generation regressions observed by `witness`.
+    pub fn check_generations(&self, label: &str, witness: &GenerationWitness) -> bool {
+        let ok = witness.regressions() == 0;
+        self.verdict(ok, || {
+            format!(
+                "{label}: {} generation regression(s), high water {}",
+                witness.regressions(),
+                witness.high_water()
+            )
+        })
+    }
+
+    /// Record an arbitrary named condition.
+    pub fn check(&self, label: &str, ok: bool) -> bool {
+        self.verdict(ok, || format!("{label}: condition violated"))
+    }
+
+    pub fn checks(&self) -> u64 {
+        self.checks.get()
+    }
+
+    pub fn violations(&self) -> Vec<String> {
+        self.detail.lock().clone()
+    }
+
+    pub fn ok(&self) -> bool {
+        self.detail.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_eq!(fnv64(b"wacs"), fnv64(b"wacs"));
+    }
+
+    #[test]
+    fn ledger_tallies_checks_and_violations() {
+        let reg = Registry::new();
+        let ledger = InvariantLedger::in_registry(&reg);
+        assert!(ledger.check_payload("a", b"xy", b"xy"));
+        assert!(!ledger.check_payload("b", b"xy", b"xz"));
+        assert!(ledger.check("c", true));
+        assert_eq!(ledger.checks(), 3);
+        assert!(!ledger.ok());
+        let v = ledger.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("b:"), "{v:?}");
+    }
+
+    #[test]
+    fn generation_witness_checks_flow_through() {
+        let reg = Registry::new();
+        let ledger = InvariantLedger::in_registry(&reg);
+        let w = GenerationWitness::new();
+        assert!(w.observe(3));
+        assert!(ledger.check_generations("fleet", &w));
+        assert!(!w.observe(2));
+        assert!(!ledger.check_generations("fleet", &w));
+    }
+}

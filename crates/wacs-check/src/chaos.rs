@@ -1,0 +1,325 @@
+//! Model of the chaos layer's retry/recovery discipline against the
+//! real [`wacs_chaos::ChaosProfile`] fault schedule.
+//!
+//! The orchestrator's fatal-fault cells run a simple loop: attempt an
+//! op; a faulted attempt fails and opens a *failure episode*; the next
+//! success closes the episode and records exactly one recovery sample.
+//! This model drives that discipline — with the production
+//! `ChaosProfile::decide` supplying the fault schedule — through every
+//! interleaving of scheduled faults and a bounded budget of *spurious*
+//! (environmental) failures, and checks:
+//!
+//! * **Schedule purity** — `decide(leg, seq)` fires exactly on the
+//!   periodic pattern (`seq % period == phase`), every time, for every
+//!   reachable `seq`; re-querying never disagrees (the property the
+//!   ci.sh determinism gate measures at the snapshot level).
+//! * **Exactly-once recovery** — a recovery sample is recorded iff a
+//!   success closes an open failure episode: `recoveries` equals
+//!   closed episodes in every state, and never exceeds failures.
+//! * **Convergence** — with an attempt budget of
+//!   `period * (ops + spurious budget)`, every terminal state has
+//!   reached the op target: the retry loop cannot be starved by the
+//!   worst-case schedule.
+
+use wacs_chaos::{ChaosProfile, FaultClass, FaultRule};
+
+use crate::explore::{explore_bfs, Model, Report};
+use nexus_proxy::DialLeg;
+
+/// Retry-loop state; a pure function of the action history.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ChaosState {
+    /// Next attempt's per-leg sequence number.
+    seq: u64,
+    successes: u64,
+    failures: u64,
+    /// Spurious failures consumed (bounded by the model).
+    spurious: u64,
+    /// An open failure episode awaiting its closing success.
+    pending: bool,
+    /// Closed episodes == recovery samples recorded.
+    recoveries: u64,
+    /// History: did the last action record a recovery?
+    last_recorded: bool,
+}
+
+#[derive(Clone, Debug)]
+pub enum ChaosAction {
+    /// Run the next attempt; the schedule decides success or failure.
+    Attempt,
+    /// Run the next attempt and have the environment fail it even
+    /// though no fault was scheduled (only enabled within budget).
+    SpuriousFail,
+}
+
+pub struct ChaosModel {
+    profile: ChaosProfile,
+    period: u64,
+    phase: u64,
+    /// Target successful ops.
+    ops: u64,
+    /// Spurious-failure budget.
+    max_spurious: u64,
+}
+
+impl ChaosModel {
+    fn new(seed: u64, period: u64, ops: u64, max_spurious: u64) -> ChaosModel {
+        let profile = ChaosProfile::new(seed).with_rule(FaultRule::every(
+            DialLeg::ClientCtrl,
+            FaultClass::Rst,
+            period,
+        ));
+        ChaosModel {
+            profile,
+            period,
+            phase: 0,
+            ops,
+            max_spurious,
+        }
+    }
+
+    pub fn smoke() -> ChaosModel {
+        ChaosModel::new(42, 2, 4, 2)
+    }
+
+    pub fn deep() -> ChaosModel {
+        ChaosModel::new(1337, 3, 8, 4)
+    }
+
+    fn budget(&self) -> u64 {
+        // Worst case every success needs a clean slot and each clean
+        // slot comes once per period; spurious failures burn clean
+        // slots too. `period * (ops + spurious)` always suffices for
+        // `period >= 2`.
+        self.period * (self.ops + self.max_spurious)
+    }
+
+    fn scheduled(&self, seq: u64) -> bool {
+        self.profile.decide(DialLeg::ClientCtrl, seq).is_some()
+    }
+
+    fn done(&self, s: &ChaosState) -> bool {
+        s.successes >= self.ops || s.seq >= self.budget()
+    }
+}
+
+impl Model for ChaosModel {
+    type State = ChaosState;
+    type Action = ChaosAction;
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn initial(&self) -> ChaosState {
+        ChaosState {
+            seq: 0,
+            successes: 0,
+            failures: 0,
+            spurious: 0,
+            pending: false,
+            recoveries: 0,
+            last_recorded: false,
+        }
+    }
+
+    fn actions(&self, s: &ChaosState, out: &mut Vec<ChaosAction>) {
+        if self.done(s) {
+            return;
+        }
+        out.push(ChaosAction::Attempt);
+        if !self.scheduled(s.seq) && s.spurious < self.max_spurious {
+            out.push(ChaosAction::SpuriousFail);
+        }
+    }
+
+    fn apply(&self, s: &ChaosState, a: &ChaosAction) -> ChaosState {
+        let mut next = s.clone();
+        next.seq += 1;
+        next.last_recorded = false;
+        let fails = match a {
+            ChaosAction::Attempt => self.scheduled(s.seq),
+            ChaosAction::SpuriousFail => {
+                next.spurious += 1;
+                true
+            }
+        };
+        if fails {
+            next.failures += 1;
+            next.pending = true;
+        } else {
+            next.successes += 1;
+            if next.pending {
+                next.pending = false;
+                next.recoveries += 1;
+                next.last_recorded = true;
+            }
+        }
+        next
+    }
+
+    fn invariant(&self, s: &ChaosState) -> Result<(), String> {
+        // Schedule purity: every decided seq so far matches the
+        // periodic pattern, and a second query agrees with the first.
+        for seq in 0..s.seq.min(self.budget()) {
+            let fired = self.scheduled(seq);
+            let expected = seq % self.period == self.phase % self.period;
+            if fired != expected {
+                return Err(format!(
+                    "schedule impurity at seq {seq}: decide fired={fired}, pattern says {expected}"
+                ));
+            }
+            if fired != self.scheduled(seq) {
+                return Err(format!("decide({seq}) disagrees with itself"));
+            }
+        }
+        // Exactly-once recovery accounting: every closed or open
+        // episode contains at least one failure.
+        let open = u64::from(s.pending);
+        if s.recoveries > s.failures {
+            return Err(format!(
+                "{} recoveries recorded for only {} failures",
+                s.recoveries, s.failures
+            ));
+        }
+        if s.recoveries + open > s.failures {
+            return Err(format!(
+                "episode accounting broken: {} closed + {open} open > {} failures",
+                s.recoveries, s.failures
+            ));
+        }
+        if s.last_recorded && s.pending {
+            return Err("recovery recorded while an episode is still open".into());
+        }
+        if s.failures == 0 && s.recoveries != 0 {
+            return Err("recovery recorded with no failure ever seen".into());
+        }
+        // Convergence: a terminal state must have met the op target.
+        if self.done(s) && s.successes < self.ops {
+            return Err(format!(
+                "retry budget exhausted at seq {} with {}/{} ops",
+                s.seq, s.successes, self.ops
+            ));
+        }
+        Ok(())
+    }
+}
+
+pub fn verify(deep: bool) -> Report {
+    let m = if deep {
+        ChaosModel::deep()
+    } else {
+        ChaosModel::smoke()
+    };
+    explore_bfs(&m, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_schedule_converges_with_exactly_once_recoveries() {
+        let r = verify(false);
+        assert!(r.ok(), "{r}");
+        assert!(r.states > 20, "state space suspiciously small: {r}");
+        let r = verify(true);
+        assert!(r.ok(), "{r}");
+    }
+
+    /// Spec-level bug the checker must catch: a runner that records a
+    /// recovery sample on *every* success, not just the one closing a
+    /// failure episode — the double-count that would silently deflate
+    /// RTO percentiles.
+    struct DoubleCountModel(ChaosModel);
+
+    impl Model for DoubleCountModel {
+        type State = ChaosState;
+        type Action = ChaosAction;
+
+        fn name(&self) -> &'static str {
+            "chaos-doublecount"
+        }
+
+        fn initial(&self) -> ChaosState {
+            self.0.initial()
+        }
+
+        fn actions(&self, s: &ChaosState, out: &mut Vec<ChaosAction>) {
+            self.0.actions(s, out);
+        }
+
+        fn apply(&self, s: &ChaosState, a: &ChaosAction) -> ChaosState {
+            let mut next = self.0.apply(s, a);
+            // The bug: every success "recovers".
+            if next.successes > s.successes && !next.last_recorded {
+                next.recoveries += 1;
+                next.last_recorded = true;
+            }
+            next
+        }
+
+        fn invariant(&self, s: &ChaosState) -> Result<(), String> {
+            self.0.invariant(s)
+        }
+    }
+
+    #[test]
+    fn checker_catches_double_counted_recoveries() {
+        // Phase-shift the schedule so the first attempt is clean: a
+        // success with no open episode is exactly where the bug
+        // manufactures a phantom recovery.
+        let mut m = ChaosModel::smoke();
+        m.profile.rules[0].phase = 1;
+        m.phase = 1;
+        let r = explore_bfs(&DoubleCountModel(m), 2_000_000);
+        assert!(r.violation.is_some(), "double-count bug not caught: {r}");
+    }
+
+    /// Spec-level bug: an under-provisioned retry budget (the loop
+    /// gives up after `ops` attempts flat) starves under a period-2
+    /// schedule — convergence must flag it.
+    struct StingyBudgetModel(ChaosModel);
+
+    impl Model for StingyBudgetModel {
+        type State = ChaosState;
+        type Action = ChaosAction;
+
+        fn name(&self) -> &'static str {
+            "chaos-stingy"
+        }
+
+        fn initial(&self) -> ChaosState {
+            self.0.initial()
+        }
+
+        fn actions(&self, s: &ChaosState, out: &mut Vec<ChaosAction>) {
+            if s.successes >= self.0.ops || s.seq >= self.0.ops {
+                return;
+            }
+            out.push(ChaosAction::Attempt);
+        }
+
+        fn apply(&self, s: &ChaosState, a: &ChaosAction) -> ChaosState {
+            self.0.apply(s, a)
+        }
+
+        fn invariant(&self, s: &ChaosState) -> Result<(), String> {
+            // The stingy loop's own terminal condition, judged by the
+            // real convergence requirement.
+            if s.seq >= self.0.ops && s.successes < self.0.ops {
+                return Err(format!(
+                    "stingy budget starved: {}/{} ops after {} attempts",
+                    s.successes, self.0.ops, s.seq
+                ));
+            }
+            self.0.invariant(s)
+        }
+    }
+
+    #[test]
+    fn checker_catches_starved_retry_budget() {
+        let r = explore_bfs(&StingyBudgetModel(ChaosModel::smoke()), 2_000_000);
+        assert!(r.violation.is_some(), "starvation not caught: {r}");
+    }
+}

@@ -38,6 +38,11 @@
 //!   iff every offset is covered, duplicates are absorbed without
 //!   state change, corrupted duplicates are typed `Conflict` errors,
 //!   and a whole-stripe failover replay converges.
+//! * [`chaos`] — the chaos layer's retry/recovery discipline against
+//!   the real `wacs_chaos::ChaosProfile` schedule: fault decisions
+//!   are pure and periodic, recovery samples are recorded exactly
+//!   once per failure episode, and the retry budget converges under
+//!   the worst-case schedule plus bounded spurious failures.
 //!
 //! Two of these invariants began life as counterexamples: the
 //! breaker's stale-success close and the admission gate's
@@ -52,6 +57,7 @@ pub mod admission;
 pub mod bindsync;
 pub mod breaker;
 pub mod channel;
+pub mod chaos;
 pub mod explore;
 pub mod heartbeat;
 pub mod lockpair;
@@ -73,6 +79,7 @@ pub fn run_all(deep: bool) -> Vec<Report> {
         lockpair::verify(deep),
         shard::verify(deep),
         stripe::verify(deep),
+        chaos::verify(deep),
     ]
 }
 

@@ -30,6 +30,13 @@ pub enum Rule {
     /// The pool's own sanctioned allocation site carries
     /// `lint:allow(hot-path-alloc)`.
     HotPathAlloc,
+    /// Bare `thread::sleep(` in non-test library code: chaos-layer
+    /// timing must come from deadline-based waits (condvar timeouts,
+    /// `set_read_timeout`), not open-loop sleeps, or recovery-time
+    /// measurements inherit the sleep quantum as noise. Deliberate
+    /// bounded backoffs carry `lint:allow(bare-sleep)`; the bench
+    /// harness is exempt wholesale.
+    BareSleep,
     /// A cycle in the static lock-order graph over
     /// `Ordered{Mutex,RwLock}` acquisition sites (see `wsrules`).
     LockOrder,
@@ -50,6 +57,7 @@ pub const ALL: &[Rule] = &[
     Rule::BareAtomicCounter,
     Rule::DeadlineIo,
     Rule::HotPathAlloc,
+    Rule::BareSleep,
     Rule::LockOrder,
     Rule::CounterSchema,
     Rule::FrameCoverage,
@@ -66,6 +74,7 @@ impl Rule {
             Rule::BareAtomicCounter => "bare-atomic-counter",
             Rule::DeadlineIo => "deadline-io",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::BareSleep => "bare-sleep",
             Rule::LockOrder => "lock-order",
             Rule::CounterSchema => "counter-schema",
             Rule::FrameCoverage => "frame-coverage",
@@ -93,6 +102,10 @@ impl Rule {
             Rule::HotPathAlloc => {
                 "no vec![0u8; ...] in pump/reactor/pool hot loops; take a segment \
                  from the shared BufferPool"
+            }
+            Rule::BareSleep => {
+                "no bare thread::sleep in library code; wait on a deadline \
+                 (or mark a bounded backoff with lint:allow(bare-sleep))"
             }
             Rule::LockOrder => "the static lock-order graph over Ordered locks must be acyclic",
             Rule::CounterSchema => {
@@ -128,6 +141,10 @@ const STD_SYNC_EXEMPT: &[&str] = &["crates/wacs-sync/", "crates/xtask/"];
 /// (its instruments *are* atomics) and this analyzer.
 const ATOMIC_COUNTER_EXEMPT: &[&str] = &["crates/wacs-obs/", "crates/xtask/"];
 
+/// Crates whose open-loop sleeps are load-generation pacing, not
+/// product timing: the bench harness sleeps on purpose.
+const BARE_SLEEP_EXEMPT: &[&str] = &["crates/bench/"];
+
 /// The relay data-plane hot files: every staging buffer there must come
 /// from the shared `BufferPool`, not a per-call `vec![0u8; ...]`.
 const HOT_PATH_FILES: &[&str] = &[
@@ -146,6 +163,7 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
     let port_site = PORT_DEFINITION_SITES.contains(&path);
     let hot_path = HOT_PATH_FILES.contains(&path);
     let sync_exempt = STD_SYNC_EXEMPT.iter().any(|p| path.starts_with(p));
+    let sleep_exempt = BARE_SLEEP_EXEMPT.iter().any(|p| path.starts_with(p));
     let atomic_exempt = ATOMIC_COUNTER_EXEMPT.iter().any(|p| path.starts_with(p));
     // File-level deadline evidence: a file that configures timeouts or
     // non-blocking mode anywhere has thought about liveness; one that
@@ -233,6 +251,15 @@ pub fn analyze(path: &str, source: &str) -> Vec<Violation> {
                     Rule::DeadlineIo,
                     "blocking I/O with no deadline in this file; set a read timeout \
                      (or mark the site deliberate)"
+                        .into(),
+                );
+            }
+            if !sleep_exempt && line.contains("thread::sleep(") {
+                push(
+                    Rule::BareSleep,
+                    "bare `thread::sleep` in library code; wait on a deadline \
+                     (condvar timeout / read timeout) or mark a bounded backoff \
+                     deliberate"
                         .into(),
                 );
             }
@@ -649,6 +676,31 @@ fn f(s: &mut TcpStream) -> io::Result<()> {
         assert!(rules_hit("crates/nexus-proxy/src/pool.rs", marked).is_empty());
         let test = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![0u8; 16]; }\n}\n";
         assert!(rules_hit("crates/nexus-proxy/src/pump.rs", test).is_empty());
+    }
+
+    #[test]
+    fn bare_sleep_flagged_in_library_code() {
+        let src = "fn f() {\n    std::thread::sleep(Duration::from_millis(5));\n}\nfn g() {\n    thread::sleep(TICK);\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", src),
+            vec![(2, Rule::BareSleep), (5, Rule::BareSleep)]
+        );
+        // The bench harness paces load generators with sleeps on purpose.
+        assert!(rules_hit("crates/bench/src/bin/proxy_bench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_sleep_escape_hatch_and_test_exemption() {
+        let marked = "fn f() {\n    thread::sleep(left.min(CLAMP)); // lint:allow(bare-sleep)\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", marked).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { thread::sleep(Duration::from_millis(1)); }\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", test).is_empty());
+        // A different rule's marker does not excuse the sleep.
+        let wrong = "fn f() {\n    thread::sleep(TICK); // lint:allow(deadline-io)\n}\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", wrong),
+            vec![(2, Rule::BareSleep)]
+        );
     }
 
     #[test]
